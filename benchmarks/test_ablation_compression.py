@@ -1,0 +1,66 @@
+"""Ablation: Phase-II compression of PRR-graphs.
+
+DESIGN.md calls compression out as a load-bearing design choice (Tables
+2/3 motivate it).  This ablation quantifies it directly: edges retained
+with vs without compression, and the evaluation-cost implication (every
+``f_R`` query walks the stored edges, so retained-edge count is the cost
+driver for the greedy Δ̂ selection).
+"""
+
+import numpy as np
+
+from repro.core import collection_stats, sample_prr_graph
+from repro.experiments import format_table
+
+from conftest import BENCH_SEED, get_workload, print_header
+
+SAMPLES = 300
+K = 25
+
+
+def test_ablation_compression(benchmark):
+    rng = np.random.default_rng(BENCH_SEED + 21)
+    rows = []
+    for dataset in ("digg-like", "flixster-like", "flickr-like"):
+        workload = get_workload(dataset, "influential")
+        seeds = frozenset(workload.seeds)
+        prrs = [
+            sample_prr_graph(workload.graph, seeds, K, rng)
+            for _ in range(SAMPLES)
+        ]
+        stats = collection_stats(prrs)
+        retained = stats.compressed_edges
+        without = stats.uncompressed_edges
+        rows.append(
+            [
+                dataset,
+                stats.boostable,
+                without,
+                retained,
+                f"{stats.compression_ratio:.1f}x",
+                f"{100 * retained / max(without, 1):.2f}%",
+            ]
+        )
+    print_header("Ablation: PRR-graph compression (edges kept for evaluation)")
+    print(
+        format_table(
+            [
+                "dataset",
+                "boostable",
+                "edges w/o compression",
+                "edges with",
+                "ratio",
+                "kept fraction",
+            ],
+            rows,
+        )
+    )
+
+    workload = get_workload("digg-like", "influential")
+    seeds = frozenset(workload.seeds)
+    gen_rng = np.random.default_rng(7)
+    benchmark(lambda: sample_prr_graph(workload.graph, seeds, K, gen_rng))
+
+    # compression must keep only a small fraction of explored edges
+    for row in rows:
+        assert float(row[5].rstrip("%")) < 25.0

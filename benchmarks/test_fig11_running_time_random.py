@@ -1,0 +1,64 @@
+"""Figure 11: running time of PRR-Boost / PRR-Boost-LB (random seeds).
+
+Paper shape: same as Figure 6 under random seeds — PRR-Boost-LB runs
+1.7x-3.1x faster; time grows with k.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import prr_boost, prr_boost_lb
+from repro.experiments import format_table
+
+from conftest import BENCH_SEED, get_workload, print_header
+
+K_VALUES = (10, 25, 50)
+DATASETS = ("digg-like", "flickr-like")
+# flickr-like PRR generation is so cheap that 2K samples finish in tens of
+# milliseconds, where timing noise swamps the comparison; use a budget that
+# yields measurable runs (cf. the Figure 5 sample-budget note).
+MAX_SAMPLES = {"flickr-like": 30_000}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_running_time_random(benchmark, dataset):
+    rng = np.random.default_rng(BENCH_SEED + 11)
+    workload = get_workload(dataset, "random")
+    max_samples = MAX_SAMPLES.get(dataset, 2000)
+    rows = []
+    times = {}
+    for k in K_VALUES:
+        start = time.perf_counter()
+        prr_boost(workload.graph, workload.seeds, k, rng, max_samples=max_samples)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        prr_boost_lb(workload.graph, workload.seeds, k, rng, max_samples=max_samples)
+        t_lb = time.perf_counter() - start
+        times[k] = (t_full, t_lb)
+        rows.append(
+            [
+                dataset,
+                k,
+                f"{t_full:.2f}s",
+                f"{t_lb:.2f}s",
+                f"{t_full / max(t_lb, 1e-9):.1f}x",
+            ]
+        )
+    print_header(f"Figure 11 ({dataset}): running time (random seeds)")
+    print(
+        format_table(
+            ["dataset", "k", "PRR-Boost", "PRR-Boost-LB", "LB speedup"], rows
+        )
+    )
+
+    from repro.core.prr import sample_critical_set
+
+    seeds = frozenset(workload.seeds)
+    gen_rng = np.random.default_rng(5)
+    benchmark(lambda: sample_critical_set(workload.graph, seeds, gen_rng))
+
+    for k in K_VALUES:
+        t_full, t_lb = times[k]
+        assert t_lb <= t_full * 1.3, f"LB slower than full at k={k}"

@@ -1,0 +1,52 @@
+"""Figure 15: Greedy-Boost vs DP-Boost over varying tree sizes.
+
+Paper setup: trees of 1000..5000 nodes, k in {150, 200, 250}, ε = 0.5.
+Scaled: trees of {127, 255, 511} nodes, k = 10.  Shape: greedy and DP
+curves overlap (greedy near-optimal at every size) while greedy's runtime
+stays far below the DP's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table, make_tree_workload, tree_comparison
+
+from conftest import BENCH_SEED, print_header
+
+SIZES = (127, 255, 511)
+NUM_SEEDS = 10
+K = 10
+EPSILON = 0.5
+
+
+def test_fig15_tree_sizes(benchmark):
+    rng = np.random.default_rng(BENCH_SEED + 15)
+    rows = []
+    pairs = {}
+    for n in SIZES:
+        tree = make_tree_workload(n, NUM_SEEDS, rng)
+        runs = tree_comparison(tree, [K], [EPSILON])
+        for r in runs:
+            rows.append(
+                [
+                    n,
+                    r.algorithm,
+                    f"{r.boost:.4f}",
+                    f"{r.seconds:.2f}s",
+                ]
+            )
+        greedy = next(r for r in runs if r.algorithm == "Greedy-Boost")
+        dp = next(r for r in runs if r.algorithm == "DP-Boost")
+        pairs[n] = (greedy, dp)
+    print_header(f"Figure 15: tree size sweep (k={K}, eps={EPSILON})")
+    print(format_table(["nodes", "algorithm", "boost", "time"], rows))
+
+    from repro.trees import greedy_boost
+
+    small_tree = make_tree_workload(127, NUM_SEEDS, np.random.default_rng(1))
+    benchmark(lambda: greedy_boost(small_tree, K))
+
+    for n, (greedy, dp) in pairs.items():
+        # curves overlap: greedy is near-optimal at every size
+        assert greedy.boost >= dp.boost * 0.95, f"n={n}"
+        assert greedy.seconds <= dp.seconds, f"n={n}"

@@ -1,0 +1,63 @@
+"""Figure 6: running time of PRR-Boost and PRR-Boost-LB (influential seeds).
+
+Paper shape: time grows with k (more PRR-graphs needed); PRR-Boost-LB is
+1.7x-3.7x faster than PRR-Boost.  Absolute seconds are not comparable (the
+paper uses 8 OpenMP threads in C++); the growth trend and the LB speedup
+are the reproduction targets.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import prr_boost, prr_boost_lb
+from repro.experiments import format_table
+
+from conftest import BENCH_SEED, get_workload, print_header
+
+K_VALUES = (10, 25, 50)
+DATASETS = ("digg-like", "flixster-like")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_running_time(benchmark, dataset):
+    rng = np.random.default_rng(BENCH_SEED + 6)
+    workload = get_workload(dataset, "influential")
+    rows = []
+    times = {}
+    for k in K_VALUES:
+        start = time.perf_counter()
+        prr_boost(workload.graph, workload.seeds, k, rng, max_samples=2000)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        prr_boost_lb(workload.graph, workload.seeds, k, rng, max_samples=2000)
+        t_lb = time.perf_counter() - start
+        times[k] = (t_full, t_lb)
+        rows.append(
+            [
+                dataset,
+                k,
+                f"{t_full:.2f}s",
+                f"{t_lb:.2f}s",
+                f"{t_full / max(t_lb, 1e-9):.1f}x",
+            ]
+        )
+    print_header(f"Figure 6 ({dataset}): running time (influential seeds)")
+    print(
+        format_table(
+            ["dataset", "k", "PRR-Boost", "PRR-Boost-LB", "LB speedup"], rows
+        )
+    )
+
+    # Benchmark kernel: a single PRR-graph generation.
+    from repro.core.prr import sample_prr_graph
+
+    graph, seeds = workload.graph, frozenset(workload.seeds)
+    gen_rng = np.random.default_rng(1)
+    benchmark(lambda: sample_prr_graph(graph, seeds, 25, gen_rng))
+
+    # Shape: LB never substantially slower than the full algorithm.
+    for k in K_VALUES:
+        t_full, t_lb = times[k]
+        assert t_lb <= t_full * 1.3, f"LB slower than full at k={k}"

@@ -1,0 +1,67 @@
+"""Figure 8: effect of the boosting parameter β on boost and running time.
+
+Paper shape (k=1000, full-size graphs): the achievable boost grows with β;
+PRR-Boost's runtime grows with β while PRR-Boost-LB's stays nearly flat.
+Scaled to k=25 with β in {2, 4, 6}.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import prr_boost, prr_boost_lb
+from repro.diffusion import estimate_boost
+from repro.experiments import format_table
+
+from conftest import BENCH_SEED, get_workload, print_header
+
+BETAS = (2.0, 4.0, 6.0)
+K = 25
+DATASET = "flixster-like"
+
+
+def test_fig8_beta_effect(benchmark):
+    rng = np.random.default_rng(BENCH_SEED + 8)
+    rows = []
+    boosts = {}
+    lb_times = {}
+    for beta in BETAS:
+        workload = get_workload(DATASET, "influential", beta=beta)
+        graph, seeds = workload.graph, workload.seeds
+        start = time.perf_counter()
+        full = prr_boost(graph, seeds, K, rng, max_samples=2000)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        lb = prr_boost_lb(graph, seeds, K, rng, max_samples=2000)
+        t_lb = time.perf_counter() - start
+        boost_full = estimate_boost(graph, seeds, full.boost_set, rng, runs=400)
+        boost_lb = estimate_boost(graph, seeds, lb.boost_set, rng, runs=400)
+        boosts[beta] = boost_full
+        lb_times[beta] = t_lb
+        rows.append(
+            [
+                beta,
+                f"{boost_full:.1f}",
+                f"{boost_lb:.1f}",
+                f"{t_full:.2f}s",
+                f"{t_lb:.2f}s",
+            ]
+        )
+    print_header(f"Figure 8 ({DATASET}): effect of boosting parameter beta (k={K})")
+    print(
+        format_table(
+            ["beta", "boost (PRR)", "boost (LB)", "time (PRR)", "time (LB)"],
+            rows,
+        )
+    )
+
+    workload = get_workload(DATASET, "influential", beta=4.0)
+    from repro.core.prr import sample_critical_set
+
+    seeds = frozenset(workload.seeds)
+    gen_rng = np.random.default_rng(4)
+    benchmark(lambda: sample_critical_set(workload.graph, seeds, gen_rng))
+
+    # Shape: larger beta -> larger achievable boost.
+    assert boosts[6.0] >= boosts[2.0]

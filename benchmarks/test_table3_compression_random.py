@@ -1,0 +1,69 @@
+"""Table 3: memory usage and compression ratio (random seeds).
+
+Same protocol as Table 2 with random seeds.  Paper shape: compression
+remains indispensable (ratios 38-547), somewhat lower than with
+influential seeds because random seeds leave more of each PRR-graph
+un-mergeable.
+"""
+
+import numpy as np
+
+from repro.core import collection_stats, sample_prr_graph
+from repro.experiments import format_table
+
+from conftest import BENCH_SEED, get_workload, print_header
+
+DATASETS = ("digg-like", "flixster-like", "twitter-like", "flickr-like")
+SAMPLES = 300
+K_VALUES = (10, 100)
+
+
+def test_table3_compression_random(benchmark):
+    rng = np.random.default_rng(BENCH_SEED + 3)
+    rows = []
+    ratios = {}
+    for k in K_VALUES:
+        for dataset in DATASETS:
+            workload = get_workload(dataset, "random")
+            seeds = frozenset(workload.seeds)
+            prrs = [
+                sample_prr_graph(workload.graph, seeds, k, rng)
+                for _ in range(SAMPLES)
+            ]
+            stats = collection_stats(prrs)
+            ratios[(dataset, k)] = stats.compression_ratio
+            rows.append(
+                [
+                    k,
+                    dataset,
+                    f"{stats.avg_uncompressed_edges:.1f}",
+                    f"{stats.avg_compressed_edges:.2f}",
+                    f"{stats.compression_ratio:.1f}",
+                    f"{stats.avg_critical_nodes:.2f}",
+                    f"{stats.memory_mb:.3f}MB",
+                ]
+            )
+    print_header("Table 3: compression ratio (random seeds)")
+    print(
+        format_table(
+            [
+                "k",
+                "dataset",
+                "uncompressed edges",
+                "compressed edges",
+                "ratio",
+                "avg critical nodes",
+                "PRR memory",
+            ],
+            rows,
+        )
+    )
+
+    workload = get_workload("digg-like", "random")
+    seeds = frozenset(workload.seeds)
+    gen_rng = np.random.default_rng(6)
+    benchmark(lambda: sample_prr_graph(workload.graph, seeds, 100, gen_rng))
+
+    # Compression still substantial on the dense-influence datasets.
+    for k in K_VALUES:
+        assert ratios[("digg-like", k)] > 10

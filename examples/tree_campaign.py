@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Boosting on a bidirected tree: exact algorithms with guarantees.
+
+When information cascades follow a fixed tree architecture (Section VI), the
+boost of influence can be computed *exactly* in linear time, Greedy-Boost
+runs in O(kn), and DP-Boost certifies near-optimality (an FPTAS).  This
+example builds a synthetic organisation tree, compares both algorithms, and
+shows the DP certificate.
+
+Run:  python examples/tree_campaign.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BidirectedTree, dp_boost, greedy_boost, imm, tree_delta
+from repro.graphs import complete_binary_bidirected_tree, trivalency
+
+SEED = 13
+N = 255
+NUM_SEEDS = 12
+K = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    print(f"Building a complete binary bidirected tree with {N} nodes ...")
+    graph = trivalency(complete_binary_bidirected_tree(N), rng)
+    seeds = imm(graph, NUM_SEEDS, rng, max_samples=20_000).chosen
+    tree = BidirectedTree(graph, seeds=seeds)
+    print(f"seeds (IMM): {sorted(seeds)}\n")
+
+    start = time.perf_counter()
+    greedy = greedy_boost(tree, K)
+    greedy_time = time.perf_counter() - start
+    print(f"Greedy-Boost:  boost = {greedy.boost:.4f}  "
+          f"set = {greedy.boost_set}  ({greedy_time:.2f}s)")
+
+    for eps in (1.0, 0.5):
+        start = time.perf_counter()
+        dp = dp_boost(tree, K, epsilon=eps)
+        dp_time = time.perf_counter() - start
+        print(
+            f"DP-Boost e={eps}: boost = {dp.boost:.4f}  "
+            f"certified >= {dp.dp_value:.4f}  "
+            f"set = {dp.boost_set}  ({dp_time:.2f}s)"
+        )
+        # The FPTAS certificate: OPT <= dp_value / (1 - eps), so greedy's
+        # optimality gap is bounded.
+        if dp.dp_value > 0:
+            opt_upper = dp.dp_value / (1 - eps) if eps < 1 else float("inf")
+            if opt_upper < float("inf"):
+                print(
+                    f"   => OPT <= {opt_upper:.4f}; greedy achieves at least "
+                    f"{100 * greedy.boost / opt_upper:.0f}% of optimal"
+                )
+
+    # Cross-check one set by exact evaluation.
+    check = tree_delta(tree, set(greedy.boost_set))
+    print(f"\nexact re-evaluation of the greedy set: {check:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim — the offline environment lacks the `wheel` package,
+so editable installs go through `pip install -e . --no-use-pep517`."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21"],
+    python_requires=">=3.9",
+)

@@ -1,0 +1,95 @@
+"""repro — reproduction of "Boosting Information Spread: An Algorithmic Approach".
+
+Lin, Chen & Lui (ICDE 2017).  The package provides:
+
+* :mod:`repro.graphs` — compact directed influence graphs and generators,
+* :mod:`repro.diffusion` — the influence boosting model and Monte Carlo
+  simulation,
+* :mod:`repro.im` — the IMM influence-maximization substrate (RR-sets),
+* :mod:`repro.core` — PRR-graphs, PRR-Boost and PRR-Boost-LB,
+* :mod:`repro.trees` — exact computation, Greedy-Boost and DP-Boost on
+  bidirected trees,
+* :mod:`repro.baselines` — the heuristic baselines of Section VII,
+* :mod:`repro.datasets` — synthetic stand-ins for the evaluation networks,
+* :mod:`repro.experiments` — harnesses reproducing every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import load_dataset, imm, prr_boost, estimate_boost
+
+    rng = np.random.default_rng(1)
+    graph = load_dataset("digg-like")
+    seeds = imm(graph, 20, rng).chosen
+    result = prr_boost(graph, seeds, k=50, rng=rng)
+    print(estimate_boost(graph, seeds, result.boost_set, rng, runs=2000))
+"""
+
+from .baselines import (
+    high_degree_global,
+    high_degree_local,
+    more_seeds_baseline,
+    pagerank_baseline,
+)
+from .core import (
+    BoostResult,
+    PRRGraph,
+    collection_stats,
+    derive_params,
+    estimate_delta,
+    estimate_mu,
+    prr_boost,
+    prr_boost_lb,
+    sample_critical_set,
+    sample_prr_graph,
+)
+from .datasets import load_dataset
+from .diffusion import (
+    BoostingModel,
+    estimate_boost,
+    estimate_sigma,
+    exact_boost,
+    exact_sigma,
+    simulate_spread,
+)
+from .graphs import DiGraph, GraphBuilder
+from .im import imm, random_rr_set
+from .trees import BidirectedTree, dp_boost, greedy_boost
+from .trees import delta as tree_delta
+from .trees import sigma as tree_sigma
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "BoostingModel",
+    "simulate_spread",
+    "estimate_sigma",
+    "estimate_boost",
+    "exact_sigma",
+    "exact_boost",
+    "imm",
+    "random_rr_set",
+    "PRRGraph",
+    "sample_prr_graph",
+    "sample_critical_set",
+    "prr_boost",
+    "prr_boost_lb",
+    "BoostResult",
+    "estimate_delta",
+    "estimate_mu",
+    "collection_stats",
+    "derive_params",
+    "BidirectedTree",
+    "greedy_boost",
+    "dp_boost",
+    "tree_sigma",
+    "tree_delta",
+    "high_degree_global",
+    "high_degree_local",
+    "pagerank_baseline",
+    "more_seeds_baseline",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Heuristic baselines the paper compares against (Section VII)."""
+
+from .degree import high_degree_global, high_degree_local, weighted_degree_variants
+from .moreseeds import more_seeds_baseline
+from .pagerank import pagerank_baseline, pagerank_scores
+
+__all__ = [
+    "high_degree_global",
+    "high_degree_local",
+    "weighted_degree_variants",
+    "pagerank_baseline",
+    "pagerank_scores",
+    "more_seeds_baseline",
+]

@@ -1,0 +1,70 @@
+"""PageRank boosting baseline (Section VII).
+
+The paper adapts the influence-maximization PageRank baseline of Chen et
+al.: when ``u`` influences ``v``, node ``v`` "votes" for ``u``, so the
+random walk moves *against* influence edges.  The transition probability on
+edge ``e_uv`` is ``p_vu / ρ(u)`` where ``ρ(u)`` sums the influence
+probabilities on ``u``'s incoming edges; restart probability 0.15;
+iteration stops when consecutive L1 difference drops below ``1e-4``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+
+__all__ = ["pagerank_scores", "pagerank_baseline"]
+
+
+def pagerank_scores(
+    graph: DiGraph,
+    restart: float = 0.15,
+    tol: float = 1e-4,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Influence-weighted PageRank vector (paper's baseline configuration)."""
+    n = graph.n
+    src, dst, p, _pp = graph.edge_arrays()
+    # rho[u] = total incoming influence probability of u.
+    rho = np.zeros(n)
+    np.add.at(rho, dst, p)
+
+    # Walk transition: from v along reversed influence edge (u -> v carries
+    # weight p_uv / rho... careful: the paper writes the transition on edge
+    # e_uv as p_vu / rho(u); equivalently mass flows from u to each of its
+    # in-influencers proportionally to their influence on u.
+    scores = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        contrib = np.zeros(n)
+        # Node u distributes its score to every in-neighbor v proportionally
+        # to p_vu / rho(u).
+        safe_rho = np.where(rho > 0, rho, 1.0)
+        weights = p / safe_rho[dst]
+        np.add.at(contrib, src, scores[dst] * weights)
+        # Dangling mass (nodes with rho == 0) is spread uniformly.
+        dangling = scores[rho == 0].sum()
+        new_scores = restart / n + (1.0 - restart) * (contrib + dangling / n)
+        if np.abs(new_scores - scores).sum() < tol:
+            scores = new_scores
+            break
+        scores = new_scores
+    return scores
+
+
+def pagerank_baseline(graph: DiGraph, seeds: Iterable[int], k: int) -> List[int]:
+    """Top-``k`` non-seed nodes by influence-weighted PageRank."""
+    seed_set = set(seeds)
+    scores = pagerank_scores(graph)
+    order = np.argsort(-scores, kind="stable")
+    result: List[int] = []
+    for v in order:
+        v = int(v)
+        if v in seed_set:
+            continue
+        result.append(v)
+        if len(result) == k:
+            break
+    return result

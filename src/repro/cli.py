@@ -1,0 +1,172 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro.cli datasets
+    python -m repro.cli boost    --dataset digg-like --k 50 --seeds 20
+    python -m repro.cli compare  --dataset digg-like --k 25
+    python -m repro.cli tree     --nodes 255 --k 8 --epsilon 0.5
+    python -m repro.cli budget   --dataset flixster-like --cost-ratio 20
+
+Every subcommand accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import prr_boost, prr_boost_lb
+from .datasets import DATASETS, dataset_names, load_dataset
+from .diffusion import estimate_boost, estimate_sigma
+from .experiments import (
+    budget_allocation_experiment,
+    compare_algorithms,
+    format_table,
+    make_tree_workload,
+    make_workload,
+    tree_comparison,
+)
+from .im import imm
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.n, f"{spec.mean_probability:.3f}", spec.description]
+        for spec in DATASETS.values()
+    ]
+    print(format_table(["name", "nodes", "avg p", "description"], rows))
+    return 0
+
+
+def _cmd_boost(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = load_dataset(args.dataset, seed=args.seed)
+    seeds = imm(graph, args.seeds, rng, max_samples=args.max_samples).chosen
+    algo = prr_boost_lb if args.lb else prr_boost
+    result = algo(graph, seeds, args.k, rng, max_samples=args.max_samples)
+    boost = estimate_boost(graph, seeds, result.boost_set, rng, runs=args.mc_runs)
+    sigma0 = estimate_sigma(graph, seeds, set(), rng, runs=args.mc_runs)
+    print(f"dataset        : {args.dataset} (n={graph.n}, m={graph.m})")
+    print(f"seeds (IMM)    : {len(seeds)}")
+    print(f"algorithm      : {'PRR-Boost-LB' if args.lb else 'PRR-Boost'}")
+    print(f"boost set      : {result.boost_set}")
+    print(f"spread w/o B   : {sigma0:.1f}")
+    print(f"boost (MC)     : {boost:.1f}  (+{100 * boost / sigma0:.1f}%)")
+    print(f"selection time : {result.elapsed_seconds:.2f}s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = load_dataset(args.dataset, seed=args.seed)
+    workload = make_workload(
+        args.dataset, graph, args.seeds, args.seed_mode, rng, mc_runs=args.mc_runs
+    )
+    runs = compare_algorithms(
+        workload, args.k, rng, mc_runs=args.mc_runs, max_samples=args.max_samples
+    )
+    runs.sort(key=lambda r: -r.boost)
+    rows = [
+        [r.algorithm, f"{r.boost:.1f}", f"{r.seconds:.2f}s"] for r in runs
+    ]
+    print(format_table(["algorithm", "boost", "select time"], rows))
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    tree = make_tree_workload(args.nodes, args.seeds, rng)
+    runs = tree_comparison(tree, [args.k], [args.epsilon])
+    rows = [
+        [r.algorithm, f"{r.boost:.4f}", f"{r.seconds:.2f}s"] for r in runs
+    ]
+    print(format_table(["algorithm", "boost (exact)", "time"], rows))
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = load_dataset(args.dataset, seed=args.seed)
+    fractions = [0.2, 0.4, 0.6, 0.8, 1.0]
+    points = budget_allocation_experiment(
+        graph,
+        max_seeds=args.max_seeds,
+        cost_ratio=args.cost_ratio,
+        seed_fractions=fractions,
+        rng=rng,
+        mc_runs=args.mc_runs,
+        max_samples=args.max_samples,
+    )
+    rows = [
+        [f"{p.seed_fraction:.0%}", p.num_seeds, p.num_boosts, f"{p.spread:.1f}"]
+        for p in points
+    ]
+    print(format_table(["seed budget", "#seeds", "#boosts", "spread"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-boosting reproduction (Lin, Chen, Lui; ICDE 2017)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the synthetic dataset stand-ins")
+
+    p_boost = sub.add_parser("boost", help="run PRR-Boost on a dataset")
+    p_boost.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_boost.add_argument("--k", type=int, default=50)
+    p_boost.add_argument("--seeds", type=int, default=20)
+    p_boost.add_argument("--lb", action="store_true", help="use PRR-Boost-LB")
+    p_boost.add_argument("--max-samples", type=int, default=10_000)
+    p_boost.add_argument("--mc-runs", type=int, default=1000)
+
+    p_cmp = sub.add_parser("compare", help="compare all six algorithms")
+    p_cmp.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_cmp.add_argument("--k", type=int, default=25)
+    p_cmp.add_argument("--seeds", type=int, default=15)
+    p_cmp.add_argument("--seed-mode", choices=("influential", "random"),
+                       default="influential")
+    p_cmp.add_argument("--max-samples", type=int, default=4000)
+    p_cmp.add_argument("--mc-runs", type=int, default=500)
+
+    p_tree = sub.add_parser("tree", help="Greedy-Boost vs DP-Boost on a tree")
+    p_tree.add_argument("--nodes", type=int, default=255)
+    p_tree.add_argument("--k", type=int, default=8)
+    p_tree.add_argument("--seeds", type=int, default=12)
+    p_tree.add_argument("--epsilon", type=float, default=0.5)
+
+    p_budget = sub.add_parser("budget", help="seeding/boosting budget sweep")
+    p_budget.add_argument("--dataset", choices=dataset_names(),
+                          default="flixster-like")
+    p_budget.add_argument("--max-seeds", type=int, default=20)
+    p_budget.add_argument("--cost-ratio", type=int, default=20)
+    p_budget.add_argument("--max-samples", type=int, default=4000)
+    p_budget.add_argument("--mc-runs", type=int, default=500)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "boost": _cmd_boost,
+    "compare": _cmd_compare,
+    "tree": _cmd_tree,
+    "budget": _cmd_budget,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's core contribution: PRR-graphs and the boosting algorithms."""
+
+from .boost import BoostResult, CriticalSetSampler, PRRSampler, prr_boost, prr_boost_lb
+from .mc_greedy import mc_greedy_boost
+from .parallel import parallel_critical_sets, parallel_prr_collection
+from .estimator import (
+    CollectionStats,
+    collection_stats,
+    estimate_delta,
+    estimate_mu,
+    greedy_delta_selection,
+)
+from .params import SandwichParams, derive_params
+from .prr import (
+    ACTIVATED,
+    BOOSTABLE,
+    HOPELESS,
+    EdgeState,
+    PRRGraph,
+    sample_critical_set,
+    sample_prr_graph,
+)
+
+__all__ = [
+    "PRRGraph",
+    "EdgeState",
+    "sample_prr_graph",
+    "sample_critical_set",
+    "ACTIVATED",
+    "HOPELESS",
+    "BOOSTABLE",
+    "estimate_delta",
+    "estimate_mu",
+    "greedy_delta_selection",
+    "CollectionStats",
+    "collection_stats",
+    "prr_boost",
+    "prr_boost_lb",
+    "BoostResult",
+    "PRRSampler",
+    "CriticalSetSampler",
+    "SandwichParams",
+    "derive_params",
+    "mc_greedy_boost",
+    "parallel_prr_collection",
+    "parallel_critical_sets",
+]

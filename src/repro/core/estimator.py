@@ -1,0 +1,182 @@
+"""Estimation of the boost of influence over collections of PRR-graphs.
+
+Implements the two estimators of Section IV
+
+* ``Δ̂_R(B) = (n/|R|) · Σ_R f_R(B)``   (Equation 2),
+* ``μ̂_R(B) = (n/|R|) · Σ_R f⁻_R(B)``  (submodular lower bound),
+
+and the greedy node-selection over ``Δ̂`` used by Line 4 of Algorithm 2.
+Non-boostable PRR-graphs contribute 0 to both sums but *do* count in ``|R|``
+— the estimators divide by the total number of sampled roots.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, List, Sequence, Set, Tuple
+
+from .prr import PRRGraph
+
+__all__ = [
+    "estimate_delta",
+    "estimate_mu",
+    "greedy_delta_selection",
+    "CollectionStats",
+    "collection_stats",
+]
+
+
+def estimate_delta(
+    prr_graphs: Sequence[PRRGraph], n: int, boost: AbstractSet[int]
+) -> float:
+    """``Δ̂_R(B)`` — unbiased estimate of the boost of influence ``Δ_S(B)``."""
+    if not prr_graphs:
+        return 0.0
+    covered = sum(1 for g in prr_graphs if g.f(boost))
+    return n * covered / len(prr_graphs)
+
+
+def estimate_mu(
+    prr_graphs: Sequence[PRRGraph], n: int, boost: AbstractSet[int]
+) -> float:
+    """``μ̂_R(B)`` — estimate of the submodular lower bound ``μ(B)``."""
+    if not prr_graphs:
+        return 0.0
+    covered = sum(1 for g in prr_graphs if g.f_lower(boost))
+    return n * covered / len(prr_graphs)
+
+
+FrozenOptions = frozenset
+
+
+def greedy_delta_selection(
+    prr_graphs: Sequence[PRRGraph],
+    n: int,
+    k: int,
+    candidates: Set[int] | None = None,
+) -> Tuple[List[int], float]:
+    """Greedily build ``B`` maximizing ``Δ̂_R(B)`` (NodeSelection, Line 4).
+
+    Each round recomputes, for every still-inactive boostable PRR-graph, the
+    set ``A_R(B)`` of single nodes whose addition would activate the root
+    (two linear traversals per graph — the incremental update the paper's
+    complexity analysis relies on), tallies the counts, and takes the argmax.
+
+    Returns the chosen boost set and its ``Δ̂`` estimate.
+    """
+    if k <= 0 or not prr_graphs:
+        return [], 0.0
+    boost: set[int] = set()
+    active = [False] * len(prr_graphs)
+    activated_count = 0
+    # Cache each graph's current activation options.
+    options: List[FrozenOptions] = [None] * len(prr_graphs)  # type: ignore[assignment]
+
+    for _round in range(k):
+        counts: dict[int, int] = {}
+        for idx, g in enumerate(prr_graphs):
+            if active[idx] or not g.is_boostable:
+                continue
+            acts = g.activating_nodes(boost)
+            options[idx] = acts
+            for v in acts:
+                if candidates is None or v in candidates:
+                    counts[v] = counts.get(v, 0) + 1
+        if not counts:
+            # Supermodular stall: no single node finishes any root.  Expand
+            # reachability instead — boost the node that unlocks the most
+            # frontier edges, so multi-step chains become completable.
+            for idx, g in enumerate(prr_graphs):
+                if active[idx] or not g.is_boostable:
+                    continue
+                for v in g.frontier_nodes(boost):
+                    if candidates is None or v in candidates:
+                        counts[v] = counts.get(v, 0) + 1
+            options = [None] * len(prr_graphs)  # type: ignore[assignment]
+        if not counts:
+            break
+        best = max(counts.items(), key=lambda item: (item[1], -item[0]))[0]
+        boost.add(best)
+        for idx, g in enumerate(prr_graphs):
+            if active[idx] or not g.is_boostable:
+                continue
+            if options[idx] is not None and best in options[idx]:
+                active[idx] = True
+                activated_count += 1
+    estimate = n * activated_count / len(prr_graphs)
+    return sorted(boost), estimate
+
+
+class CollectionStats:
+    """Aggregate statistics of a PRR-graph collection (Tables 2 and 3)."""
+
+    __slots__ = (
+        "total",
+        "activated",
+        "hopeless",
+        "boostable",
+        "uncompressed_edges",
+        "compressed_edges",
+        "critical_nodes",
+        "stored_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.activated = 0
+        self.hopeless = 0
+        self.boostable = 0
+        self.uncompressed_edges = 0
+        self.compressed_edges = 0
+        self.critical_nodes = 0
+        self.stored_bytes = 0
+
+    def add(self, graph: PRRGraph) -> None:
+        self.total += 1
+        if graph.status == "activated":
+            self.activated += 1
+        elif graph.status == "hopeless":
+            self.hopeless += 1
+        else:
+            self.boostable += 1
+            self.uncompressed_edges += graph.uncompressed_edges
+            self.compressed_edges += graph.num_edges
+            self.critical_nodes += len(graph.critical)
+            self.stored_bytes += graph.estimated_bytes
+
+    @property
+    def avg_uncompressed_edges(self) -> float:
+        """Mean edges explored per boostable PRR-graph before compression."""
+        return self.uncompressed_edges / self.boostable if self.boostable else 0.0
+
+    @property
+    def avg_compressed_edges(self) -> float:
+        """Mean edges per boostable PRR-graph after compression."""
+        return self.compressed_edges / self.boostable if self.boostable else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed-to-compressed edge ratio (the Table 2/3 headline)."""
+        if self.compressed_edges == 0:
+            return 0.0
+        return self.uncompressed_edges / self.compressed_edges
+
+    @property
+    def avg_critical_nodes(self) -> float:
+        return self.critical_nodes / self.boostable if self.boostable else 0.0
+
+    @property
+    def memory_mb(self) -> float:
+        """Estimated megabytes holding all boostable PRR-graphs.
+
+        The analogue of the parenthesised numbers in the paper's Tables 2/3
+        (additional memory for boostable PRR-graphs).
+        """
+        return self.stored_bytes / (1024.0 * 1024.0)
+
+
+def collection_stats(prr_graphs: Iterable[PRRGraph]) -> CollectionStats:
+    """Compute :class:`CollectionStats` over ``prr_graphs``."""
+    stats = CollectionStats()
+    for g in prr_graphs:
+        stats.add(g)
+    return stats

@@ -1,0 +1,120 @@
+"""Parallel PRR-graph generation.
+
+The paper parallelizes PRR-graph generation with OpenMP over eight
+threads.  The Python analogue uses a process pool (fork start method):
+each worker owns a copy of the graph and an independently-seeded
+generator, and streams back sampled PRR-graphs (or critical sets).
+
+Because PRR-graphs are independent samples, the only coordination needed
+is seeding: workers derive child seeds from a ``SeedSequence`` spawn, so a
+parallel run is reproducible given the master seed (though it yields a
+*different* — equally valid — sample than a sequential run).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from .prr import PRRGraph, sample_critical_set, sample_prr_graph
+
+__all__ = ["parallel_prr_collection", "parallel_critical_sets"]
+
+# Globals initialised once per worker process (fork-friendly pattern).
+_worker_graph: Optional[DiGraph] = None
+_worker_seeds: Optional[frozenset] = None
+_worker_k: int = 0
+
+
+def _init_worker(graph: DiGraph, seeds: frozenset, k: int) -> None:
+    global _worker_graph, _worker_seeds, _worker_k
+    _worker_graph = graph
+    _worker_seeds = seeds
+    _worker_k = k
+
+
+def _worker_sample_graphs(args: Tuple[int, int]) -> List[PRRGraph]:
+    seed, count = args
+    rng = np.random.default_rng(seed)
+    return [
+        sample_prr_graph(_worker_graph, _worker_seeds, _worker_k, rng)
+        for _ in range(count)
+    ]
+
+
+def _worker_sample_critical(args: Tuple[int, int]) -> List[FrozenSet[int]]:
+    seed, count = args
+    rng = np.random.default_rng(seed)
+    results = []
+    for _ in range(count):
+        _status, critical, _explored = sample_critical_set(
+            _worker_graph, _worker_seeds, rng
+        )
+        results.append(critical)
+    return results
+
+
+def _chunks(total: int, workers: int) -> List[int]:
+    base, extra = divmod(total, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def parallel_prr_collection(
+    graph: DiGraph,
+    seeds,
+    k: int,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> List[PRRGraph]:
+    """Sample ``count`` PRR-graphs across a process pool.
+
+    Falls back to sequential generation when ``workers`` resolves to 1 or
+    the platform lacks fork (keeps tests portable).
+    """
+    seed_set = frozenset(int(s) for s in seeds)
+    workers = workers or min(os.cpu_count() or 1, 8)
+    if workers <= 1 or count < 64:
+        rng = np.random.default_rng(master_seed)
+        return [sample_prr_graph(graph, seed_set, k, rng) for _ in range(count)]
+    seq = np.random.SeedSequence(master_seed)
+    child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
+    jobs = list(zip(child_seeds, _chunks(count, workers)))
+    ctx = mp.get_context("fork")
+    with ctx.Pool(
+        workers, initializer=_init_worker, initargs=(graph, seed_set, k)
+    ) as pool:
+        parts = pool.map(_worker_sample_graphs, jobs)
+    return [prr for part in parts for prr in part]
+
+
+def parallel_critical_sets(
+    graph: DiGraph,
+    seeds,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> List[FrozenSet[int]]:
+    """Sample ``count`` critical sets (the PRR-Boost-LB payload) in parallel."""
+    seed_set = frozenset(int(s) for s in seeds)
+    workers = workers or min(os.cpu_count() or 1, 8)
+    if workers <= 1 or count < 64:
+        rng = np.random.default_rng(master_seed)
+        out = []
+        for _ in range(count):
+            _status, critical, _explored = sample_critical_set(graph, seed_set, rng)
+            out.append(critical)
+        return out
+    seq = np.random.SeedSequence(master_seed)
+    child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
+    jobs = list(zip(child_seeds, _chunks(count, workers)))
+    ctx = mp.get_context("fork")
+    with ctx.Pool(
+        workers, initializer=_init_worker, initargs=(graph, seed_set, 1)
+    ) as pool:
+        parts = pool.map(_worker_sample_critical, jobs)
+    return [c for part in parts for c in part]

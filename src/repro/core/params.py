@@ -1,0 +1,92 @@
+"""Parameter derivations for the PRR-Boost analysis (Lemma 3 / Theorem 2).
+
+These formulas fix the sample-size schedule that gives PRR-Boost its
+``(1 − 1/e − ε) · μ(B*)/Δ_S(B*)`` guarantee with probability ``1 − n^{-ℓ}``.
+They are exposed separately so tests can check the algebra and so users can
+inspect how many samples a configuration implies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..im.imm import log_binomial
+
+__all__ = ["SandwichParams", "derive_params"]
+
+
+@dataclass(frozen=True)
+class SandwichParams:
+    """Derived constants of Algorithm 2.
+
+    Attributes
+    ----------
+    ell_prime:
+        ``ℓ' = ℓ · (1 + log 3 / log n)`` — the failure-probability inflation
+        that makes the three union-bounded events jointly fail with
+        probability at most ``n^{-ℓ}``.
+    alpha, beta:
+        The two terms of Lemma 3.
+    epsilon1:
+        ``ε₁ = ε·α / ((1 − 1/e)·α + β)`` — the share of the error budget
+        allotted to the node-selection phase.
+    theta_coefficient:
+        The numerator of Inequality (5); dividing by ``OPT_μ`` gives the
+        required number of PRR-graphs.
+    """
+
+    epsilon: float
+    ell: float
+    n: int
+    k: int
+    ell_prime: float
+    alpha: float
+    beta: float
+    epsilon1: float
+    theta_coefficient: float
+
+    def required_samples(self, opt_mu_lower_bound: float) -> int:
+        """Number of PRR-graphs required given a lower bound on ``OPT_μ``."""
+        if opt_mu_lower_bound <= 0:
+            raise ValueError("opt_mu_lower_bound must be positive")
+        return int(math.ceil(self.theta_coefficient / opt_mu_lower_bound))
+
+
+def derive_params(n: int, k: int, epsilon: float = 0.5, ell: float = 1.0) -> SandwichParams:
+    """Compute the Algorithm 2 constants for a problem size.
+
+    Mirrors Lines 1-2 of Algorithm 2 and Lemma 3 exactly:
+
+    * ``α = sqrt(ℓ'·log n + log 2)``
+    * ``β = sqrt((1 − 1/e)(log C(n,k) + ℓ'·log n + log 2))``
+    * ``θ ≥ (2 − 2/e)·n·log(C(n,k)·2·n^{ℓ'}) / ((ε − (1−1/e)ε₁)² · OPT_μ)``
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if not 1 <= k <= n:
+        raise ValueError("k must lie in [1, n]")
+    log_n = math.log(n)
+    ell_prime = ell * (1.0 + math.log(3.0) / log_n)
+    lbk = log_binomial(n, k)
+    alpha = math.sqrt(ell_prime * log_n + math.log(2.0))
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    beta = math.sqrt(one_minus_inv_e * (lbk + ell_prime * log_n + math.log(2.0)))
+    epsilon1 = epsilon * alpha / (one_minus_inv_e * alpha + beta)
+    denom = (epsilon - one_minus_inv_e * epsilon1) ** 2
+    theta_coefficient = (
+        (2.0 - 2.0 / math.e) * n * (lbk + math.log(2.0) + ell_prime * log_n) / denom
+    )
+    return SandwichParams(
+        epsilon=epsilon,
+        ell=ell,
+        n=n,
+        k=k,
+        ell_prime=ell_prime,
+        alpha=alpha,
+        beta=beta,
+        epsilon1=epsilon1,
+        theta_coefficient=theta_coefficient,
+    )

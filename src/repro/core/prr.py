@@ -1,0 +1,591 @@
+"""Potentially Reverse Reachable (PRR) graphs — Definition 3 / Algorithm 1.
+
+A PRR-graph for a root ``r`` is sampled by fixing every edge of ``G`` to one
+of three states:
+
+* **live** with probability ``p``,
+* **live-upon-boost** with probability ``p' − p``,
+* **blocked** with probability ``1 − p'``,
+
+and keeping the minimal subgraph containing all non-blocked paths from seeds
+to ``r``.  The estimator identities are (Lemma 1 / Section IV-C):
+
+* ``Δ_S(B) = n · E[f_R(B)]`` where ``f_R(B) = 1`` iff ``r`` is inactive
+  without boosting but active upon boosting ``B``;
+* ``μ(B) = n · E[f⁻_R(B)] ≤ Δ_S(B)`` where ``f⁻_R(B) = I(B ∩ C_R ≠ ∅)``
+  and ``C_R = {v : f_R({v}) = 1}`` is the *critical node set* — a submodular
+  lower bound.
+
+This module implements
+
+* :func:`sample_prr_graph` — phase I backward 0–1 BFS with the distance-
+  ``> k`` pruning, phase II compression (super-seed merge, dead-node removal,
+  live shortcut edges to the root),
+* :func:`sample_critical_set` — the cheaper generation used by PRR-Boost-LB
+  which only materializes ``C_R`` (backward exploration capped at distance 1),
+* :class:`PRRGraph` — the compressed graph with ``f_R`` evaluation and
+  incremental "which single node would activate the root" queries used by the
+  greedy selection over ``Δ̂``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+
+__all__ = [
+    "EdgeState",
+    "PRRGraph",
+    "sample_prr_graph",
+    "sample_critical_set",
+    "ACTIVATED",
+    "HOPELESS",
+    "BOOSTABLE",
+]
+
+
+class EdgeState:
+    """Edge states of the deterministic copy ``g`` (Definition 3)."""
+
+    LIVE = 0
+    BOOST = 1  # live-upon-boost
+    BLOCKED = 2
+
+
+ACTIVATED = "activated"
+HOPELESS = "hopeless"
+BOOSTABLE = "boostable"
+
+_INF = float("inf")
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_draw(world_seed: int, u: int, v: int) -> float:
+    """Deterministic uniform in [0, 1) from (world, edge) via splitmix64.
+
+    Lets callers fix an entire world independent of traversal order, so the
+    same sampled world can be re-examined under different pruning budgets
+    (the paired design the pruning ablation needs).
+    """
+    x = (
+        world_seed * 0x9E3779B97F4A7C15
+        + (u + 1) * 0xBF58476D1CE4E5B9
+        + (v + 1) * 0x94D049BB133111EB
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 2.0**64
+
+
+def _sample_edge_state(
+    cache: Dict[Tuple[int, int], int],
+    u: int,
+    v: int,
+    p: float,
+    pp: float,
+    rng: np.random.Generator,
+    world_seed: Optional[int] = None,
+) -> int:
+    """State of edge ``u -> v``, sampled once and cached.
+
+    With ``world_seed`` set, the draw is a hash of (world, edge) instead of
+    the next RNG variate — same world regardless of traversal order.
+    """
+    key = (u, v)
+    state = cache.get(key)
+    if state is None:
+        draw = rng.random() if world_seed is None else _hash_draw(world_seed, u, v)
+        if draw < p:
+            state = EdgeState.LIVE
+        elif draw < pp:
+            state = EdgeState.BOOST
+        else:
+            state = EdgeState.BLOCKED
+        cache[key] = state
+    return state
+
+
+@dataclass
+class PRRGraph:
+    """A sampled (and, when boostable, compressed) PRR-graph.
+
+    Local node ids: ``0`` is the merged super-seed; the root is
+    ``root_local``.  ``node_globals[local]`` maps back to graph node ids
+    (``-1`` for the super-seed).  Edges are stored as parallel arrays; an
+    edge is traversable for boost set ``B`` when it is live, or when it is
+    live-upon-boost and its head's global id is in ``B``.
+    """
+
+    root: int
+    status: str
+    node_globals: List[int] = field(default_factory=list)
+    edge_src: List[int] = field(default_factory=list)
+    edge_dst: List[int] = field(default_factory=list)
+    edge_boost: List[bool] = field(default_factory=list)
+    root_local: int = -1
+    critical: FrozenSet[int] = frozenset()
+    uncompressed_nodes: int = 0
+    uncompressed_edges: int = 0
+    _fwd: Optional[List[List[Tuple[int, bool]]]] = field(default=None, repr=False)
+    _bwd: Optional[List[List[Tuple[int, bool]]]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_boostable(self) -> bool:
+        return self.status == BOOSTABLE
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Approximate storage footprint of the compressed graph.
+
+        Counts the edge arrays (two ints and a flag per edge), the
+        local-to-global map, and the critical set — the quantities behind
+        the paper's Table 2/3 memory columns.
+        """
+        return (
+            len(self.edge_src) * 17  # src + dst (8 each) + boost flag
+            + len(self.node_globals) * 8
+            + len(self.critical) * 8
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_globals)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+    # ------------------------------------------------------------------
+    def _adjacency(self) -> Tuple[List[List[Tuple[int, bool]]], List[List[Tuple[int, bool]]]]:
+        if self._fwd is None:
+            fwd: List[List[Tuple[int, bool]]] = [[] for _ in self.node_globals]
+            bwd: List[List[Tuple[int, bool]]] = [[] for _ in self.node_globals]
+            for s, d, b in zip(self.edge_src, self.edge_dst, self.edge_boost):
+                fwd[s].append((d, b))
+                bwd[d].append((s, b))
+            self._fwd = fwd
+            self._bwd = bwd
+        return self._fwd, self._bwd
+
+    def _forward_reachable(self, boost: AbstractSet[int]) -> List[bool]:
+        """Nodes reachable from the super-seed via traversable edges."""
+        fwd, _ = self._adjacency()
+        reached = [False] * self.num_nodes
+        reached[0] = True
+        stack = [0]
+        globals_ = self.node_globals
+        while stack:
+            u = stack.pop()
+            for v, is_boost in fwd[u]:
+                if reached[v]:
+                    continue
+                if is_boost and globals_[v] not in boost:
+                    continue
+                reached[v] = True
+                stack.append(v)
+        return reached
+
+    def _backward_reachable(self, boost: AbstractSet[int]) -> List[bool]:
+        """Nodes from which the root is reachable via traversable edges."""
+        _, bwd = self._adjacency()
+        reached = [False] * self.num_nodes
+        reached[self.root_local] = True
+        stack = [self.root_local]
+        globals_ = self.node_globals
+        while stack:
+            v = stack.pop()
+            for u, is_boost in bwd[v]:
+                if reached[u]:
+                    continue
+                # The edge u -> v is traversable when live, or when its head
+                # v is boosted.
+                if is_boost and globals_[v] not in boost:
+                    continue
+                reached[u] = True
+                stack.append(u)
+        return reached
+
+    def f(self, boost: AbstractSet[int]) -> bool:
+        """Evaluate ``f_R(B)``: root activated upon boosting ``B``.
+
+        Always ``False`` for non-boostable graphs (activated roots need no
+        boost; hopeless roots cannot be activated with ``≤ k`` boosts).
+        """
+        if not self.is_boostable:
+            return False
+        return self._forward_reachable(boost)[self.root_local]
+
+    def f_lower(self, boost: AbstractSet[int]) -> bool:
+        """Evaluate ``f⁻_R(B) = I(B ∩ C_R ≠ ∅)`` (the submodular proxy)."""
+        if not self.is_boostable:
+            return False
+        return not self.critical.isdisjoint(boost)
+
+    def frontier_nodes(self, boost: AbstractSet[int]) -> FrozenSet[int]:
+        """Heads of boost edges leaving the super-seed's reachable region.
+
+        Boosting any of them strictly enlarges the region even when no
+        single node activates the root outright — the tie-break the greedy
+        ``Δ̂`` selection uses to make progress on supermodular chains, where
+        every single-node marginal gain is zero.
+        """
+        if not self.is_boostable:
+            return frozenset()
+        forward = self._forward_reachable(boost)
+        if forward[self.root_local]:
+            return frozenset()
+        globals_ = self.node_globals
+        result: set[int] = set()
+        for s, d, is_boost in zip(self.edge_src, self.edge_dst, self.edge_boost):
+            if is_boost and forward[s] and not forward[d] and globals_[d] not in boost:
+                result.add(globals_[d])
+        return frozenset(result)
+
+    def activating_nodes(self, boost: AbstractSet[int]) -> FrozenSet[int]:
+        """``A_R(B) = {v : f_R(B ∪ {v}) = 1}`` — single-node completions.
+
+        Computed with two linear traversals: let ``Z`` be the super-seed's
+        forward-traversable region and ``Y`` the root's backward region;
+        adding ``v`` helps exactly when some live-upon-boost edge crosses
+        from ``Z`` into ``v ∈ Y`` (a simple path enters ``v`` once, so only
+        one of ``v``'s boost in-edges can be on it).
+
+        Returns an empty set when the root is already activated by ``B``.
+        ``A_R(∅)`` is exactly the critical set ``C_R``.
+        """
+        if not self.is_boostable:
+            return frozenset()
+        forward = self._forward_reachable(boost)
+        if forward[self.root_local]:
+            return frozenset()
+        backward = self._backward_reachable(boost)
+        globals_ = self.node_globals
+        result: set[int] = set()
+        for s, d, is_boost in zip(self.edge_src, self.edge_dst, self.edge_boost):
+            if is_boost and forward[s] and backward[d] and globals_[d] not in boost:
+                result.add(globals_[d])
+        return frozenset(result)
+
+
+def sample_prr_graph(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    k: int,
+    rng: np.random.Generator,
+    root: int | None = None,
+    world_seed: int | None = None,
+) -> PRRGraph:
+    """Sample one PRR-graph (Algorithm 1 + Phase-II compression).
+
+    Parameters mirror the paper: ``k`` drives the distance pruning (paths
+    needing more than ``k`` live-upon-boost edges can never become live).
+    ``world_seed`` (optional) fixes the entire deterministic world by
+    hashing, so repeated calls with the same seed and root see identical
+    edge states regardless of ``k`` — used by paired ablations.
+    """
+    r = int(rng.integers(graph.n)) if root is None else int(root)
+    if r in seeds:
+        return PRRGraph(root=r, status=ACTIVATED)
+
+    # ------------------------------------------------------------------
+    # Phase I: backward 0-1 BFS from r with distance pruning (Lines 1-19).
+    # ------------------------------------------------------------------
+    state_cache: Dict[Tuple[int, int], int] = {}
+    dr: Dict[int, float] = {r: 0}
+    queue: deque[Tuple[int, int]] = deque([(r, 0)])
+    processed: set[int] = set()
+    # Collected non-blocked edges (v, u, is_boost) with d_vr <= k.
+    edges: List[Tuple[int, int, bool]] = []
+    seeds_found: set[int] = set()
+
+    while queue:
+        u, dur = queue.popleft()
+        if dur > dr.get(u, _INF) or u in processed:
+            continue
+        processed.add(u)
+        sources = graph.in_neighbors(u)
+        probs = graph.in_probs(u)
+        boosted = graph.in_boosted_probs(u)
+        for i in range(sources.size):
+            v = int(sources[i])
+            state = _sample_edge_state(
+                state_cache, v, u, probs[i], boosted[i], rng, world_seed
+            )
+            if state == EdgeState.BLOCKED:
+                continue
+            dvr = dur + (1 if state == EdgeState.BOOST else 0)
+            if dvr > k:  # pruning (Line 11)
+                continue
+            edges.append((v, u, state == EdgeState.BOOST))
+            if v in seeds:
+                if dvr == 0:
+                    return PRRGraph(root=r, status=ACTIVATED)
+                seeds_found.add(v)
+                # Paths through a seed are dominated by the suffix starting
+                # at that seed, so its in-edges need not be explored.
+                dr[v] = min(dr.get(v, _INF), dvr)
+                continue
+            if dvr < dr.get(v, _INF):
+                dr[v] = dvr
+                if dvr == dur:
+                    queue.appendleft((v, dvr))
+                else:
+                    queue.append((v, dvr))
+
+    if not seeds_found:
+        return PRRGraph(
+            root=r,
+            status=HOPELESS,
+            uncompressed_nodes=len(dr),
+            uncompressed_edges=len(edges),
+        )
+
+    return _compress(r, seeds_found, edges, k, len(dr))
+
+
+def _zero_one_bfs(
+    starts: List[int],
+    adjacency: Dict[int, List[Tuple[int, bool]]],
+    excluded: AbstractSet[int] = frozenset(),
+) -> Dict[int, int]:
+    """Generic 0-1 BFS; edge weight is 1 for live-upon-boost edges.
+
+    ``excluded`` nodes are never entered (used to keep paths off the
+    super-seed when computing ``d'_r``).
+    """
+    dist: Dict[int, int] = {s: 0 for s in starts}
+    queue: deque[Tuple[int, int]] = deque((s, 0) for s in starts)
+    done: set[int] = set()
+    while queue:
+        u, du = queue.popleft()
+        if du > dist.get(u, _INF) or u in done:
+            continue
+        done.add(u)
+        for v, is_boost in adjacency.get(u, ()):
+            if v in excluded:
+                continue
+            dv = du + (1 if is_boost else 0)
+            if dv < dist.get(v, _INF):
+                dist[v] = dv
+                if is_boost:
+                    queue.append((v, dv))
+                else:
+                    queue.appendleft((v, dv))
+    return dist
+
+
+def _compress(
+    r: int,
+    seeds_found: set[int],
+    edges: List[Tuple[int, int, bool]],
+    k: int,
+    uncompressed_nodes: int,
+) -> PRRGraph:
+    """Phase II: merge the super-seed, prune, shortcut, and clean up."""
+    forward_adj: Dict[int, List[Tuple[int, bool]]] = {}
+    backward_adj: Dict[int, List[Tuple[int, bool]]] = {}
+    for v, u, is_boost in edges:
+        forward_adj.setdefault(v, []).append((u, is_boost))
+        backward_adj.setdefault(u, []).append((v, is_boost))
+
+    # dS: min #boost-edges from any seed (forward direction).
+    d_seed = _zero_one_bfs(sorted(seeds_found), forward_adj)
+    if d_seed.get(r) == 0:  # defensive; Phase I should have caught this
+        return PRRGraph(root=r, status=ACTIVATED)
+    merged = {v for v, d in d_seed.items() if d == 0}
+
+    # d'_r: min #boost-edges to the root avoiding the super-seed.
+    d_root = _zero_one_bfs([r], backward_adj, excluded=merged)
+
+    # Critical nodes: boost edge from the merged region into v, plus a live
+    # path from v to the root (both measured before the shortcut rewrite).
+    critical = {
+        u
+        for v, u, is_boost in edges
+        if is_boost and v in merged and u not in merged and d_root.get(u, _INF) == 0
+    }
+
+    # Nodes that can sit on a <=k-boost path from super-seed to root.
+    kept = {
+        v
+        for v in d_seed
+        if v not in merged
+        and d_root.get(v, _INF) + d_seed[v] <= k
+    }
+    if r not in kept:
+        # Root unreachable within budget after exact accounting.
+        return PRRGraph(
+            root=r,
+            status=HOPELESS,
+            uncompressed_nodes=uncompressed_nodes,
+            uncompressed_edges=len(edges),
+        )
+
+    # Rebuild edges over {super-seed} ∪ kept, applying the live-shortcut rule:
+    # a non-root node with a live path to the root keeps no out-edges and
+    # gains a direct live edge to the root.
+    shortcut = {v for v in kept if v != r and d_root.get(v, _INF) == 0}
+    new_edges: set[Tuple[int, int, bool]] = set()
+    for v, u, is_boost in edges:
+        src_merged = v in merged
+        if not src_merged and v not in kept:
+            continue
+        if u not in kept:
+            continue
+        if v == r:
+            continue  # out-edges of the root never help reach it
+        if not src_merged and v in shortcut:
+            continue  # replaced by the direct live edge below
+        src_key = -1 if src_merged else v
+        new_edges.add((src_key, u, is_boost))
+    for v in shortcut:
+        new_edges.add((v, r, False))
+
+    # Cleanup: keep only nodes on super-seed -> root paths.
+    fwd2: Dict[int, List[Tuple[int, bool]]] = {}
+    bwd2: Dict[int, List[Tuple[int, bool]]] = {}
+    for s, d, b in new_edges:
+        fwd2.setdefault(s, []).append((d, b))
+        bwd2.setdefault(d, []).append((s, b))
+
+    def _reach(start: int, adj: Dict[int, List[Tuple[int, bool]]]) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y, _b in adj.get(x, ()):
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return seen
+
+    from_super = _reach(-1, fwd2)
+    to_root = _reach(r, bwd2)
+    alive = from_super & to_root
+    if r not in alive or -1 not in alive:
+        return PRRGraph(
+            root=r,
+            status=HOPELESS,
+            uncompressed_nodes=uncompressed_nodes,
+            uncompressed_edges=len(edges),
+        )
+    final_edges = [
+        (s, d, b) for (s, d, b) in new_edges if s in alive and d in alive
+    ]
+
+    # Local id assignment: super-seed = 0.
+    locals_: Dict[int, int] = {-1: 0}
+    node_globals: List[int] = [-1]
+    for v in sorted(alive - {-1}):
+        locals_[v] = len(node_globals)
+        node_globals.append(v)
+
+    prr = PRRGraph(
+        root=r,
+        status=BOOSTABLE,
+        node_globals=node_globals,
+        edge_src=[locals_[s] for s, _d, _b in final_edges],
+        edge_dst=[locals_[d] for _s, d, _b in final_edges],
+        edge_boost=[b for _s, _d, b in final_edges],
+        root_local=locals_[r],
+        critical=frozenset(critical),
+        uncompressed_nodes=uncompressed_nodes,
+        uncompressed_edges=len(edges),
+    )
+    return prr
+
+
+def sample_critical_set(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    rng: np.random.Generator,
+    root: int | None = None,
+) -> Tuple[str, FrozenSet[int], int]:
+    """Sample only the critical node set ``C_R`` (PRR-Boost-LB fast path).
+
+    A node is critical when a seed-to-root path exists with exactly one
+    live-upon-boost edge whose head is that node, so the backward search can
+    stop at distance 1 regardless of ``k`` (Section V-C).
+
+    Returns ``(status, critical_set, explored_edges)``; the critical set is
+    empty for activated/hopeless roots, which still count as samples for the
+    ``μ̂`` estimator.
+    """
+    r = int(rng.integers(graph.n)) if root is None else int(root)
+    if r in seeds:
+        return ACTIVATED, frozenset(), 0
+
+    state_cache: Dict[Tuple[int, int], int] = {}
+    dr: Dict[int, float] = {r: 0}
+    queue: deque[Tuple[int, int]] = deque([(r, 0)])
+    processed: set[int] = set()
+    live_fwd: Dict[int, List[int]] = {}
+    boost_edges: List[Tuple[int, int]] = []
+    seeds_found: set[int] = set()
+    explored = 0
+
+    while queue:
+        u, dur = queue.popleft()
+        if dur > dr.get(u, _INF) or u in processed:
+            continue
+        processed.add(u)
+        sources = graph.in_neighbors(u)
+        probs = graph.in_probs(u)
+        boosted = graph.in_boosted_probs(u)
+        for i in range(sources.size):
+            v = int(sources[i])
+            state = _sample_edge_state(state_cache, v, u, probs[i], boosted[i], rng)
+            explored += 1
+            if state == EdgeState.BLOCKED:
+                continue
+            dvr = dur + (1 if state == EdgeState.BOOST else 0)
+            if dvr > 1:
+                continue
+            if state == EdgeState.LIVE:
+                live_fwd.setdefault(v, []).append(u)
+            else:
+                boost_edges.append((v, u))
+            if v in seeds:
+                if dvr == 0:
+                    return ACTIVATED, frozenset(), explored
+                seeds_found.add(v)
+                continue
+            if dvr < dr.get(v, _INF):
+                dr[v] = dvr
+                if dvr == dur:
+                    queue.appendleft((v, dvr))
+                else:
+                    queue.append((v, dvr))
+
+    if not seeds_found:
+        return HOPELESS, frozenset(), explored
+
+    # Forward live reachability from the discovered seeds.
+    live_region: set[int] = set(seeds_found)
+    stack = list(seeds_found)
+    while stack:
+        x = stack.pop()
+        for y in live_fwd.get(x, ()):
+            if y not in live_region:
+                live_region.add(y)
+                stack.append(y)
+    if r in live_region:  # defensive; should have been caught in the BFS
+        return ACTIVATED, frozenset(), explored
+
+    critical = frozenset(
+        head
+        for tail, head in boost_edges
+        if tail in live_region and dr.get(head, _INF) == 0 and head not in seeds
+    )
+    return BOOSTABLE, critical, explored

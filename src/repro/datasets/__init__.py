@@ -1,0 +1,5 @@
+"""Synthetic dataset stand-ins for the paper's evaluation networks."""
+
+from .synthetic import DATASETS, DatasetSpec, dataset_names, load_dataset
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "load_dataset"]

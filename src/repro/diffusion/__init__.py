@@ -1,0 +1,35 @@
+"""Influence boosting diffusion model and Monte Carlo simulation."""
+
+from .lt import estimate_lt_boost, normalize_lt_weights, simulate_lt_spread
+from .model import BoostingModel
+from .variants import (
+    exact_boost_outgoing,
+    exact_sigma_outgoing,
+    optimal_boost_set,
+    simulate_spread_outgoing,
+)
+from .worlds import WorldCollection
+from .simulator import (
+    estimate_boost,
+    estimate_sigma,
+    exact_boost,
+    exact_sigma,
+    simulate_spread,
+)
+
+__all__ = [
+    "BoostingModel",
+    "simulate_spread",
+    "estimate_sigma",
+    "estimate_boost",
+    "exact_sigma",
+    "exact_boost",
+    "normalize_lt_weights",
+    "simulate_lt_spread",
+    "estimate_lt_boost",
+    "simulate_spread_outgoing",
+    "exact_sigma_outgoing",
+    "exact_boost_outgoing",
+    "optimal_boost_set",
+    "WorldCollection",
+]

@@ -1,0 +1,111 @@
+"""Linear Threshold diffusion with boosting (paper's future-work direction).
+
+Section IX of the paper names "similar problems under other influence
+diffusion models, for example the well-known Linear Threshold (LT) model"
+as future work.  This module provides that extension so downstream users
+can experiment with it:
+
+* classical LT: node ``v`` activates when the summed weights of its active
+  in-neighbours exceed a uniform threshold ``θ_v ~ U[0, 1]``; edge weights
+  ``b_uv`` must satisfy ``Σ_u b_uv ≤ 1``;
+* **boosted LT**: a boosted node scales its incoming weights by a factor
+  ``γ ≥ 1`` (capped so the sum stays ≤ 1), modelling increased
+  receptiveness — the LT analogue of ``p → p'``.
+
+We reuse the graph's base probabilities as LT weights after per-node
+normalization (:func:`normalize_lt_weights`), and reuse ``p'/p`` as the
+boost factor per edge.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+
+__all__ = ["normalize_lt_weights", "simulate_lt_spread", "estimate_lt_boost"]
+
+
+def normalize_lt_weights(graph: DiGraph) -> DiGraph:
+    """Rescale incoming probabilities so each node's in-weights sum to ≤ 1.
+
+    Nodes whose incoming mass already sums below 1 are left untouched;
+    heavier nodes are scaled down proportionally.  Boosted probabilities are
+    scaled by the same factor, preserving each edge's boost ratio.
+    """
+    src, dst, p, pp = graph.edge_arrays()
+    in_mass = np.zeros(graph.n)
+    np.add.at(in_mass, dst, p)
+    scale = np.ones(graph.n)
+    heavy = in_mass > 1.0
+    scale[heavy] = 1.0 / in_mass[heavy]
+    new_p = p * scale[dst]
+    new_pp = np.minimum(pp * scale[dst], 1.0)
+    return DiGraph(graph.n, src, dst, new_p, new_pp)
+
+
+def simulate_lt_spread(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    rng: np.random.Generator,
+) -> set[int]:
+    """One boosted-LT cascade; returns the activated set.
+
+    A boosted node ``v`` counts each incoming weight at its boosted value
+    ``pp`` instead of ``p`` (with the per-node total clipped at 1), so it
+    crosses its threshold sooner — more easily influenced, never
+    self-starting, mirroring Definition 1's spirit.
+    """
+    boost_set = set(boost)
+    thresholds = rng.random(graph.n)
+    active = set(seeds)
+    accumulated = np.zeros(graph.n)
+    frontier = list(active)
+    while frontier:
+        next_frontier: list[int] = []
+        touched: set[int] = set()
+        for u in frontier:
+            targets = graph.out_neighbors(u)
+            base = graph.out_probs(u)
+            boosted = graph.out_boosted_probs(u)
+            for i in range(targets.size):
+                v = int(targets[i])
+                if v in active:
+                    continue
+                weight = boosted[i] if v in boost_set else base[i]
+                accumulated[v] += weight
+                touched.add(v)
+        for v in touched:
+            if v not in active and min(accumulated[v], 1.0) >= thresholds[v]:
+                active.add(v)
+                next_frontier.append(v)
+        frontier = next_frontier
+    return active
+
+
+def estimate_lt_boost(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    rng: np.random.Generator,
+    runs: int = 1000,
+) -> float:
+    """Monte Carlo estimate of the LT boost of influence.
+
+    Uses common thresholds per run (the same ``θ`` vector for the boosted
+    and unboosted cascade), the LT analogue of common random numbers.
+    """
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    boost_set = set(boost)
+    total = 0.0
+    for _ in range(runs):
+        state = rng.bit_generator.state
+        with_boost = len(simulate_lt_spread(graph, seeds, boost_set, rng))
+        rng.bit_generator.state = state
+        without = len(simulate_lt_spread(graph, seeds, set(), rng))
+        total += with_boost - without
+    return total / runs

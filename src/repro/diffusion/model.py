@@ -1,0 +1,74 @@
+"""The influence boosting model (Definition 1 of the paper).
+
+A :class:`BoostingModel` bundles a graph, a seed set ``S`` and validates
+boost sets ``B``.  Influence propagates as in the Independent Cascade model
+except that a newly-activated node ``u`` influences a *boosted* neighbour
+``v`` with the boosted probability ``p'_uv`` instead of ``p_uv``.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable
+
+from ..graphs.digraph import DiGraph
+
+__all__ = ["BoostingModel"]
+
+
+class BoostingModel:
+    """Influence boosting model instance: a graph plus a fixed seed set.
+
+    Parameters
+    ----------
+    graph:
+        The social network with ``p`` and ``p'`` per edge.
+    seeds:
+        The fixed initial adopters ``S``; they are active at time 0.
+    """
+
+    __slots__ = ("graph", "seeds")
+
+    def __init__(self, graph: DiGraph, seeds: Iterable[int]) -> None:
+        seed_set = frozenset(int(s) for s in seeds)
+        if not seed_set:
+            raise ValueError("seed set must be non-empty")
+        for s in seed_set:
+            if not 0 <= s < graph.n:
+                raise ValueError(f"seed {s} out of range for n={graph.n}")
+        self.graph = graph
+        self.seeds: FrozenSet[int] = seed_set
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def validate_boost_set(self, boost: Iterable[int]) -> FrozenSet[int]:
+        """Normalize and validate a boost set ``B``.
+
+        Boosting a seed is allowed by the model but has no effect (seeds are
+        already active); we permit it rather than erroring so greedy
+        selectors never have to special-case, but callers typically exclude
+        seeds from candidates.
+        """
+        boost_set = frozenset(int(b) for b in boost)
+        for b in boost_set:
+            if not 0 <= b < self.graph.n:
+                raise ValueError(f"boosted node {b} out of range for n={self.graph.n}")
+        return boost_set
+
+    def candidate_nodes(self) -> list[int]:
+        """Nodes eligible for boosting: all non-seeds."""
+        return [v for v in range((self.graph.n)) if v not in self.seeds]
+
+    def is_seed(self, v: int) -> bool:
+        return v in self.seeds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoostingModel(n={self.graph.n}, m={self.graph.m}, |S|={len(self.seeds)})"
+
+
+def ensure_disjoint(seeds: AbstractSet[int], boost: AbstractSet[int]) -> None:
+    """Raise when a boost set overlaps the seed set (helper for strict callers)."""
+    overlap = seeds & boost
+    if overlap:
+        raise ValueError(f"boost set overlaps seeds: {sorted(overlap)[:5]}")

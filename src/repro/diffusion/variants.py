@@ -1,0 +1,147 @@
+"""Model variants and exact oracles for the influence boosting model.
+
+Two pieces of Section III the main simulator does not cover:
+
+* **Outgoing-boost variant** — the paper notes (after Definition 1) that
+  the study "can also be adapted to the case where boosted users are more
+  influential": a newly-activated *boosted* user ``u`` influences each
+  neighbour ``v`` with ``p'_uv`` instead of ``p_uv``.
+  :func:`simulate_spread_outgoing` and :func:`exact_sigma_outgoing`
+  implement that variant.
+
+* **Brute-force k-boosting oracle** — NP-hardness permits exhaustive search
+  only on tiny instances; :func:`optimal_boost_set` enumerates every boost
+  set of size ≤ k against the exact spread, providing ground truth for
+  algorithm tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import AbstractSet, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from .simulator import exact_sigma
+
+__all__ = [
+    "simulate_spread_outgoing",
+    "exact_sigma_outgoing",
+    "exact_boost_outgoing",
+    "optimal_boost_set",
+]
+
+
+def simulate_spread_outgoing(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    rng: np.random.Generator,
+) -> set[int]:
+    """One cascade where boosted nodes are more *influential* (not more
+    receptive): edges leaving a boosted node use ``p'``."""
+    boost_set = set(boost)
+    active = set(seeds)
+    frontier = list(active)
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            targets = graph.out_neighbors(u)
+            if targets.size == 0:
+                continue
+            probs = (
+                graph.out_boosted_probs(u)
+                if u in boost_set
+                else graph.out_probs(u)
+            )
+            draws = rng.random(targets.size)
+            for i in range(targets.size):
+                v = int(targets[i])
+                if v not in active and draws[i] < probs[i]:
+                    active.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return active
+
+
+def exact_sigma_outgoing(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+) -> float:
+    """Exact spread under the outgoing-boost variant (tiny graphs only).
+
+    Each edge's effective probability depends on whether its *tail* is
+    boosted, which is again static, so world enumeration applies unchanged.
+    """
+    if graph.m > 20:
+        raise ValueError("exact enumeration is limited to graphs with <= 20 edges")
+    boost_set = set(boost)
+    seed_list = list(seeds)
+    src, dst, p, pp = graph.edge_arrays()
+    effective = np.array(
+        [pp[i] if int(src[i]) in boost_set else p[i] for i in range(graph.m)]
+    )
+    expected = 0.0
+    for outcome in product((0, 1), repeat=graph.m):
+        prob = 1.0
+        for i, live in enumerate(outcome):
+            prob *= effective[i] if live else (1.0 - effective[i])
+        if prob == 0.0:
+            continue
+        adjacency: dict[int, list[int]] = {}
+        for i, live in enumerate(outcome):
+            if live:
+                adjacency.setdefault(int(src[i]), []).append(int(dst[i]))
+        reached = set(seed_list)
+        stack = list(seed_list)
+        while stack:
+            u = stack.pop()
+            for v in adjacency.get(u, ()):
+                if v not in reached:
+                    reached.add(v)
+                    stack.append(v)
+        expected += prob * len(reached)
+    return expected
+
+
+def exact_boost_outgoing(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+) -> float:
+    """Exact ``Δ_S(B)`` under the outgoing-boost variant."""
+    return exact_sigma_outgoing(graph, seeds, boost) - exact_sigma_outgoing(
+        graph, seeds, set()
+    )
+
+
+def optimal_boost_set(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    k: int,
+    candidates: Sequence[int] | None = None,
+) -> Tuple[List[int], float]:
+    """Exhaustive optimum of the k-boosting problem (test oracle).
+
+    Enumerates all boost sets of size ≤ k over the candidates (non-seeds by
+    default) and evaluates each with :func:`exact_sigma` — exponential in
+    both ``m`` and ``k``; keep instances tiny.
+    """
+    seed_set = set(seeds)
+    pool = (
+        [v for v in range(graph.n) if v not in seed_set]
+        if candidates is None
+        else [v for v in candidates if v not in seed_set]
+    )
+    base = exact_sigma(graph, seed_set, set())
+    best_value = 0.0
+    best_set: Tuple[int, ...] = ()
+    for size in range(1, min(k, len(pool)) + 1):
+        for boost in combinations(pool, size):
+            value = exact_sigma(graph, seed_set, set(boost)) - base
+            if value > best_value + 1e-12:
+                best_value = value
+                best_set = boost
+    return list(best_set), best_value

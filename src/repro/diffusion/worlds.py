@@ -1,0 +1,95 @@
+"""Fixed-world evaluation: compare many boost sets on identical randomness.
+
+Definition 3 of the paper fixes a deterministic copy of the graph ("world")
+and reasons about reachability inside it.  The same trick makes *candidate
+comparison* fair and low-variance: sample ``runs`` worlds once, then score
+every candidate boost set against the same worlds — a paired experiment in
+which estimator noise cancels when sets are compared.
+
+The benchmark harness uses this for the baseline sweeps (HighDegree returns
+four candidate sets; evaluating them on shared worlds removes the luck of
+independent Monte Carlo draws).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Sequence
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from .simulator import _cascade_size, _csr_thresholds
+
+__all__ = ["WorldCollection"]
+
+
+class WorldCollection:
+    """``runs`` sampled worlds over a graph with a fixed seed set.
+
+    One uniform draw per CSR out-edge per world; a world's live edges for a
+    boost set ``B`` are ``draw < threshold(B)``, with the Definition 3
+    coupling (``draw < p`` live, ``p <= draw < p'`` live-upon-boost).
+
+    The unboosted cascade size of each world is computed once at
+    construction, so :meth:`boost` costs one cascade per world.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        seeds: AbstractSet[int] | Sequence[int],
+        rng: np.random.Generator,
+        runs: int = 500,
+    ) -> None:
+        if runs <= 0:
+            raise ValueError("runs must be positive")
+        self.graph = graph
+        self.seed_idx = np.fromiter(set(seeds), dtype=np.int64)
+        if self.seed_idx.size == 0:
+            raise ValueError("seed set must be non-empty")
+        self.runs = runs
+        self._draws = rng.random((runs, graph.m))
+        base_thr = graph._out_p
+        self._base_sizes = np.array(
+            [
+                _cascade_size(graph, self.seed_idx, self._draws[r] < base_thr)
+                for r in range(runs)
+            ],
+            dtype=np.int64,
+        )
+
+    @property
+    def sigma_empty(self) -> float:
+        """``σ_S(∅)`` estimated on these worlds."""
+        return float(self._base_sizes.mean())
+
+    def sigma(self, boost: AbstractSet[int] | Sequence[int]) -> float:
+        """``σ_S(B)`` on these worlds."""
+        thr = _csr_thresholds(self.graph, set(boost))
+        total = 0
+        for r in range(self.runs):
+            total += _cascade_size(self.graph, self.seed_idx, self._draws[r] < thr)
+        return total / self.runs
+
+    def boost(self, boost: AbstractSet[int] | Sequence[int]) -> float:
+        """``Δ_S(B)`` as a paired difference against the cached base sizes."""
+        boost_set = set(boost)
+        if not boost_set:
+            return 0.0
+        thr = _csr_thresholds(self.graph, boost_set)
+        total = 0
+        for r in range(self.runs):
+            size = _cascade_size(self.graph, self.seed_idx, self._draws[r] < thr)
+            total += size - int(self._base_sizes[r])
+        return total / self.runs
+
+    def rank(
+        self, candidates: Sequence[Sequence[int]]
+    ) -> List[tuple[int, float]]:
+        """Score candidate boost sets on shared worlds; best first.
+
+        Returns ``(index, boost)`` pairs sorted descending by boost.
+        """
+        scored = [(i, self.boost(c)) for i, c in enumerate(candidates)]
+        scored.sort(key=lambda item: -item[1])
+        return scored

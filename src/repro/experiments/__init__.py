@@ -1,0 +1,33 @@
+"""Experiment harnesses reproducing every table and figure."""
+
+from .budget import BudgetPoint, budget_allocation_experiment
+from .harness import (
+    AlgorithmRun,
+    Workload,
+    compare_algorithms,
+    format_table,
+    make_workload,
+)
+from .report import read_csv, rows_from_dataclasses, write_csv, write_markdown
+from .sandwich import RatioPoint, perturbed_sets, sandwich_ratio_experiment
+from .trees_exp import TreeRun, make_tree_workload, tree_comparison
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "AlgorithmRun",
+    "compare_algorithms",
+    "format_table",
+    "RatioPoint",
+    "perturbed_sets",
+    "sandwich_ratio_experiment",
+    "BudgetPoint",
+    "budget_allocation_experiment",
+    "TreeRun",
+    "make_tree_workload",
+    "tree_comparison",
+    "write_csv",
+    "write_markdown",
+    "read_csv",
+    "rows_from_dataclasses",
+]

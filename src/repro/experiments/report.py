@@ -1,0 +1,75 @@
+"""Result persistence: CSV and Markdown writers for experiment outputs.
+
+Benchmarks print tables; long-running studies also want durable artifacts.
+These writers are deliberately dependency-free (stdlib ``csv``) and accept
+the same ``(headers, rows)`` shape as
+:func:`repro.experiments.harness.format_table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["write_csv", "write_markdown", "rows_from_dataclasses", "read_csv"]
+
+
+def write_csv(
+    path: str | os.PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write an experiment table to ``path`` as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def read_csv(path: str | os.PathLike) -> tuple[List[str], List[List[str]]]:
+    """Read back a table written by :func:`write_csv`."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"empty CSV: {path}")
+    return rows[0], rows[1:]
+
+
+def write_markdown(
+    path: str | os.PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    """Write an experiment table to ``path`` as a GitHub-flavoured table."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"## {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    lines.append("")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def rows_from_dataclasses(items: Sequence[object]) -> tuple[List[str], List[List[object]]]:
+    """Convert a list of dataclass instances to ``(headers, rows)``.
+
+    Useful for persisting :class:`~repro.experiments.harness.AlgorithmRun`,
+    :class:`~repro.experiments.budget.BudgetPoint`, etc.
+    """
+    if not items:
+        return [], []
+    first = items[0]
+    if not is_dataclass(first):
+        raise TypeError("rows_from_dataclasses expects dataclass instances")
+    headers = list(asdict(first).keys())
+    rows = [[asdict(item)[h] for h in headers] for item in items]
+    return headers, rows

@@ -1,0 +1,59 @@
+"""Graph substrate: compact directed graphs, generators, probability models."""
+
+from .digraph import DiGraph, GraphBuilder
+from .generators import (
+    complete_binary_bidirected_tree,
+    cycle,
+    erdos_renyi,
+    path,
+    preferential_attachment,
+    random_bidirected_tree,
+    star,
+    tree_parents,
+)
+from .analysis import (
+    degree_statistics,
+    estimated_diameter,
+    largest_component_fraction,
+    reciprocity,
+    weakly_connected_components,
+)
+from .io import read_edge_list, write_edge_list
+from .social import forest_fire, stochastic_block_model, watts_strogatz
+from .probabilities import (
+    apply_beta_boost,
+    boost_probability,
+    constant_probability,
+    learned_like,
+    trivalency,
+    weighted_cascade,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "preferential_attachment",
+    "erdos_renyi",
+    "complete_binary_bidirected_tree",
+    "random_bidirected_tree",
+    "star",
+    "path",
+    "cycle",
+    "tree_parents",
+    "read_edge_list",
+    "write_edge_list",
+    "boost_probability",
+    "apply_beta_boost",
+    "weighted_cascade",
+    "trivalency",
+    "constant_probability",
+    "learned_like",
+    "forest_fire",
+    "watts_strogatz",
+    "stochastic_block_model",
+    "degree_statistics",
+    "weakly_connected_components",
+    "largest_component_fraction",
+    "reciprocity",
+    "estimated_diameter",
+]

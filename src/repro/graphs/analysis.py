@@ -1,0 +1,109 @@
+"""Graph analysis utilities for dataset characterization.
+
+Used when validating that synthetic stand-ins resemble their real
+counterparts (degree skew, connectivity, reciprocity) and when reporting
+Table 1-style statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "degree_statistics",
+    "weakly_connected_components",
+    "largest_component_fraction",
+    "reciprocity",
+    "estimated_diameter",
+]
+
+
+def degree_statistics(graph: DiGraph) -> Dict[str, float]:
+    """Summary statistics of the degree distributions."""
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    return {
+        "mean_out": float(out_deg.mean()) if graph.n else 0.0,
+        "max_out": int(out_deg.max()) if graph.n else 0,
+        "median_out": float(np.median(out_deg)) if graph.n else 0.0,
+        "mean_in": float(in_deg.mean()) if graph.n else 0.0,
+        "max_in": int(in_deg.max()) if graph.n else 0,
+        "median_in": float(np.median(in_deg)) if graph.n else 0.0,
+    }
+
+
+def weakly_connected_components(graph: DiGraph) -> List[List[int]]:
+    """Weakly connected components via union-find over undirected edges."""
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    src, dst, _p, _pp = graph.edge_arrays()
+    for i in range(graph.m):
+        ru, rv = find(int(src[i])), find(int(dst[i]))
+        if ru != rv:
+            parent[ru] = rv
+    groups: Dict[int, List[int]] = {}
+    for v in range(graph.n):
+        groups.setdefault(find(v), []).append(v)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def largest_component_fraction(graph: DiGraph) -> float:
+    """Fraction of nodes in the largest weakly connected component."""
+    components = weakly_connected_components(graph)
+    return len(components[0]) / graph.n if components else 0.0
+
+
+def reciprocity(graph: DiGraph) -> float:
+    """Fraction of directed edges whose reverse also exists."""
+    if graph.m == 0:
+        return 0.0
+    edges = set()
+    src, dst, _p, _pp = graph.edge_arrays()
+    for i in range(graph.m):
+        edges.add((int(src[i]), int(dst[i])))
+    mutual = sum(1 for (u, v) in edges if (v, u) in edges)
+    return mutual / len(edges)
+
+
+def _bfs_ecc(graph: DiGraph, start: int) -> tuple[int, int]:
+    """(eccentricity over reachable nodes, farthest node) ignoring direction."""
+    dist = {start: 0}
+    frontier = [start]
+    farthest = start
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in list(graph.out_neighbors(u)) + list(graph.in_neighbors(u)):
+                v = int(v)
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+                    farthest = v
+        frontier = nxt
+    return dist[farthest], farthest
+
+
+def estimated_diameter(graph: DiGraph, rounds: int = 4) -> int:
+    """Double-sweep lower bound on the undirected diameter.
+
+    Runs ``rounds`` BFS sweeps, each starting at the farthest node of the
+    previous sweep — the standard cheap diameter estimator (a lower bound,
+    usually tight on social networks).
+    """
+    best = 0
+    start = 0
+    for _ in range(max(rounds, 1)):
+        ecc, far = _bfs_ecc(graph, start)
+        best = max(best, ecc)
+        start = far
+    return best

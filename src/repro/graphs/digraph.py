@@ -1,0 +1,280 @@
+"""Compact directed influence graphs.
+
+The :class:`DiGraph` class stores a directed graph in CSR (compressed sparse
+row) form, once for the out-direction and once for the in-direction, together
+with two probabilities per edge:
+
+* ``p`` — the base influence probability of the Independent Cascade model,
+* ``pp`` — the boosted probability ``p'`` used when the edge's head is boosted
+  (Definition 1 of the paper), with ``pp >= p``.
+
+All node ids are dense integers ``0..n-1``.  Instances are immutable once
+built; use :class:`GraphBuilder` or :func:`DiGraph.from_edges` to construct
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DiGraph", "GraphBuilder", "Edge"]
+
+Edge = Tuple[int, int, float, float]
+
+
+class DiGraph:
+    """An immutable directed graph with base and boosted edge probabilities.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; ids are ``0..n-1``.
+    sources, targets:
+        Parallel integer arrays of edge endpoints.
+    p:
+        Base influence probabilities, one per edge, each in ``[0, 1]``.
+    pp:
+        Boosted influence probabilities ``p'``; must satisfy ``pp >= p``
+        elementwise.  If omitted, ``pp = p`` (boosting has no effect).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "_out_indptr",
+        "_out_targets",
+        "_out_p",
+        "_out_pp",
+        "_out_eid",
+        "_in_indptr",
+        "_in_sources",
+        "_in_p",
+        "_in_pp",
+        "_in_eid",
+        "_src",
+        "_dst",
+        "_p",
+        "_pp",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        p: Sequence[float],
+        pp: Sequence[float] | None = None,
+    ) -> None:
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        prob = np.asarray(p, dtype=np.float64)
+        boosted = prob.copy() if pp is None else np.asarray(pp, dtype=np.float64)
+
+        if not (src.shape == dst.shape == prob.shape == boosted.shape):
+            raise ValueError("sources, targets, p and pp must have equal length")
+        if n <= 0:
+            raise ValueError("graph must have at least one node")
+        if src.size and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any((prob < 0.0) | (prob > 1.0)):
+            raise ValueError("base probabilities must lie in [0, 1]")
+        if np.any((boosted < 0.0) | (boosted > 1.0)):
+            raise ValueError("boosted probabilities must lie in [0, 1]")
+        if np.any(boosted < prob - 1e-12):
+            raise ValueError("boosted probability p' must be >= p on every edge")
+
+        self.n = int(n)
+        self.m = int(src.size)
+        self._src = src
+        self._dst = dst
+        self._p = prob
+        self._pp = boosted
+
+        order = np.argsort(src, kind="stable")
+        self._out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._out_indptr, src + 1, 1)
+        np.cumsum(self._out_indptr, out=self._out_indptr)
+        self._out_targets = dst[order]
+        self._out_p = prob[order]
+        self._out_pp = boosted[order]
+        self._out_eid = order
+
+        order_in = np.argsort(dst, kind="stable")
+        self._in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._in_indptr, dst + 1, 1)
+        np.cumsum(self._in_indptr, out=self._in_indptr)
+        self._in_sources = src[order_in]
+        self._in_p = prob[order_in]
+        self._in_pp = boosted[order_in]
+        self._in_eid = order_in
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "DiGraph":
+        """Build a graph from ``(u, v, p, pp)`` tuples."""
+        edge_list = list(edges)
+        if not edge_list:
+            return cls(n, [], [], [], [])
+        src, dst, p, pp = zip(*edge_list)
+        return cls(n, src, dst, p, pp)
+
+    # ------------------------------------------------------------------
+    # Topology accessors
+    # ------------------------------------------------------------------
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Targets of edges leaving ``u``."""
+        return self._out_targets[self._out_indptr[u] : self._out_indptr[u + 1]]
+
+    def out_probs(self, u: int) -> np.ndarray:
+        """Base probabilities of edges leaving ``u`` (aligned with neighbours)."""
+        return self._out_p[self._out_indptr[u] : self._out_indptr[u + 1]]
+
+    def out_boosted_probs(self, u: int) -> np.ndarray:
+        """Boosted probabilities of edges leaving ``u``."""
+        return self._out_pp[self._out_indptr[u] : self._out_indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of edges entering ``v``."""
+        return self._in_sources[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def in_probs(self, v: int) -> np.ndarray:
+        """Base probabilities of edges entering ``v``."""
+        return self._in_p[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def in_boosted_probs(self, v: int) -> np.ndarray:
+        """Boosted probabilities of edges entering ``v``."""
+        return self._in_pp[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def out_degree(self, u: int) -> int:
+        return int(self._out_indptr[u + 1] - self._out_indptr[u])
+
+    def in_degree(self, v: int) -> int:
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for all nodes."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for all nodes."""
+        return np.diff(self._in_indptr)
+
+    # ------------------------------------------------------------------
+    # Edge-level accessors
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(u, v, p, pp)`` in insertion order."""
+        for i in range(self.m):
+            yield (
+                int(self._src[i]),
+                int(self._dst[i]),
+                float(self._p[i]),
+                float(self._pp[i]),
+            )
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(sources, targets, p, pp)`` arrays in insertion order."""
+        return self._src, self._dst, self._p, self._pp
+
+    def average_probability(self) -> float:
+        """Mean base influence probability over edges (Table 1 statistic)."""
+        if self.m == 0:
+            return 0.0
+        return float(self._p.mean())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_probabilities(
+        self, p: Sequence[float], pp: Sequence[float] | None = None
+    ) -> "DiGraph":
+        """Copy of the graph with replaced probabilities (same topology)."""
+        return DiGraph(self.n, self._src, self._dst, p, pp)
+
+    def reverse(self) -> "DiGraph":
+        """Graph with every edge reversed (probabilities preserved)."""
+        return DiGraph(self.n, self._dst, self._src, self._p, self._pp)
+
+    def is_bidirected_tree(self) -> bool:
+        """True when the underlying undirected graph is a tree.
+
+        Duplicate directions and parallel edges are collapsed before the
+        check, matching the paper's definition of a bidirected tree.
+        """
+        undirected = set()
+        for i in range(self.m):
+            u, v = int(self._src[i]), int(self._dst[i])
+            if u == v:
+                return False
+            undirected.add((min(u, v), max(u, v)))
+        if len(undirected) != self.n - 1:
+            return False
+        # Check connectivity via union-find.
+        parent = list(range(self.n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        components = self.n
+        for u, v in undirected:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+                components -= 1
+        return components == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(n={self.n}, m={self.m})"
+
+
+class GraphBuilder:
+    """Incrementally accumulate edges, then :meth:`build` a :class:`DiGraph`.
+
+    Duplicate edges are allowed during accumulation; :meth:`build` keeps the
+    last occurrence of each ``(u, v)`` pair so callers can overwrite
+    probabilities.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("graph must have at least one node")
+        self.n = n
+        self._edges: dict[Tuple[int, int], Tuple[float, float]] = {}
+
+    def add_edge(self, u: int, v: int, p: float, pp: float | None = None) -> "GraphBuilder":
+        """Add (or overwrite) the directed edge ``u -> v``."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        self._edges[(u, v)] = (p, p if pp is None else pp)
+        return self
+
+    def add_bidirected_edge(
+        self, u: int, v: int, p: float, pp: float | None = None
+    ) -> "GraphBuilder":
+        """Add both ``u -> v`` and ``v -> u`` with the same probabilities."""
+        self.add_edge(u, v, p, pp)
+        self.add_edge(v, u, p, pp)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def build(self) -> DiGraph:
+        """Materialize the accumulated edges into a :class:`DiGraph`."""
+        if not self._edges:
+            return DiGraph(self.n, [], [], [], [])
+        items = sorted(self._edges.items())
+        src = [u for (u, _v), _ in items]
+        dst = [v for (_u, v), _ in items]
+        p = [pr for _, (pr, _ppr) in items]
+        pp = [ppr for _, (_pr, ppr) in items]
+        return DiGraph(self.n, src, dst, p, pp)

@@ -1,0 +1,181 @@
+"""Synthetic graph generators used throughout the reproduction.
+
+The paper evaluates on four real social networks (Digg, Flixster, Twitter,
+Flickr) and on synthetic complete binary bidirected trees.  The real traces
+are not redistributable, so :mod:`repro.datasets` builds scaled-down
+stand-ins from the generators in this module.  The generators only produce
+*topology*; influence probabilities are assigned separately by
+:mod:`repro.graphs.probabilities`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .digraph import DiGraph, GraphBuilder
+
+__all__ = [
+    "preferential_attachment",
+    "erdos_renyi",
+    "complete_binary_bidirected_tree",
+    "random_bidirected_tree",
+    "star",
+    "path",
+    "cycle",
+]
+
+
+def preferential_attachment(
+    n: int,
+    m_per_node: int,
+    rng: np.random.Generator,
+    reciprocity: float = 0.3,
+) -> DiGraph:
+    """Directed preferential-attachment (Barabási–Albert style) graph.
+
+    Each arriving node attaches ``m_per_node`` out-edges to existing nodes
+    chosen proportionally to their current degree, which yields the heavy
+    tailed degree distribution characteristic of social networks.  With
+    probability ``reciprocity`` each new edge also gains its reverse,
+    modelling mutual follower relationships.
+
+    Probabilities are initialised to 0 and must be assigned afterwards.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if m_per_node < 1:
+        raise ValueError("m_per_node must be >= 1")
+
+    builder = GraphBuilder(n)
+    # Repeated-node list for degree-proportional sampling.
+    repeated: list[int] = [0]
+    for v in range(1, n):
+        k = min(m_per_node, v)
+        targets: set[int] = set()
+        while len(targets) < k:
+            candidate = repeated[rng.integers(len(repeated))] if repeated else 0
+            if candidate != v:
+                targets.add(candidate)
+            elif v > 1:
+                # fall back to uniform choice to avoid rare livelock on tiny graphs
+                uniform = int(rng.integers(v))
+                if uniform != v:
+                    targets.add(uniform)
+        for t in targets:
+            builder.add_edge(v, t, 0.0)
+            repeated.append(t)
+            repeated.append(v)
+            if rng.random() < reciprocity:
+                builder.add_edge(t, v, 0.0)
+    return builder.build()
+
+
+def erdos_renyi(n: int, p_edge: float, rng: np.random.Generator) -> DiGraph:
+    """G(n, p) directed random graph (no self loops)."""
+    if not 0.0 <= p_edge <= 1.0:
+        raise ValueError("p_edge must lie in [0, 1]")
+    mask = rng.random((n, n)) < p_edge
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    return DiGraph(n, src, dst, np.zeros(src.size), np.zeros(src.size))
+
+
+def complete_binary_bidirected_tree(n: int) -> DiGraph:
+    """Complete binary tree on ``n`` nodes with both edge directions.
+
+    This is the synthetic topology of Section VIII: node ``i`` has children
+    ``2i+1`` and ``2i+2`` where they exist, and every undirected edge is
+    replaced by two directed edges.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    builder = GraphBuilder(n)
+    for child in range(1, n):
+        parent = (child - 1) // 2
+        builder.add_bidirected_edge(parent, child, 0.0)
+    return builder.build()
+
+
+def random_bidirected_tree(
+    n: int, rng: np.random.Generator, max_children: int | None = None
+) -> DiGraph:
+    """Uniform random recursive tree with bidirected edges.
+
+    Node ``v`` (v >= 1) attaches to a uniformly random earlier node, subject
+    to ``max_children`` when provided.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    builder = GraphBuilder(n)
+    child_count = np.zeros(n, dtype=np.int64)
+    for v in range(1, n):
+        while True:
+            parent = int(rng.integers(v))
+            if max_children is None or child_count[parent] < max_children:
+                break
+        child_count[parent] += 1
+        builder.add_bidirected_edge(parent, v, 0.0)
+    return builder.build()
+
+
+def star(n: int, outward: bool = True) -> DiGraph:
+    """Star graph: hub node 0 connected to all others.
+
+    ``outward=True`` points edges from the hub to the leaves.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    builder = GraphBuilder(n)
+    for leaf in range(1, n):
+        if outward:
+            builder.add_edge(0, leaf, 0.0)
+        else:
+            builder.add_edge(leaf, 0, 0.0)
+    return builder.build()
+
+
+def path(n: int) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    builder = GraphBuilder(n)
+    for v in range(n - 1):
+        builder.add_edge(v, v + 1, 0.0)
+    return builder.build()
+
+
+def cycle(n: int) -> DiGraph:
+    """Directed cycle on ``n`` nodes."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    builder = GraphBuilder(n)
+    for v in range(n):
+        builder.add_edge(v, (v + 1) % n, 0.0)
+    return builder.build()
+
+
+def tree_parents(tree: DiGraph, root: int = 0) -> Tuple[np.ndarray, list[list[int]]]:
+    """Orient a bidirected tree: return ``(parent, children)`` from ``root``.
+
+    ``parent[root] == -1``.  Raises ``ValueError`` when the graph is not a
+    connected bidirected tree.
+    """
+    parent = np.full(tree.n, -2, dtype=np.int64)
+    parent[root] = -1
+    children: list[list[int]] = [[] for _ in range(tree.n)]
+    stack = [root]
+    seen = 1
+    while stack:
+        u = stack.pop()
+        for v in tree.out_neighbors(u):
+            v = int(v)
+            if parent[v] == -2:
+                parent[v] = u
+                children[u].append(v)
+                stack.append(v)
+                seen += 1
+    if seen != tree.n:
+        raise ValueError("graph is not connected from the chosen root")
+    return parent, children

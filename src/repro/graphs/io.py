@@ -1,0 +1,57 @@
+"""Plain-text edge-list serialization for influence graphs.
+
+Format (whitespace separated, ``#`` comments allowed)::
+
+    # n <num_nodes>
+    u v p pp
+
+The header line is required so isolated trailing nodes survive round-trips.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .digraph import DiGraph
+
+__all__ = ["write_edge_list", "read_edge_list"]
+
+
+def write_edge_list(graph: DiGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` to ``path`` in the edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# n {graph.n}\n")
+        for u, v, p, pp in graph.edges():
+            handle.write(f"{u} {v} {p:.12g} {pp:.12g}\n")
+
+
+def read_edge_list(path: str | os.PathLike) -> DiGraph:
+    """Read a graph previously written by :func:`write_edge_list`."""
+    n = None
+    src: List[int] = []
+    dst: List[int] = []
+    p: List[float] = []
+    pp: List[float] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) >= 2 and parts[0] == "n":
+                    n = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"malformed edge line: {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            p.append(float(parts[2]))
+            pp.append(float(parts[3]))
+    if n is None:
+        n = max(max(src, default=-1), max(dst, default=-1)) + 1
+        if n <= 0:
+            raise ValueError("edge list has no header and no edges")
+    return DiGraph(n, src, dst, p, pp)

@@ -1,0 +1,19 @@
+"""Bidirected-tree algorithms: exact computation, Greedy-Boost, DP-Boost."""
+
+from .bidirected import BidirectedTree
+from .dp import DPBoostResult, dp_boost, reachability_weight
+from .exact import TreeComputation, compute_tree_state, delta, sigma
+from .greedy import GreedyBoostResult, greedy_boost
+
+__all__ = [
+    "BidirectedTree",
+    "TreeComputation",
+    "compute_tree_state",
+    "sigma",
+    "delta",
+    "greedy_boost",
+    "GreedyBoostResult",
+    "dp_boost",
+    "DPBoostResult",
+    "reachability_weight",
+]

@@ -1,0 +1,262 @@
+"""Exact boosted-influence computation on bidirected trees (Section VI-A).
+
+Implements the three-step O(n) computation:
+
+1. activation probabilities ``ap_B(u)`` and ``ap_B(u\\v)`` (Lemma 5),
+2. marginal-seed gains ``g_B(u\\v)`` (Lemma 6),
+3. ``σ_S(B)`` and ``σ_S(B ∪ {u})`` for every node ``u`` (Lemma 7).
+
+The recursions of the paper are realized as two array passes over a rooted
+tree (an "up" pass over subtrees and a "down" pass over the complements)
+with prefix/suffix products replacing the division tricks of Equations
+(9)/(11) — numerically safer when factors reach zero, same O(n) bound.
+
+Notation mapping (``par`` is the parent of ``v`` under the rooting):
+
+* ``up[v]    = ap_B(v \\ par(v))``
+* ``down[v]  = ap_B(par(v) \\ v)``
+* ``gup[v]   = g_B(v \\ par(v))``
+* ``gdown[v] = g_B(par(v) \\ v)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet
+
+import numpy as np
+
+from .bidirected import BidirectedTree
+
+__all__ = ["TreeComputation", "compute_tree_state", "sigma", "delta"]
+
+
+@dataclass
+class TreeComputation:
+    """All quantities produced by the three-step computation for a boost set.
+
+    ``sigma_with[u]`` is ``σ_S(B ∪ {u})``; for ``u ∈ S ∪ B`` it equals
+    ``sigma`` (Lemma 7).
+    """
+
+    boost: FrozenSet[int]
+    ap: np.ndarray
+    up: np.ndarray
+    down: np.ndarray
+    gup: np.ndarray
+    gdown: np.ndarray
+    sigma: float
+    sigma_with: np.ndarray
+
+
+def _probs_into(tree: BidirectedTree, boost: AbstractSet[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node incoming edge probabilities given ``B``.
+
+    Returns ``(from_parent, from_child_up)`` where ``from_parent[v]`` is
+    ``p^B_{par(v), v}`` and ``from_child_up[v]`` is ``p^B_{v, par(v)}`` (the
+    probability *v* uses when influencing its parent — depends on whether
+    the parent is boosted).
+    """
+    n = tree.n
+    from_parent = np.empty(n)
+    into_parent = np.empty(n)
+    for v in range(n):
+        boosted_v = v in boost
+        from_parent[v] = tree.pp_down[v] if boosted_v else tree.p_down[v]
+        par = int(tree.parent[v])
+        boosted_par = par in boost if par >= 0 else False
+        into_parent[v] = tree.pp_up[v] if boosted_par else tree.p_up[v]
+    return from_parent, into_parent
+
+
+def compute_tree_state(tree: BidirectedTree, boost: AbstractSet[int]) -> TreeComputation:
+    """Run the full three-step computation for boost set ``B`` in O(n)."""
+    boost_set = frozenset(int(b) for b in boost)
+    n = tree.n
+    seeds = tree.seeds
+    from_parent, into_parent = _probs_into(tree, boost_set)
+
+    up = np.zeros(n)
+    down = np.zeros(n)
+    ap = np.zeros(n)
+    gup = np.zeros(n)
+    gdown = np.zeros(n)
+
+    order = tree.order  # parents before children
+
+    # ------------------------------------------------------------------
+    # Up pass: ap_B(v \ parent) over subtrees, leaves first.
+    # ------------------------------------------------------------------
+    for v in reversed(order):
+        if v in seeds:
+            up[v] = 1.0
+            continue
+        prod = 1.0
+        for c in tree.children[v]:
+            prod *= 1.0 - up[c] * into_parent[c]
+        up[v] = 1.0 - prod
+
+    # ------------------------------------------------------------------
+    # Down pass: ap_B(parent \ v) via prefix/suffix products (Equation 8
+    # without the division of Equation 9).
+    # ------------------------------------------------------------------
+    for u in order:
+        kids = tree.children[u]
+        if not kids:
+            continue
+        if u in seeds:
+            for v in kids:
+                down[v] = 1.0
+            continue
+        par_factor = 1.0
+        if tree.parent[u] >= 0:
+            par_factor = 1.0 - down[u] * from_parent[u]
+        factors = [1.0 - up[c] * into_parent[c] for c in kids]
+        prefix = np.empty(len(kids) + 1)
+        prefix[0] = 1.0
+        for i, f in enumerate(factors):
+            prefix[i + 1] = prefix[i] * f
+        suffix = 1.0
+        # iterate right-to-left so suffix excludes the current child
+        down_vals = [0.0] * len(kids)
+        for i in range(len(kids) - 1, -1, -1):
+            down_vals[i] = 1.0 - par_factor * prefix[i] * suffix
+            suffix *= factors[i]
+        for i, v in enumerate(kids):
+            down[v] = down_vals[i]
+
+    # ------------------------------------------------------------------
+    # ap_B(u) for every node (Equation 7).
+    # ------------------------------------------------------------------
+    for u in range(n):
+        if u in seeds:
+            ap[u] = 1.0
+            continue
+        prod = 1.0
+        if tree.parent[u] >= 0:
+            prod *= 1.0 - down[u] * from_parent[u]
+        for c in tree.children[u]:
+            prod *= 1.0 - up[c] * into_parent[c]
+        ap[u] = 1.0 - prod
+
+    # ------------------------------------------------------------------
+    # Gain up pass: g_B(v \ parent) (Equation 10 restricted to subtrees).
+    # ------------------------------------------------------------------
+    def _term(g_val: float, ap_val: float, p_out: float, p_in: float) -> float:
+        """One summand p^B_{u,w} g_B(w\\u) / (1 − ap_B(w\\u) p^B_{w,u})."""
+        if g_val <= 0.0:
+            return 0.0
+        denom = 1.0 - ap_val * p_in
+        if denom <= 1e-15:
+            return 0.0
+        return p_out * g_val / denom
+
+    for v in reversed(order):
+        if v in seeds:
+            gup[v] = 0.0
+            continue
+        total = 1.0
+        for c in tree.children[v]:
+            total += _term(gup[c], up[c], from_parent[c], into_parent[c])
+        gup[v] = (1.0 - up[v]) * total
+
+    # ------------------------------------------------------------------
+    # Gain down pass: g_B(parent \ v) via prefix/suffix sums.
+    # ------------------------------------------------------------------
+    for u in order:
+        kids = tree.children[u]
+        if not kids:
+            continue
+        if u in seeds:
+            for v in kids:
+                gdown[v] = 0.0
+            continue
+        par_term = 0.0
+        if tree.parent[u] >= 0:
+            par_term = _term(gdown[u], down[u], into_parent[u], from_parent[u])
+        terms = [
+            _term(gup[c], up[c], from_parent[c], into_parent[c]) for c in kids
+        ]
+        prefix_sum = np.empty(len(kids) + 1)
+        prefix_sum[0] = 0.0
+        for i, t in enumerate(terms):
+            prefix_sum[i + 1] = prefix_sum[i] + t
+        suffix_sum = 0.0
+        g_vals = [0.0] * len(kids)
+        for i in range(len(kids) - 1, -1, -1):
+            others = par_term + prefix_sum[i] + suffix_sum
+            g_vals[i] = (1.0 - down[kids[i]]) * (1.0 + others)
+            suffix_sum += terms[i]
+        for i, v in enumerate(kids):
+            gdown[v] = g_vals[i]
+
+    # ------------------------------------------------------------------
+    # σ_S(B) and σ_S(B ∪ {u}) (Lemma 7).
+    # ------------------------------------------------------------------
+    sigma_val = float(ap.sum())
+    sigma_with = np.full(n, sigma_val)
+    for u in range(n):
+        if u in seeds or u in boost_set:
+            continue
+        # Boosted incoming probabilities (u joins B, so edges *into* u use p').
+        par = int(tree.parent[u])
+        neigh: list[int] = list(tree.children[u]) + ([par] if par >= 0 else [])
+        ap_wu = [up[c] for c in tree.children[u]] + ([down[u]] if par >= 0 else [])
+        # Edge child c -> u is c's "up" edge; edge parent -> u is u's "down" edge.
+        p_in_boosted = [tree.pp_up[c] for c in tree.children[u]] + (
+            [tree.pp_down[u]] if par >= 0 else []
+        )
+        factors = [1.0 - a * pb for a, pb in zip(ap_wu, p_in_boosted)]
+        prod_all = 1.0
+        for f in factors:
+            prod_all *= f
+        delta_ap_u = (1.0 - prod_all) - ap[u]
+
+        # Δap_B(u \ v) for each neighbour via prefix/suffix products.
+        msize = len(neigh)
+        pref = np.empty(msize + 1)
+        pref[0] = 1.0
+        for i, f in enumerate(factors):
+            pref[i + 1] = pref[i] * f
+        sufx = np.empty(msize + 1)
+        sufx[msize] = 1.0
+        for i in range(msize - 1, -1, -1):
+            sufx[i] = sufx[i + 1] * factors[i]
+
+        total = sigma_val + delta_ap_u
+        for i, v in enumerate(neigh):
+            # ap_B(u \ v): "down" value for child v, "up" value when v is parent.
+            ap_u_minus_v = down[v] if v != par else up[u]
+            delta_ap_uv = (1.0 - pref[i] * sufx[i + 1]) - ap_u_minus_v
+            if delta_ap_uv <= 0.0:
+                continue
+            # p^B_{u,v}: out-probability toward v, depends on v's boost status.
+            if v != par:
+                p_uv = tree.pp_down[v] if v in boost_set else tree.p_down[v]
+                g_vu = gup[v]
+            else:
+                p_uv = tree.pp_up[u] if v in boost_set else tree.p_up[u]
+                g_vu = gdown[u]
+            total += p_uv * delta_ap_uv * g_vu
+        sigma_with[u] = total
+
+    return TreeComputation(
+        boost=boost_set,
+        ap=ap,
+        up=up,
+        down=down,
+        gup=gup,
+        gdown=gdown,
+        sigma=sigma_val,
+        sigma_with=sigma_with,
+    )
+
+
+def sigma(tree: BidirectedTree, boost: AbstractSet[int]) -> float:
+    """Exact boosted influence spread ``σ_S(B)`` in O(n)."""
+    return compute_tree_state(tree, boost).sigma
+
+
+def delta(tree: BidirectedTree, boost: AbstractSet[int]) -> float:
+    """Exact boost of influence ``Δ_S(B) = σ_S(B) − σ_S(∅)``."""
+    return sigma(tree, boost) - sigma(tree, frozenset())

@@ -1,0 +1,69 @@
+"""Greedy-Boost: greedy k-boosting on bidirected trees (Section VI-A).
+
+Each round runs the O(n) exact computation of :mod:`repro.trees.exact`,
+which yields ``σ_S(B ∪ {u})`` for *every* candidate ``u`` simultaneously,
+then adds the argmax to ``B`` — overall O(kn), exactly the paper's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .bidirected import BidirectedTree
+from .exact import compute_tree_state
+
+__all__ = ["GreedyBoostResult", "greedy_boost"]
+
+
+@dataclass
+class GreedyBoostResult:
+    """Outcome of Greedy-Boost.
+
+    ``boost`` is the exact boost of influence ``Δ_S(B)`` of the selected
+    set, computed exactly (no sampling error on trees).
+    """
+
+    boost_set: List[int]
+    sigma: float
+    sigma_empty: float
+
+    @property
+    def boost(self) -> float:
+        return self.sigma - self.sigma_empty
+
+
+def greedy_boost(tree: BidirectedTree, k: int) -> GreedyBoostResult:
+    """Select ``k`` nodes greedily maximizing the exact boosted spread."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    state = compute_tree_state(tree, frozenset())
+    sigma_empty = state.sigma
+    boost: set[int] = set()
+    sigma_current = sigma_empty
+
+    for _ in range(k):
+        state = compute_tree_state(tree, boost)
+        sigma_current = state.sigma
+        gains = state.sigma_with - sigma_current
+        # Seeds and already-boosted nodes have zero gain by construction;
+        # mask them anyway for deterministic tie-breaks.
+        for v in tree.seeds:
+            gains[v] = -np.inf
+        for v in boost:
+            gains[v] = -np.inf
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-15:
+            break
+        boost.add(best)
+        sigma_current = float(state.sigma_with[best])
+
+    if boost:
+        sigma_current = compute_tree_state(tree, boost).sigma
+    return GreedyBoostResult(
+        boost_set=sorted(boost),
+        sigma=sigma_current,
+        sigma_empty=sigma_empty,
+    )

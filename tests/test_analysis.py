@@ -1,0 +1,85 @@
+"""Tests for graph analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DiGraph, GraphBuilder, path, preferential_attachment, star
+from repro.graphs.analysis import (
+    degree_statistics,
+    estimated_diameter,
+    largest_component_fraction,
+    reciprocity,
+    weakly_connected_components,
+)
+
+
+class TestDegreeStatistics:
+    def test_star(self):
+        g = star(5, outward=True)
+        stats = degree_statistics(g)
+        assert stats["max_out"] == 4
+        assert stats["mean_out"] == pytest.approx(4 / 5)
+        assert stats["max_in"] == 1
+
+    def test_heavy_tail_detected(self):
+        rng = np.random.default_rng(0)
+        g = preferential_attachment(200, 2, rng)
+        stats = degree_statistics(g)
+        assert stats["max_in"] > stats["median_in"]
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path(5)
+        comps = weakly_connected_components(g)
+        assert len(comps) == 1
+        assert largest_component_fraction(g) == 1.0
+
+    def test_two_components(self):
+        b = GraphBuilder(6)
+        b.add_edge(0, 1, 0.5)
+        b.add_edge(1, 2, 0.5)
+        b.add_edge(3, 4, 0.5)
+        g = b.build()  # node 5 isolated
+        comps = weakly_connected_components(g)
+        assert len(comps) == 3
+        assert len(comps[0]) == 3
+        assert largest_component_fraction(g) == pytest.approx(0.5)
+
+    def test_direction_ignored(self):
+        g = DiGraph(3, [1, 2], [0, 0], [0.5, 0.5], [0.5, 0.5])
+        assert len(weakly_connected_components(g)) == 1
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5)
+        b.add_bidirected_edge(1, 2, 0.5)
+        assert reciprocity(b.build()) == pytest.approx(1.0)
+
+    def test_no_reciprocity(self):
+        assert reciprocity(path(4)) == 0.0
+
+    def test_half(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5)  # 2 mutual edges
+        b.add_edge(1, 2, 0.5)             # 1 one-way edge
+        assert reciprocity(b.build()) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert reciprocity(DiGraph(2, [], [], [], [])) == 0.0
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert estimated_diameter(path(6)) == 5
+
+    def test_star_diameter(self):
+        assert estimated_diameter(star(6)) == 2
+
+    def test_lower_bound_property(self):
+        rng = np.random.default_rng(1)
+        g = preferential_attachment(100, 2, rng)
+        d = estimated_diameter(g)
+        assert 1 <= d <= 100

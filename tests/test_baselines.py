@@ -1,0 +1,125 @@
+"""Unit tests for the Section VII baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    high_degree_global,
+    high_degree_local,
+    more_seeds_baseline,
+    pagerank_baseline,
+    pagerank_scores,
+    weighted_degree_variants,
+)
+from repro.graphs import (
+    DiGraph,
+    GraphBuilder,
+    constant_probability,
+    learned_like,
+    preferential_attachment,
+    star,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+@pytest.fixture
+def social(rng):
+    return learned_like(preferential_attachment(120, 3, rng), rng, 0.25)
+
+
+class TestHighDegreeGlobal:
+    def test_returns_four_variants(self, social):
+        sets = high_degree_global(social, {0}, 5)
+        assert len(sets) == 4
+        for s in sets:
+            assert len(s) == 5
+            assert 0 not in s
+
+    def test_out_prob_variant_prefers_hub(self):
+        g = constant_probability(star(10, outward=True), 0.5)
+        sets = high_degree_global(g, {9}, 1)
+        # variant 1 scores by outgoing probability mass: hub 0 wins
+        assert sets[0] == [0]
+
+    def test_in_gap_variant_prefers_boostable(self):
+        # node 1 has a large p' - p gap on its incoming edge
+        g = DiGraph(3, [0, 0], [1, 2], [0.1, 0.1], [0.9, 0.1])
+        sets = high_degree_global(g, {0}, 1)
+        assert sets[2] == [1]
+
+    def test_k_larger_than_candidates(self, social):
+        sets = high_degree_global(social, set(range(115)), 10)
+        for s in sets:
+            assert len(s) == 5  # only 5 non-seeds exist
+
+
+class TestHighDegreeLocal:
+    def test_prefers_seed_neighbours(self):
+        # star: hub seed, leaves are the 1-hop neighbourhood
+        g = constant_probability(star(8, outward=True), 0.5)
+        sets = high_degree_local(g, {0}, 3)
+        for s in sets:
+            assert set(s) <= set(range(1, 8))
+
+    def test_expands_hops_when_needed(self):
+        # path 0 -> 1 -> 2 -> 3, seed 0, k=3 forces multi-hop expansion
+        from repro.graphs import path
+
+        g = constant_probability(path(4), 0.5)
+        sets = high_degree_local(g, {0}, 3)
+        for s in sets:
+            assert set(s) == {1, 2, 3}
+
+    def test_pads_with_far_nodes(self):
+        # disconnected candidates still produce k nodes
+        g = DiGraph(4, [0], [1], [0.5], [0.6])
+        sets = high_degree_local(g, {0}, 3)
+        for s in sets:
+            assert len(s) == 3
+
+    def test_variant_count(self, social):
+        assert len(weighted_degree_variants()) == 4
+
+
+class TestPageRank:
+    def test_scores_normalized(self, social):
+        scores = pagerank_scores(social)
+        assert scores.sum() == pytest.approx(1.0, abs=0.05)
+        assert np.all(scores >= 0)
+
+    def test_influencer_ranks_high(self):
+        # node 0 influences everyone strongly: it collects all the votes
+        g = constant_probability(star(10, outward=True), 0.9)
+        scores = pagerank_scores(g)
+        assert int(np.argmax(scores)) == 0
+
+    def test_baseline_excludes_seeds(self, social):
+        chosen = pagerank_baseline(social, {3, 4}, 10)
+        assert len(chosen) == 10
+        assert not {3, 4} & set(chosen)
+
+    def test_deterministic(self, social):
+        assert pagerank_baseline(social, {0}, 5) == pagerank_baseline(social, {0}, 5)
+
+
+class TestMoreSeeds:
+    def test_returns_k_non_seeds(self, social, rng):
+        chosen = more_seeds_baseline(social, {0, 1}, 5, rng, max_samples=2000)
+        assert len(chosen) <= 5
+        assert not {0, 1} & set(chosen)
+
+    def test_picks_uncovered_region(self, rng):
+        # two disjoint stars; seed covers the first, extra seeds must go to
+        # the second star's hub
+        b = GraphBuilder(12)
+        for leaf in range(1, 6):
+            b.add_edge(0, leaf, 0.9, 0.95)
+        for leaf in range(7, 12):
+            b.add_edge(6, leaf, 0.9, 0.95)
+        g = b.build()
+        chosen = more_seeds_baseline(g, {0}, 1, rng, max_samples=4000)
+        assert chosen == [6]

@@ -1,0 +1,113 @@
+"""Unit tests for repro.trees.bidirected."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    complete_binary_bidirected_tree,
+    constant_probability,
+    cycle,
+)
+from repro.trees import BidirectedTree
+
+
+def tree7():
+    return constant_probability(complete_binary_bidirected_tree(7), 0.3, beta=2.0)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        assert t.n == 7
+        assert t.root == 0
+        assert t.parent[0] == -1
+        assert sorted(t.children[0]) == [1, 2]
+
+    def test_rerooting(self):
+        t = BidirectedTree(tree7(), seeds={0}, root=3)
+        assert t.parent[3] == -1
+        assert t.parent[1] == 3
+        assert t.parent[0] == 1
+
+    def test_rejects_non_tree(self):
+        g = constant_probability(cycle(4), 0.5)
+        with pytest.raises(ValueError):
+            BidirectedTree(g, seeds={0})
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            BidirectedTree(tree7(), seeds=set())
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ValueError):
+            BidirectedTree(tree7(), seeds={99})
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValueError):
+            BidirectedTree(tree7(), seeds={0}, root=10)
+
+    def test_order_parents_first(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        position = {v: i for i, v in enumerate(t.order)}
+        for v in range(1, 7):
+            assert position[int(t.parent[v])] < position[v]
+
+    def test_probabilities_oriented(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 0.3, 0.5)
+        b.add_edge(1, 0, 0.2, 0.4)
+        t = BidirectedTree(b.build(), seeds={0})
+        assert t.p_down[1] == pytest.approx(0.3)   # parent(1)=0, edge 0->1
+        assert t.pp_down[1] == pytest.approx(0.5)
+        assert t.p_up[1] == pytest.approx(0.2)     # edge 1->0
+        assert t.pp_up[1] == pytest.approx(0.4)
+
+    def test_missing_direction_defaults_zero(self):
+        g = GraphBuilder(2).add_edge(0, 1, 0.3, 0.5).build()
+        t = BidirectedTree(g, seeds={0})
+        assert t.p_up[1] == 0.0
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        assert sorted(t.neighbors(1)) == [0, 3, 4]
+        assert sorted(t.neighbors(0)) == [1, 2]
+
+    def test_max_children(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        assert t.max_children() == 2
+
+    def test_subtree_nodes(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        assert sorted(t.subtree_nodes(1)) == [1, 3, 4]
+        assert sorted(t.subtree_nodes(0)) == list(range(7))
+
+    def test_edge_prob_boost_dependence(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        base = t.edge_prob(0, 1, set())
+        boosted = t.edge_prob(0, 1, {1})
+        assert boosted > base
+        # boosting the tail does not change the probability
+        assert t.edge_prob(0, 1, {0}) == base
+
+    def test_edge_prob_rejects_non_adjacent(self):
+        t = BidirectedTree(tree7(), seeds={0})
+        with pytest.raises(ValueError):
+            t.edge_prob(3, 5, set())
+
+    def test_to_digraph_roundtrip(self):
+        g = tree7()
+        t = BidirectedTree(g, seeds={0})
+        g2 = t.to_digraph()
+        assert g2.n == g.n
+        assert g2.m == g.m
+        probs = {(u, v): (p, pp) for u, v, p, pp in g.edges()}
+        for u, v, p, pp in g2.edges():
+            assert probs[(u, v)] == pytest.approx((p, pp))
+
+    def test_is_seed(self):
+        t = BidirectedTree(tree7(), seeds={2})
+        assert t.is_seed(2)
+        assert not t.is_seed(0)

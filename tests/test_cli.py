@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_boost_defaults(self):
+        args = build_parser().parse_args(["boost"])
+        assert args.dataset == "digg-like"
+        assert args.k == 50
+        assert not args.lb
+
+    def test_boost_lb_flag(self):
+        args = build_parser().parse_args(["boost", "--lb", "--k", "10"])
+        assert args.lb
+        assert args.k == 10
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["boost", "--dataset", "orkut"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "digg-like" in out
+        assert "flickr-like" in out
+
+    def test_boost_small(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "3",
+                "boost",
+                "--k",
+                "5",
+                "--seeds",
+                "5",
+                "--max-samples",
+                "500",
+                "--mc-runs",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "boost set" in out
+
+    def test_tree_small(self, capsys):
+        code = main(
+            ["--seed", "3", "tree", "--nodes", "63", "--k", "3", "--seeds", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Greedy-Boost" in out
+        assert "DP-Boost" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "3",
+                "compare",
+                "--k",
+                "5",
+                "--seeds",
+                "5",
+                "--max-samples",
+                "400",
+                "--mc-runs",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PRR-Boost" in out
+
+    def test_budget_small(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "3",
+                "budget",
+                "--max-seeds",
+                "4",
+                "--cost-ratio",
+                "5",
+                "--max-samples",
+                "300",
+                "--mc-runs",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed budget" in out

@@ -1,0 +1,58 @@
+"""Tests for the synthetic dataset stand-ins (Table 1 analogues)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, load_dataset
+
+
+class TestDatasets:
+    def test_four_datasets(self):
+        assert dataset_names() == [
+            "digg-like",
+            "flixster-like",
+            "twitter-like",
+            "flickr-like",
+        ]
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_deterministic(self):
+        g1 = load_dataset("digg-like", seed=7)
+        g2 = load_dataset("digg-like", seed=7)
+        assert g1.n == g2.n and g1.m == g2.m
+        assert list(g1.edges())[:20] == list(g2.edges())[:20]
+
+    def test_different_seeds_differ(self):
+        g1 = load_dataset("digg-like", seed=7)
+        g2 = load_dataset("digg-like", seed=8)
+        assert list(g1.edges())[:50] != list(g2.edges())[:50]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook-like")
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_mean_probability_matches_table1(self, name):
+        g = load_dataset(name)
+        target = DATASETS[name].mean_probability
+        assert g.average_probability() == pytest.approx(target, rel=0.2)
+
+    def test_relative_sizes_follow_table1(self):
+        sizes = {name: load_dataset(name).n for name in dataset_names()}
+        assert sizes["digg-like"] < sizes["flixster-like"] < sizes["twitter-like"]
+        assert sizes["flickr-like"] > sizes["twitter-like"]
+
+    def test_flickr_like_is_sparse_influence(self):
+        g = load_dataset("flickr-like")
+        assert g.average_probability() < 0.05
+
+    def test_twitter_like_is_high_influence(self):
+        g = load_dataset("twitter-like")
+        assert g.average_probability() > 0.4
+
+    def test_beta_parameter(self):
+        g2 = load_dataset("digg-like", beta=2.0)
+        g4 = load_dataset("digg-like", beta=4.0)
+        _s, _d, p2, pp2 = g2.edge_arrays()
+        _s, _d, p4, pp4 = g4.edge_arrays()
+        assert np.all(pp4 >= pp2 - 1e-12)

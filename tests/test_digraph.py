@@ -1,0 +1,191 @@
+"""Unit tests for repro.graphs.digraph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DiGraph, GraphBuilder
+
+
+def small_graph():
+    #  0 -> 1 (0.5/0.75), 0 -> 2 (0.2/0.4), 1 -> 2 (1.0/1.0), 2 -> 0 (0.1/0.1)
+    return DiGraph(
+        3,
+        [0, 0, 1, 2],
+        [1, 2, 2, 0],
+        [0.5, 0.2, 1.0, 0.1],
+        [0.75, 0.4, 1.0, 0.1],
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = small_graph()
+        assert g.n == 3
+        assert g.m == 4
+
+    def test_empty_graph(self):
+        g = DiGraph(5, [], [], [], [])
+        assert g.n == 5
+        assert g.m == 0
+        assert g.out_degree(0) == 0
+        assert list(g.edges()) == []
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            DiGraph(0, [], [], [], [])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            DiGraph(3, [0], [1, 2], [0.5, 0.5], [0.5, 0.5])
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [0], [5], [0.5], [0.5])
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [0], [1], [1.5], [1.5])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [0], [1], [-0.1], [0.5])
+
+    def test_rejects_boosted_below_base(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [0], [1], [0.5], [0.3])
+
+    def test_pp_defaults_to_p(self):
+        g = DiGraph(2, [0], [1], [0.5])
+        assert g.out_boosted_probs(0)[0] == pytest.approx(0.5)
+
+    def test_from_edges(self):
+        g = DiGraph.from_edges(3, [(0, 1, 0.5, 0.6), (1, 2, 0.3, 0.3)])
+        assert g.m == 2
+        assert g.out_probs(0)[0] == pytest.approx(0.5)
+
+    def test_from_edges_empty(self):
+        g = DiGraph.from_edges(2, [])
+        assert g.m == 0
+
+
+class TestAccessors:
+    def test_out_neighbors(self):
+        g = small_graph()
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.out_neighbors(1).tolist() == [2]
+
+    def test_in_neighbors(self):
+        g = small_graph()
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+        assert g.in_neighbors(0).tolist() == [2]
+
+    def test_probability_alignment_out(self):
+        g = small_graph()
+        targets = g.out_neighbors(0).tolist()
+        probs = g.out_probs(0).tolist()
+        mapping = dict(zip(targets, probs))
+        assert mapping[1] == pytest.approx(0.5)
+        assert mapping[2] == pytest.approx(0.2)
+
+    def test_probability_alignment_in(self):
+        g = small_graph()
+        sources = g.in_neighbors(2).tolist()
+        boosted = g.in_boosted_probs(2).tolist()
+        mapping = dict(zip(sources, boosted))
+        assert mapping[0] == pytest.approx(0.4)
+        assert mapping[1] == pytest.approx(1.0)
+
+    def test_degrees(self):
+        g = small_graph()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.out_degrees().tolist() == [2, 1, 1]
+        assert g.in_degrees().tolist() == [1, 1, 2]
+
+    def test_edges_iteration_order(self):
+        g = small_graph()
+        edges = list(g.edges())
+        assert edges[0] == (0, 1, 0.5, 0.75)
+        assert len(edges) == 4
+
+    def test_average_probability(self):
+        g = small_graph()
+        assert g.average_probability() == pytest.approx((0.5 + 0.2 + 1.0 + 0.1) / 4)
+
+    def test_average_probability_empty(self):
+        assert DiGraph(2, [], [], [], []).average_probability() == 0.0
+
+
+class TestTransformations:
+    def test_reverse(self):
+        g = small_graph()
+        r = g.reverse()
+        assert sorted(r.out_neighbors(2).tolist()) == [0, 1]
+        assert r.in_neighbors(1).tolist() == [2]
+        # probabilities ride along with the reversed edges
+        targets = r.out_neighbors(1).tolist()
+        assert targets == [0]
+        assert r.out_probs(1)[0] == pytest.approx(0.5)
+
+    def test_with_probabilities(self):
+        g = small_graph()
+        g2 = g.with_probabilities([0.1] * 4, [0.2] * 4)
+        assert g2.out_probs(0)[0] == pytest.approx(0.1)
+        assert g.out_probs(0)[0] == pytest.approx(0.5)  # original untouched
+
+    def test_is_bidirected_tree_true(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5)
+        b.add_bidirected_edge(1, 2, 0.5)
+        assert b.build().is_bidirected_tree()
+
+    def test_is_bidirected_tree_cycle(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5)
+        b.add_bidirected_edge(1, 2, 0.5)
+        b.add_bidirected_edge(2, 0, 0.5)
+        assert not b.build().is_bidirected_tree()
+
+    def test_is_bidirected_tree_disconnected(self):
+        b = GraphBuilder(4)
+        b.add_bidirected_edge(0, 1, 0.5)
+        b.add_bidirected_edge(2, 3, 0.5)
+        assert not b.build().is_bidirected_tree()
+
+    def test_single_direction_tree_counts(self):
+        # A one-directional tree still has a tree as underlying graph.
+        g = DiGraph(3, [0, 1], [1, 2], [0.5, 0.5], [0.5, 0.5])
+        assert g.is_bidirected_tree()
+
+
+class TestGraphBuilder:
+    def test_overwrite_edge(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 0.1)
+        b.add_edge(0, 1, 0.9, 0.95)
+        g = b.build()
+        assert g.m == 1
+        assert g.out_probs(0)[0] == pytest.approx(0.9)
+        assert g.out_boosted_probs(0)[0] == pytest.approx(0.95)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(2).add_edge(1, 1, 0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(2).add_edge(0, 2, 0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(0)
+
+    def test_len(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5)
+        assert len(b) == 2
+
+    def test_build_empty(self):
+        g = GraphBuilder(3).build()
+        assert g.n == 3
+        assert g.m == 0

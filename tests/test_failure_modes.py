@@ -1,0 +1,132 @@
+"""Failure-injection and robustness tests across modules.
+
+These exercise edge conditions a production user hits: degenerate
+probabilities, isolated nodes, seeds covering the whole graph, boost sets
+overlapping seeds, budgets larger than the candidate pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    collection_stats,
+    estimate_delta,
+    greedy_delta_selection,
+    prr_boost,
+    prr_boost_lb,
+    sample_prr_graph,
+)
+from repro.diffusion import estimate_boost, estimate_sigma, simulate_spread
+from repro.graphs import DiGraph, GraphBuilder, constant_probability, path, star
+from repro.trees import BidirectedTree, greedy_boost, dp_boost
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestDegenerateProbabilities:
+    def test_all_zero_probabilities(self, rng):
+        g = constant_probability(path(5), 0.0, beta=1.0)
+        assert estimate_sigma(g, {0}, set(), rng, runs=50) == pytest.approx(1.0)
+        result = prr_boost(g, {0}, 2, rng, max_samples=300)
+        # nothing is boostable: p' == p == 0 everywhere
+        assert estimate_boost(g, {0}, result.boost_set, rng, runs=100) == 0.0
+
+    def test_all_one_probabilities(self, rng):
+        g = constant_probability(path(5), 1.0, beta=1.0)
+        assert estimate_sigma(g, {0}, set(), rng, runs=20) == pytest.approx(5.0)
+        prr = sample_prr_graph(g, frozenset({0}), 2, rng, root=4)
+        assert prr.status == "activated"
+
+    def test_boost_gap_only(self, rng):
+        # p = 0, p' = 1: nothing spreads unless boosted.
+        g = DiGraph(3, [0, 1], [1, 2], [0.0, 0.0], [1.0, 1.0])
+        result = prr_boost(g, {0}, 2, rng, max_samples=2000)
+        assert set(result.boost_set) == {1, 2}
+
+
+class TestStructuralEdges:
+    def test_isolated_nodes(self, rng):
+        g = DiGraph(10, [0], [1], [0.5], [0.9])  # nodes 2..9 isolated
+        result = prr_boost(g, {0}, 3, rng, max_samples=500)
+        # only node 1 can ever be usefully boosted
+        assert set(result.boost_set) <= {1} or result.boost_set == []
+
+    def test_seeds_cover_everything(self, rng):
+        g = constant_probability(path(4), 0.5)
+        result = prr_boost(g, {0, 1, 2, 3}, 2, rng, max_samples=300)
+        assert result.boost_set == []
+        assert result.estimated_boost == 0.0
+
+    def test_k_exceeds_candidates(self, rng):
+        g = constant_probability(path(3), 0.3)
+        result = prr_boost(g, {0}, 10, rng, max_samples=1000)
+        assert len(result.boost_set) <= 2
+
+    def test_star_all_leaves_boostable(self, rng):
+        g = constant_probability(star(6, outward=True), 0.3, beta=3.0)
+        result = prr_boost_lb(g, {0}, 5, rng, max_samples=2000)
+        assert set(result.boost_set) <= set(range(1, 6))
+
+
+class TestSimulationEdgeCases:
+    def test_boost_of_nonexistent_node_rejected_by_model(self):
+        from repro.diffusion import BoostingModel
+
+        g = constant_probability(path(3), 0.5)
+        model = BoostingModel(g, [0])
+        with pytest.raises(ValueError):
+            model.validate_boost_set([99])
+
+    def test_simulate_with_all_nodes_boosted(self, rng):
+        g = constant_probability(path(4), 0.5, beta=2.0)
+        active = simulate_spread(g, {0}, set(range(4)), rng)
+        assert 0 in active
+
+    def test_estimator_empty_collection_zero(self):
+        assert estimate_delta([], 5, {1}) == 0.0
+
+    def test_greedy_delta_all_hopeless(self, rng):
+        g = constant_probability(path(3), 0.0, beta=1.0)
+        prrs = [sample_prr_graph(g, frozenset({0}), 2, rng) for _ in range(20)]
+        chosen, estimate = greedy_delta_selection(prrs, 3, 2)
+        assert chosen == []
+        assert estimate == 0.0
+        stats = collection_stats(prrs)
+        assert stats.boostable == 0
+
+
+class TestTreeEdgeCases:
+    def test_two_node_tree(self, rng):
+        b = GraphBuilder(2)
+        b.add_bidirected_edge(0, 1, 0.3, 0.51)
+        t = BidirectedTree(b.build(), seeds={0})
+        result = greedy_boost(t, 1)
+        assert result.boost_set == [1]
+        assert result.boost == pytest.approx(0.21)
+
+    def test_dp_two_node_tree(self, rng):
+        b = GraphBuilder(2)
+        b.add_bidirected_edge(0, 1, 0.3, 0.51)
+        t = BidirectedTree(b.build(), seeds={0})
+        result = dp_boost(t, 1, epsilon=0.5)
+        assert result.boost_set == [1]
+        assert result.boost == pytest.approx(0.21)
+        assert result.dp_value <= result.boost + 1e-9
+
+    def test_all_seeds_tree(self, rng):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.3, 0.51)
+        b.add_bidirected_edge(1, 2, 0.3, 0.51)
+        t = BidirectedTree(b.build(), seeds={0, 1, 2})
+        assert greedy_boost(t, 2).boost == pytest.approx(0.0)
+
+    def test_dp_nothing_boostable(self, rng):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5, 0.5)  # p' == p
+        b.add_bidirected_edge(1, 2, 0.5, 0.5)
+        t = BidirectedTree(b.build(), seeds={0})
+        result = dp_boost(t, 2, epsilon=0.5)
+        assert result.boost == pytest.approx(0.0)

@@ -1,0 +1,142 @@
+"""Unit tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_binary_bidirected_tree,
+    cycle,
+    erdos_renyi,
+    path,
+    preferential_attachment,
+    random_bidirected_tree,
+    star,
+)
+from repro.graphs.generators import tree_parents
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_sized(self, rng):
+        g = preferential_attachment(100, 3, rng)
+        assert g.n == 100
+        # every node except the first adds >= min(3, v) edges
+        assert g.m >= 3 * 97
+
+    def test_degree_skew(self, rng):
+        g = preferential_attachment(300, 2, rng)
+        indeg = g.in_degrees()
+        # heavy tail: the max in-degree should far exceed the median
+        assert indeg.max() >= 5 * max(np.median(indeg), 1)
+
+    def test_rejects_tiny(self, rng):
+        with pytest.raises(ValueError):
+            preferential_attachment(1, 1, rng)
+        with pytest.raises(ValueError):
+            preferential_attachment(10, 0, rng)
+
+    def test_no_self_loops(self, rng):
+        g = preferential_attachment(50, 2, rng)
+        for u, v, _p, _pp in g.edges():
+            assert u != v
+
+    def test_reciprocity_increases_edges(self, rng):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        g_none = preferential_attachment(200, 2, rng1, reciprocity=0.0)
+        g_full = preferential_attachment(200, 2, rng2, reciprocity=1.0)
+        assert g_full.m > g_none.m
+
+
+class TestErdosRenyi:
+    def test_edge_count_concentration(self, rng):
+        g = erdos_renyi(100, 0.05, rng)
+        expected = 0.05 * 100 * 99
+        assert 0.5 * expected < g.m < 1.5 * expected
+
+    def test_p_zero_and_one(self, rng):
+        assert erdos_renyi(10, 0.0, rng).m == 0
+        assert erdos_renyi(10, 1.0, rng).m == 90
+
+    def test_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5, rng)
+
+
+class TestTrees:
+    def test_complete_binary_structure(self):
+        g = complete_binary_bidirected_tree(7)
+        assert g.is_bidirected_tree()
+        assert g.m == 2 * 6  # both directions
+
+    def test_complete_binary_children(self):
+        g = complete_binary_bidirected_tree(7)
+        assert sorted(int(v) for v in g.out_neighbors(0)) == [1, 2]
+
+    def test_single_node(self):
+        g = complete_binary_bidirected_tree(1)
+        assert g.n == 1
+        assert g.m == 0
+
+    def test_random_tree_is_tree(self, rng):
+        g = random_bidirected_tree(50, rng)
+        assert g.is_bidirected_tree()
+
+    def test_random_tree_max_children(self, rng):
+        g = random_bidirected_tree(60, rng, max_children=2)
+        _parent, children = tree_parents(g, 0)
+        assert max(len(c) for c in children) <= 2
+
+    def test_tree_parents_roundtrip(self, rng):
+        g = random_bidirected_tree(30, rng)
+        parent, children = tree_parents(g, 0)
+        assert parent[0] == -1
+        # every non-root node has exactly one parent and appears in its
+        # parent's child list
+        for v in range(1, 30):
+            assert parent[v] >= 0
+            assert v in children[parent[v]]
+
+    def test_tree_parents_rejects_disconnected(self):
+        from repro.graphs import GraphBuilder
+
+        b = GraphBuilder(4)
+        b.add_bidirected_edge(0, 1, 0.5)
+        b.add_bidirected_edge(2, 3, 0.5)
+        with pytest.raises(ValueError):
+            tree_parents(b.build(), 0)
+
+
+class TestSimpleShapes:
+    def test_star_outward(self):
+        g = star(5, outward=True)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star(5, outward=False)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_path(self):
+        g = path(4)
+        assert g.m == 3
+        assert g.out_neighbors(0).tolist() == [1]
+        assert g.out_degree(3) == 0
+
+    def test_cycle(self):
+        g = cycle(4)
+        assert g.m == 4
+        assert g.out_neighbors(3).tolist() == [0]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            star(1)
+        with pytest.raises(ValueError):
+            path(0)
+        with pytest.raises(ValueError):
+            cycle(1)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.im.greedy (max coverage and CELF)."""
+
+import pytest
+
+from repro.im import greedy_max_coverage, lazy_greedy
+
+
+class TestGreedyMaxCoverage:
+    def test_single_best_node(self):
+        sets = [{1}, {1}, {1, 2}, {3}]
+        chosen, covered = greedy_max_coverage(sets, 1)
+        assert chosen == [1]
+        assert covered == 3
+
+    def test_two_rounds(self):
+        sets = [{1}, {1}, {2}, {2}, {3}]
+        chosen, covered = greedy_max_coverage(sets, 2)
+        assert set(chosen) == {1, 2}
+        assert covered == 4
+
+    def test_empty_sets_never_covered(self):
+        sets = [set(), set(), {5}]
+        chosen, covered = greedy_max_coverage(sets, 3)
+        assert chosen == [5]
+        assert covered == 1
+
+    def test_candidate_restriction(self):
+        sets = [{1, 2}, {1}, {2}]
+        chosen, covered = greedy_max_coverage(sets, 1, candidates={2})
+        assert chosen == [2]
+        assert covered == 2
+
+    def test_k_zero(self):
+        assert greedy_max_coverage([{1}], 0) == ([], 0)
+
+    def test_stops_when_no_gain(self):
+        sets = [{1}]
+        chosen, covered = greedy_max_coverage(sets, 5)
+        assert chosen == [1]
+        assert covered == 1
+
+    def test_greedy_is_optimal_here(self):
+        # classic max-cover instance where greedy matches optimum
+        sets = [{1, 2}, {2, 3}, {3, 4}, {4, 1}]
+        chosen, covered = greedy_max_coverage(sets, 2)
+        assert covered == 4
+
+    def test_deterministic_given_input(self):
+        sets = [{1, 2}, {2}, {1}]
+        a = greedy_max_coverage(sets, 2)
+        b = greedy_max_coverage(sets, 2)
+        assert a == b
+
+
+class TestLazyGreedy:
+    def test_matches_plain_greedy_on_modular(self):
+        # modular gains: the best k singletons win
+        weights = {1: 5.0, 2: 3.0, 3: 1.0, 4: 4.0}
+
+        def gain(v, chosen):
+            return weights[v]
+
+        chosen = lazy_greedy(list(weights), 2, gain)
+        assert set(chosen) == {1, 4}
+
+    def test_submodular_coverage(self):
+        universe_sets = {1: {10, 11}, 2: {11, 12}, 3: {13}}
+
+        def gain(v, chosen):
+            covered = set().union(*(universe_sets[c] for c in chosen)) if chosen else set()
+            return len(universe_sets[v] - covered)
+
+        chosen = lazy_greedy([1, 2, 3], 2, gain)
+        assert chosen[0] == 1 or chosen[0] == 2
+        assert len(chosen) == 2
+
+    def test_stops_at_zero_gain(self):
+        chosen = lazy_greedy([1, 2], 2, lambda v, c: 0.0)
+        assert chosen == []
+
+    def test_k_zero(self):
+        assert lazy_greedy([1, 2], 0, lambda v, c: 1.0) == []

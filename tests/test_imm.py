@@ -1,0 +1,80 @@
+"""Unit tests for repro.im.imm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import constant_probability, star, path
+from repro.im import imm, imm_sampling, log_binomial
+from repro.im.imm import estimate_influence
+from repro.im.rr import RRSampler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestLogBinomial:
+    def test_known_values(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+        assert log_binomial(10, 10) == pytest.approx(0.0)
+
+    def test_out_of_range(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+
+    def test_symmetry(self):
+        assert log_binomial(20, 7) == pytest.approx(log_binomial(20, 13))
+
+
+class TestIMM:
+    def test_star_hub_wins(self, rng):
+        g = constant_probability(star(20, outward=True), 0.9)
+        result = imm(g, 1, rng, max_samples=5000)
+        assert result.chosen == [0]
+
+    def test_influence_estimate_close(self, rng):
+        # hub + 19 leaves at p: sigma({hub}) = 1 + 19p
+        p = 0.5
+        g = constant_probability(star(20, outward=True), p)
+        result = imm(g, 1, rng, max_samples=20000)
+        assert result.estimate == pytest.approx(1 + 19 * p, rel=0.15)
+
+    def test_k_equals_two_on_path(self, rng):
+        g = constant_probability(path(10), 0.01)
+        result = imm(g, 2, rng, max_samples=5000)
+        assert len(result.chosen) == 2
+        assert len(set(result.chosen)) == 2
+
+    def test_validation(self, rng):
+        g = constant_probability(path(5), 0.5)
+        sampler = RRSampler(g)
+        with pytest.raises(ValueError):
+            imm_sampling(sampler, 0, 0.5, 1.0, rng)
+        with pytest.raises(ValueError):
+            imm_sampling(sampler, 1, 1.5, 1.0, rng)
+
+    def test_max_samples_cap(self, rng):
+        g = constant_probability(path(8), 0.1)
+        samples = imm_sampling(RRSampler(g), 1, 0.5, 1.0, rng, max_samples=100)
+        assert len(samples) <= 100
+
+    def test_result_fields_consistent(self, rng):
+        g = constant_probability(star(10), 0.5)
+        result = imm(g, 2, rng, max_samples=3000)
+        assert result.theta == len(result.samples)
+        assert result.estimate == pytest.approx(
+            g.n * result.coverage / result.theta
+        )
+
+
+class TestEstimateInfluence:
+    def test_identity(self):
+        samples = [frozenset({1}), frozenset({2}), frozenset({1, 3})]
+        assert estimate_influence(samples, 6, {1}) == pytest.approx(6 * 2 / 3)
+
+    def test_empty_samples(self):
+        assert estimate_influence([], 5, {1}) == 0.0

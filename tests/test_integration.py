@@ -1,0 +1,111 @@
+"""Cross-module integration tests.
+
+These exercise the whole pipeline the way the paper's experiments do:
+datasets -> seed selection -> boosting algorithms -> Monte Carlo
+evaluation, plus agreement checks between independent implementations
+(PRR estimates vs simulation; tree algorithms vs general-graph machinery).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import more_seeds_baseline, pagerank_baseline
+from repro.core import prr_boost, prr_boost_lb, sample_prr_graph
+from repro.core.estimator import estimate_delta
+from repro.datasets import load_dataset
+from repro.diffusion import estimate_boost, estimate_sigma
+from repro.graphs import (
+    GraphBuilder,
+    complete_binary_bidirected_tree,
+    constant_probability,
+)
+from repro.im import imm
+from repro.trees import BidirectedTree, delta as tree_delta, greedy_boost
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestFullPipeline:
+    def test_dataset_to_boost(self, rng):
+        g = load_dataset("digg-like")
+        seeds = imm(g, 10, rng, max_samples=3000).chosen
+        result = prr_boost(g, seeds, 20, rng, max_samples=2500)
+        assert len(result.boost_set) == 20
+        boost = estimate_boost(g, seeds, result.boost_set, rng, runs=800)
+        assert boost > 0
+
+    def test_boosting_beats_more_seeds_when_spread_saturates(self, rng):
+        """The paper's headline: boosting near seeds beats extra seeding.
+
+        Construct a graph where seeds already reach everything weakly; a
+        boost at the gateway multiplies spread, while an extra seed adds
+        little.
+        """
+        b = GraphBuilder(30)
+        b.add_edge(0, 1, 0.15, 0.95)  # gateway with huge boost gap
+        for leaf in range(2, 30):
+            b.add_edge(1, leaf, 0.95, 0.95)
+        g = b.build()
+        seeds = [0]
+        k = 1
+        ours = prr_boost(g, seeds, k, rng, max_samples=4000).boost_set
+        extra = more_seeds_baseline(g, seeds, k, rng, max_samples=4000)
+        boost_ours = estimate_boost(g, seeds, ours, rng, runs=4000)
+        boost_extra = estimate_boost(g, seeds, extra, rng, runs=4000)
+        assert ours == [1]
+        assert boost_ours > boost_extra
+
+    def test_prr_estimate_agrees_with_simulation(self, rng):
+        g = load_dataset("digg-like")
+        seeds = set(imm(g, 5, rng, max_samples=2000).chosen)
+        boost = set(pagerank_baseline(g, seeds, 20))
+        prrs = [sample_prr_graph(g, frozenset(seeds), 20, rng) for _ in range(4000)]
+        est = estimate_delta(prrs, g.n, boost)
+        mc = estimate_boost(g, seeds, boost, rng, runs=4000)
+        # both estimate Delta_S(B); tolerate Monte Carlo noise
+        assert est == pytest.approx(mc, abs=max(0.35 * max(mc, 1.0), 1.0))
+
+
+class TestTreeVsGeneralGraph:
+    def test_prr_boost_on_tree_agrees_with_greedy(self, rng):
+        """PRR-Boost run on a tree (as a general graph) should find a boost
+        set comparable to the exact tree greedy."""
+        g = constant_probability(complete_binary_bidirected_tree(31), 0.2, beta=2.0)
+        seeds = {0}
+        tree = BidirectedTree(g, seeds=seeds)
+        k = 3
+
+        greedy = greedy_boost(tree, k)
+        result = prr_boost(g, seeds, k, rng, max_samples=6000)
+        prr_exact = tree_delta(tree, set(result.boost_set))
+        assert prr_exact >= 0.6 * greedy.boost
+
+    def test_tree_exact_matches_simulation(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(15), 0.3, beta=2.0)
+        tree = BidirectedTree(g, seeds={0})
+        boost = {1, 2}
+        exact = tree_delta(tree, boost)
+        mc = estimate_boost(g, {0}, boost, rng, runs=20000)
+        assert mc == pytest.approx(exact, abs=0.15)
+
+
+class TestSeedModesMatchPaperShape:
+    def test_influential_seeds_spread_more(self, rng):
+        g = load_dataset("digg-like")
+        influential = imm(g, 10, rng, max_samples=3000).chosen
+        random_seeds = rng.choice(g.n, size=10, replace=False).tolist()
+        s_inf = estimate_sigma(g, influential, set(), rng, runs=500)
+        s_rnd = estimate_sigma(g, random_seeds, set(), rng, runs=500)
+        assert s_inf > s_rnd
+
+    def test_lb_faster_than_full(self, rng):
+        g = load_dataset("flixster-like")
+        seeds = imm(g, 10, rng, max_samples=2000).chosen
+        full = prr_boost(g, seeds, 20, rng, max_samples=1500)
+        lb = prr_boost_lb(g, seeds, 20, rng, max_samples=1500)
+        # LB generation only materializes critical sets; with equal sample
+        # counts it should not be slower by much (paper: it is faster).
+        assert lb.elapsed_seconds <= full.elapsed_seconds * 1.5

@@ -1,0 +1,67 @@
+"""Unit tests for repro.graphs.io."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    preferential_attachment,
+    learned_like,
+    read_edge_list,
+    write_edge_list,
+    DiGraph,
+)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        rng = np.random.default_rng(3)
+        g = learned_like(preferential_attachment(60, 2, rng), rng, 0.3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.n == g.n
+        assert g2.m == g.m
+        for e1, e2 in zip(g.edges(), g2.edges()):
+            assert e1[0] == e2[0] and e1[1] == e2[1]
+            assert e1[2] == pytest.approx(e2[2])
+            assert e1[3] == pytest.approx(e2[3])
+
+    def test_roundtrip_isolated_trailing_node(self, tmp_path):
+        g = DiGraph(5, [0], [1], [0.5], [0.6])  # nodes 2..4 isolated
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).n == 5
+
+    def test_empty_graph(self, tmp_path):
+        g = DiGraph(3, [], [], [], [])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.n == 3
+        assert g2.m == 0
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# n 3\n\n# a comment\n0 1 0.5 0.6\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 1
+
+    def test_headerless_infers_n(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 2 0.5 0.6\n")
+        assert read_edge_list(path).n == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 0.5\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_headerless_empty_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)

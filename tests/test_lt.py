@@ -1,0 +1,95 @@
+"""Tests for the Linear Threshold extension (repro.diffusion.lt)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    estimate_lt_boost,
+    normalize_lt_weights,
+    simulate_lt_spread,
+)
+from repro.graphs import DiGraph, constant_probability, path, star
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestNormalize:
+    def test_heavy_node_scaled(self):
+        # three edges of weight 0.5 into node 3 -> scaled to sum 1
+        g = DiGraph(4, [0, 1, 2], [3, 3, 3], [0.5] * 3, [0.8] * 3)
+        norm = normalize_lt_weights(g)
+        assert norm.in_probs(3).sum() == pytest.approx(1.0)
+
+    def test_light_node_untouched(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.3, 0.3], [0.5, 0.5])
+        norm = normalize_lt_weights(g)
+        assert norm.in_probs(2).tolist() == pytest.approx([0.3, 0.3])
+
+    def test_boost_ratio_preserved(self):
+        g = DiGraph(4, [0, 1, 2], [3, 3, 3], [0.5] * 3, [1.0] * 3)
+        norm = normalize_lt_weights(g)
+        _s, _d, p, pp = norm.edge_arrays()
+        assert np.all(pp >= p)
+
+
+class TestSimulateLT:
+    def test_seeds_active(self, rng):
+        g = normalize_lt_weights(constant_probability(path(4), 0.4))
+        active = simulate_lt_spread(g, {0}, set(), rng)
+        assert 0 in active
+
+    def test_full_weight_chain_activates(self, rng):
+        g = constant_probability(path(4), 1.0, beta=1.0)
+        active = simulate_lt_spread(g, {0}, set(), rng)
+        assert active == {0, 1, 2, 3}
+
+    def test_zero_weight_never_spreads(self, rng):
+        g = constant_probability(path(4), 0.0, beta=1.0)
+        for _ in range(10):
+            assert simulate_lt_spread(g, {0}, set(), rng) == {0}
+
+    def test_boost_weakly_helps(self, rng):
+        # weight 0.5 base, 1.0 boosted: boosted node always activates
+        g = DiGraph(2, [0], [1], [0.5], [1.0])
+        wins_base = sum(
+            1 for _ in range(2000) if 1 in simulate_lt_spread(g, {0}, set(), rng)
+        )
+        wins_boost = sum(
+            1 for _ in range(2000) if 1 in simulate_lt_spread(g, {0}, {1}, rng)
+        )
+        assert wins_boost > wins_base
+        assert wins_boost == 2000  # weight 1.0 >= any threshold
+
+    def test_activation_probability_matches_weight(self, rng):
+        # single edge weight w: P[activate] = P[theta <= w] = w
+        w = 0.35
+        g = DiGraph(2, [0], [1], [w], [w])
+        wins = sum(
+            1 for _ in range(20000) if 1 in simulate_lt_spread(g, {0}, set(), rng)
+        )
+        assert wins / 20000 == pytest.approx(w, abs=0.02)
+
+
+class TestEstimateLTBoost:
+    def test_boost_estimate_positive(self, rng):
+        g = normalize_lt_weights(constant_probability(star(10, outward=True), 0.3))
+        boost = estimate_lt_boost(g, {0}, set(range(1, 10)), rng, runs=1500)
+        assert boost > 0
+
+    def test_empty_boost_is_zero(self, rng):
+        g = normalize_lt_weights(constant_probability(star(6, outward=True), 0.3))
+        assert estimate_lt_boost(g, {0}, set(), rng, runs=200) == pytest.approx(0.0)
+
+    def test_runs_validation(self, rng):
+        g = constant_probability(path(3), 0.5)
+        with pytest.raises(ValueError):
+            estimate_lt_boost(g, {0}, set(), rng, runs=0)
+
+    def test_single_edge_exact(self, rng):
+        # boost gap on one edge: E[boost] = pp - p
+        g = DiGraph(2, [0], [1], [0.3], [0.7])
+        est = estimate_lt_boost(g, {0}, {1}, rng, runs=20000)
+        assert est == pytest.approx(0.4, abs=0.02)

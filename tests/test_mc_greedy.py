@@ -1,0 +1,53 @@
+"""Tests for the Monte-Carlo greedy reference algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import mc_greedy_boost, prr_boost
+from repro.diffusion import optimal_boost_set
+from repro.graphs import DiGraph, GraphBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(47)
+
+
+def gateway_graph():
+    b = GraphBuilder(8)
+    b.add_edge(0, 1, 0.1, 0.9)
+    for leaf in range(2, 8):
+        b.add_edge(1, leaf, 1.0, 1.0)
+    return b.build()
+
+
+class TestMCGreedy:
+    def test_finds_gateway(self, rng):
+        g = gateway_graph()
+        chosen = mc_greedy_boost(g, {0}, 1, rng, runs=800)
+        assert chosen == [1]
+
+    def test_matches_oracle_small(self, rng):
+        g = DiGraph(3, [0, 1], [1, 2], [0.2, 0.1], [0.4, 0.2])
+        oracle, _value = optimal_boost_set(g, {0}, 2)
+        chosen = mc_greedy_boost(g, {0}, 2, rng, runs=3000)
+        assert set(chosen) == set(oracle)
+
+    def test_agrees_with_prr_boost(self, rng):
+        g = gateway_graph()
+        mc = mc_greedy_boost(g, {0}, 1, rng, runs=500)
+        prr = prr_boost(g, {0}, 1, rng, max_samples=3000)
+        assert mc == prr.boost_set
+
+    def test_candidates_and_validation(self, rng):
+        g = gateway_graph()
+        chosen = mc_greedy_boost(g, {0}, 2, rng, runs=200, candidates=[2, 3])
+        assert set(chosen) <= {2, 3}
+        with pytest.raises(ValueError):
+            mc_greedy_boost(g, {0}, 0, rng)
+
+    def test_stops_on_zero_gain(self, rng):
+        # deterministic graph: no boost can help (all probabilities 1)
+        g = DiGraph(3, [0, 1], [1, 2], [1.0, 1.0], [1.0, 1.0])
+        chosen = mc_greedy_boost(g, {0}, 2, rng, runs=100)
+        assert chosen == []

@@ -1,0 +1,50 @@
+"""Unit tests for repro.diffusion.model."""
+
+import pytest
+
+from repro.diffusion import BoostingModel
+from repro.diffusion.model import ensure_disjoint
+from repro.graphs import DiGraph
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(4, [0, 1, 2], [1, 2, 3], [0.5] * 3, [0.8] * 3)
+
+
+class TestBoostingModel:
+    def test_basic(self, graph):
+        m = BoostingModel(graph, [0])
+        assert m.n == 4
+        assert m.seeds == frozenset({0})
+
+    def test_rejects_empty_seeds(self, graph):
+        with pytest.raises(ValueError):
+            BoostingModel(graph, [])
+
+    def test_rejects_out_of_range_seed(self, graph):
+        with pytest.raises(ValueError):
+            BoostingModel(graph, [9])
+
+    def test_validate_boost_set(self, graph):
+        m = BoostingModel(graph, [0])
+        assert m.validate_boost_set([1, 2]) == frozenset({1, 2})
+
+    def test_validate_boost_set_out_of_range(self, graph):
+        m = BoostingModel(graph, [0])
+        with pytest.raises(ValueError):
+            m.validate_boost_set([7])
+
+    def test_candidates_exclude_seeds(self, graph):
+        m = BoostingModel(graph, [0, 2])
+        assert m.candidate_nodes() == [1, 3]
+
+    def test_is_seed(self, graph):
+        m = BoostingModel(graph, [0])
+        assert m.is_seed(0)
+        assert not m.is_seed(1)
+
+    def test_ensure_disjoint(self, graph):
+        ensure_disjoint({0}, {1, 2})
+        with pytest.raises(ValueError):
+            ensure_disjoint({0, 1}, {1, 2})

@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.params (Lemma 3 constants)."""
+
+import math
+
+import pytest
+
+from repro.core import derive_params
+
+
+class TestDeriveParams:
+    def test_ell_prime_formula(self):
+        p = derive_params(1000, 10, epsilon=0.5, ell=1.0)
+        assert p.ell_prime == pytest.approx(1.0 + math.log(3) / math.log(1000))
+
+    def test_alpha_beta_positive(self):
+        p = derive_params(500, 5)
+        assert p.alpha > 0
+        assert p.beta > 0
+
+    def test_epsilon1_within_budget(self):
+        p = derive_params(1000, 10, epsilon=0.5)
+        assert 0 < p.epsilon1 < p.epsilon
+        # epsilon - (1-1/e)*epsilon1 must stay positive for theta to exist
+        assert p.epsilon - (1 - 1 / math.e) * p.epsilon1 > 0
+
+    def test_theta_decreases_with_epsilon(self):
+        loose = derive_params(1000, 10, epsilon=0.8)
+        tight = derive_params(1000, 10, epsilon=0.2)
+        assert tight.theta_coefficient > loose.theta_coefficient
+
+    def test_theta_grows_with_k(self):
+        small = derive_params(1000, 2)
+        large = derive_params(1000, 50)
+        assert large.theta_coefficient > small.theta_coefficient
+
+    def test_required_samples(self):
+        p = derive_params(1000, 10)
+        assert p.required_samples(100.0) == math.ceil(p.theta_coefficient / 100.0)
+        with pytest.raises(ValueError):
+            p.required_samples(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_params(1000, 10, epsilon=0.0)
+        with pytest.raises(ValueError):
+            derive_params(1, 1)
+        with pytest.raises(ValueError):
+            derive_params(100, 0)
+        with pytest.raises(ValueError):
+            derive_params(100, 101)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.graphs.probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    apply_beta_boost,
+    boost_probability,
+    constant_probability,
+    erdos_renyi,
+    learned_like,
+    preferential_attachment,
+    trivalency,
+    weighted_cascade,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def topology(rng):
+    return preferential_attachment(200, 3, rng)
+
+
+class TestBoostFormula:
+    def test_beta_two_scalar(self):
+        # beta = 2: two independent chances -> p' = 1 - (1-p)^2
+        assert boost_probability(0.2, 2.0) == pytest.approx(0.36)
+
+    def test_beta_two_matches_paper_example(self):
+        # paper Section VII: beta=2 gives each activated neighbour two shots
+        assert boost_probability(0.5, 2.0) == pytest.approx(0.75)
+
+    def test_beta_one_identity(self):
+        assert boost_probability(0.3, 1.0) == pytest.approx(0.3)
+
+    def test_array_input(self):
+        p = np.array([0.0, 0.5, 1.0])
+        out = boost_probability(p, 2.0)
+        assert out == pytest.approx([0.0, 0.75, 1.0])
+
+    def test_monotone_in_beta(self):
+        assert boost_probability(0.2, 3.0) > boost_probability(0.2, 2.0)
+
+    def test_rejects_beta_below_one(self):
+        with pytest.raises(ValueError):
+            boost_probability(0.2, 0.5)
+
+    def test_apply_beta_boost(self, topology):
+        g1 = constant_probability(topology, 0.2, beta=2.0)
+        g2 = apply_beta_boost(g1, 3.0)
+        _s, _d, p, pp = g2.edge_arrays()
+        assert pp == pytest.approx(1 - (1 - p) ** 3)
+
+
+class TestWeightedCascade:
+    def test_incoming_probabilities_sum_to_one(self, topology):
+        g = weighted_cascade(topology)
+        for v in range(0, topology.n, 17):
+            if g.in_degree(v) > 0:
+                assert g.in_probs(v).sum() == pytest.approx(1.0)
+
+    def test_boost_applied(self, topology):
+        g = weighted_cascade(topology, beta=2.0)
+        _s, _d, p, pp = g.edge_arrays()
+        assert pp == pytest.approx(1 - (1 - p) ** 2)
+
+
+class TestTrivalency:
+    def test_values_from_menu(self, topology, rng):
+        g = trivalency(topology, rng)
+        _s, _d, p, _pp = g.edge_arrays()
+        assert set(np.round(p, 6)) <= {0.1, 0.01, 0.001}
+
+    def test_all_three_values_appear(self, topology, rng):
+        g = trivalency(topology, rng)
+        _s, _d, p, _pp = g.edge_arrays()
+        assert len(set(np.round(p, 6))) == 3
+
+
+class TestConstant:
+    def test_assigns_everywhere(self, topology):
+        g = constant_probability(topology, 0.37)
+        _s, _d, p, _pp = g.edge_arrays()
+        assert np.all(p == pytest.approx(0.37))
+
+    def test_rejects_bad_p(self, topology):
+        with pytest.raises(ValueError):
+            constant_probability(topology, 1.2)
+
+
+class TestLearnedLike:
+    def test_mean_close_to_target(self, topology, rng):
+        g = learned_like(topology, rng, 0.25)
+        assert g.average_probability() == pytest.approx(0.25, rel=0.1)
+
+    def test_sparse_mean(self, topology, rng):
+        g = learned_like(topology, rng, 0.013)
+        assert g.average_probability() == pytest.approx(0.013, rel=0.15)
+
+    def test_probabilities_in_unit_interval(self, topology, rng):
+        g = learned_like(topology, rng, 0.5)
+        _s, _d, p, pp = g.edge_arrays()
+        assert np.all(p > 0) and np.all(p < 1)
+        assert np.all(pp >= p)
+
+    def test_skew(self, topology, rng):
+        # log-normal assignment: median well below mean
+        g = learned_like(topology, rng, 0.25, sigma=1.5)
+        _s, _d, p, _pp = g.edge_arrays()
+        assert np.median(p) < p.mean()
+
+    def test_rejects_bad_mean(self, topology, rng):
+        with pytest.raises(ValueError):
+            learned_like(topology, rng, 0.0)
+        with pytest.raises(ValueError):
+            learned_like(topology, rng, 1.0)

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import estimate_delta, estimate_mu, sample_prr_graph
+from repro.diffusion import exact_sigma, simulate_spread
+from repro.graphs import DiGraph, boost_probability, random_bidirected_tree
+from repro.trees import BidirectedTree, sigma as tree_sigma
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_digraphs(draw):
+    """Random digraph with 3-7 nodes, <= 10 edges, consistent p <= pp."""
+    n = draw(st.integers(3, 7))
+    max_edges = min(10, n * (n - 1))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    idx = draw(
+        st.lists(
+            st.integers(0, len(pairs) - 1),
+            min_size=1,
+            max_size=max_edges,
+            unique=True,
+        )
+    )
+    edges = [pairs[i] for i in idx]
+    p = [draw(st.floats(0.0, 1.0)) for _ in edges]
+    gap = [draw(st.floats(0.0, 1.0)) for _ in edges]
+    pp = [min(1.0, pi + gi * (1.0 - pi)) for pi, gi in zip(p, gap)]
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    return DiGraph(n, src, dst, p, pp)
+
+
+@st.composite
+def graph_with_seed_and_boost(draw):
+    g = draw(small_digraphs())
+    seed = draw(st.integers(0, g.n - 1))
+    boost = draw(st.sets(st.integers(0, g.n - 1), max_size=3))
+    return g, {seed}, boost - {seed}
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestBoostProbability:
+    @given(st.floats(0.0, 1.0), st.floats(1.0, 6.0))
+    def test_dominates_base(self, p, beta):
+        assert boost_probability(p, beta) >= p - 1e-12
+
+    @given(st.floats(0.0, 1.0))
+    def test_beta_one_is_identity(self, p):
+        assert boost_probability(p, 1.0) == pytest.approx(p)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost(), st.integers(0, 10_000))
+    def test_spread_contains_seeds_and_bounded(self, case, rseed):
+        g, seeds, boost = case
+        rng = np.random.default_rng(rseed)
+        active = simulate_spread(g, seeds, boost, rng)
+        assert seeds <= active
+        assert len(active) <= g.n
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost())
+    def test_exact_sigma_bounds(self, case):
+        g, seeds, boost = case
+        val = exact_sigma(g, seeds, boost)
+        assert len(seeds) - 1e-9 <= val <= g.n + 1e-9
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost())
+    def test_boosting_never_hurts_exact(self, case):
+        g, seeds, boost = case
+        assert exact_sigma(g, seeds, boost) >= exact_sigma(g, seeds, set()) - 1e-9
+
+
+class TestPRRInvariants:
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost(), st.integers(0, 10_000))
+    def test_mu_below_delta_and_f_monotone(self, case, rseed):
+        g, seeds, boost = case
+        rng = np.random.default_rng(rseed)
+        prrs = [sample_prr_graph(g, frozenset(seeds), 3, rng) for _ in range(30)]
+        # mu_hat <= delta_hat on the *same* samples (f_lower <= f pointwise)
+        assert estimate_mu(prrs, g.n, boost) <= estimate_delta(prrs, g.n, boost) + 1e-9
+        # f monotone: adding nodes never deactivates a root
+        superset = set(boost) | {0}
+        for prr in prrs:
+            if prr.f(boost):
+                assert prr.f(superset)
+
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost(), st.integers(0, 10_000))
+    def test_critical_nodes_activate_alone(self, case, rseed):
+        g, seeds, _boost = case
+        rng = np.random.default_rng(rseed)
+        for _ in range(15):
+            prr = sample_prr_graph(g, frozenset(seeds), 3, rng)
+            if not prr.is_boostable:
+                continue
+            assert not prr.f(set())
+            for v in prr.critical:
+                assert prr.f({v}), f"critical node {v} fails to activate"
+            assert prr.activating_nodes(set()) == prr.critical
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_with_seed_and_boost(), st.integers(0, 10_000))
+    def test_mu_is_submodular_on_samples(self, case, rseed):
+        """f_lower(B) = I(B ∩ C ≠ ∅) gives submodular coverage counts."""
+        g, seeds, boost = case
+        rng = np.random.default_rng(rseed)
+        prrs = [sample_prr_graph(g, frozenset(seeds), 3, rng) for _ in range(20)]
+        small = set(list(boost)[:1])
+        big = set(boost)
+        extra = {g.n - 1}
+        lhs = estimate_mu(prrs, g.n, small | extra) - estimate_mu(prrs, g.n, small)
+        rhs = estimate_mu(prrs, g.n, big | extra) - estimate_mu(prrs, g.n, big)
+        if small <= big:
+            assert lhs >= rhs - 1e-9
+
+
+class TestTreeInvariants:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(3, 8),
+        st.integers(0, 10_000),
+    )
+    def test_tree_sigma_matches_enumeration(self, n, rseed):
+        rng = np.random.default_rng(rseed)
+        g = random_bidirected_tree(n, rng)
+        probs = rng.uniform(0.0, 0.8, size=g.m)
+        g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+        seeds = {int(rng.integers(n))}
+        boost = {int(rng.integers(n))} - seeds
+        t = BidirectedTree(g, seeds=seeds)
+        assert tree_sigma(t, boost) == pytest.approx(
+            exact_sigma(g, seeds, boost), abs=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(3, 10), st.integers(0, 10_000))
+    def test_tree_boost_monotone(self, n, rseed):
+        rng = np.random.default_rng(rseed)
+        g = random_bidirected_tree(n, rng)
+        probs = rng.uniform(0.05, 0.5, size=g.m)
+        g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+        t = BidirectedTree(g, seeds={0})
+        nodes = list(range(1, n))
+        rng.shuffle(nodes)
+        prev = tree_sigma(t, set())
+        chosen: set[int] = set()
+        for v in nodes[:3]:
+            chosen.add(v)
+            cur = tree_sigma(t, chosen)
+            assert cur >= prev - 1e-9
+            prev = cur

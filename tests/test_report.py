@@ -1,0 +1,67 @@
+"""Tests for the experiment report writers."""
+
+import pytest
+
+from repro.experiments.report import (
+    read_csv,
+    rows_from_dataclasses,
+    write_csv,
+    write_markdown,
+)
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["a", "b"], [[1, "x"], [2, "y"]])
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "x"], ["2", "y"]]
+
+    def test_empty_rows_ok(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["a"], [])
+        headers, rows = read_csv(path)
+        assert headers == ["a"]
+        assert rows == []
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestMarkdown:
+    def test_structure(self, tmp_path):
+        path = tmp_path / "out.md"
+        write_markdown(path, ["x", "y"], [[1, 2]], title="Table 1")
+        text = path.read_text()
+        assert "## Table 1" in text
+        assert "| x | y |" in text
+        assert "| 1 | 2 |" in text
+
+    def test_no_title(self, tmp_path):
+        path = tmp_path / "out.md"
+        write_markdown(path, ["x"], [[1]])
+        assert not path.read_text().startswith("##")
+
+
+class TestDataclassRows:
+    def test_algorithm_runs(self):
+        from repro.experiments import AlgorithmRun
+
+        runs = [
+            AlgorithmRun("PRR-Boost", 5, [1, 2], 3.5, 0.1),
+            AlgorithmRun("PageRank", 5, [3], 1.0, 0.0),
+        ]
+        headers, rows = rows_from_dataclasses(runs)
+        assert "algorithm" in headers
+        assert rows[0][headers.index("boost")] == 3.5
+
+    def test_empty(self):
+        assert rows_from_dataclasses([]) == ([], [])
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            rows_from_dataclasses([object()])

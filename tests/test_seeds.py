@@ -1,0 +1,49 @@
+"""Tests for the seed-selection facade."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import constant_probability, star, learned_like, preferential_attachment
+from repro.im.seeds import select_seeds
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(67)
+
+
+class TestSelectSeeds:
+    def test_imm_picks_hub(self, rng):
+        g = constant_probability(star(20, outward=True), 0.9)
+        assert select_seeds(g, 1, "imm", rng, max_samples=4000) == [0]
+
+    def test_degree_picks_hub(self, rng):
+        g = constant_probability(star(20, outward=True), 0.9)
+        assert select_seeds(g, 1, "degree", rng) == [0]
+
+    def test_random_distinct(self, rng):
+        g = constant_probability(star(20, outward=True), 0.5)
+        seeds = select_seeds(g, 8, "random", rng)
+        assert len(set(seeds)) == 8
+
+    def test_unknown_method(self, rng):
+        g = constant_probability(star(5), 0.5)
+        with pytest.raises(ValueError):
+            select_seeds(g, 1, "oracle", rng)
+
+    def test_k_validation(self, rng):
+        g = constant_probability(star(5), 0.5)
+        with pytest.raises(ValueError):
+            select_seeds(g, 0, "random", rng)
+        with pytest.raises(ValueError):
+            select_seeds(g, 6, "random", rng)
+
+    def test_imm_beats_random_in_influence(self, rng):
+        from repro.diffusion import estimate_sigma
+
+        g = learned_like(preferential_attachment(200, 3, rng), rng, 0.2)
+        imm_seeds = select_seeds(g, 5, "imm", rng, max_samples=4000)
+        rnd_seeds = select_seeds(g, 5, "random", rng)
+        s_imm = estimate_sigma(g, imm_seeds, set(), rng, runs=400)
+        s_rnd = estimate_sigma(g, rnd_seeds, set(), rng, runs=400)
+        assert s_imm >= s_rnd

@@ -1,0 +1,118 @@
+"""Unit tests for repro.diffusion.simulator, anchored on the paper's
+Figure 1 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    estimate_boost,
+    estimate_sigma,
+    exact_boost,
+    exact_sigma,
+    simulate_spread,
+)
+from repro.graphs import DiGraph
+
+
+def figure1_graph():
+    """Paper Figure 1: s -> v0 (0.2/0.4), v0 -> v1 (0.1/0.2)."""
+    return DiGraph(3, [0, 1], [1, 2], [0.2, 0.1], [0.4, 0.2])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestExactSigmaFigure1:
+    """The paper's Figure 1 table is an exact oracle."""
+
+    def test_sigma_empty(self):
+        assert exact_sigma(figure1_graph(), {0}, set()) == pytest.approx(1.22)
+
+    def test_boost_v0(self):
+        g = figure1_graph()
+        assert exact_sigma(g, {0}, {1}) == pytest.approx(1.44)
+        assert exact_boost(g, {0}, {1}) == pytest.approx(0.22)
+
+    def test_boost_v1(self):
+        g = figure1_graph()
+        assert exact_boost(g, {0}, {2}) == pytest.approx(0.02)
+
+    def test_boost_both(self):
+        g = figure1_graph()
+        assert exact_sigma(g, {0}, {1, 2}) == pytest.approx(1.48)
+        assert exact_boost(g, {0}, {1, 2}) == pytest.approx(0.26)
+
+    def test_non_submodularity_example(self):
+        # The paper's supermodularity illustration: marginal of v1 given
+        # {v0} exceeds its marginal given the empty set.
+        g = figure1_graph()
+        with_v0 = exact_boost(g, {0}, {1, 2}) - exact_boost(g, {0}, {1})
+        alone = exact_boost(g, {0}, {2})
+        assert with_v0 == pytest.approx(0.04)
+        assert alone == pytest.approx(0.02)
+        assert with_v0 > alone
+
+    def test_rejects_large_graph(self, rng):
+        big = DiGraph(30, list(range(29)), list(range(1, 30)), [0.5] * 29)
+        with pytest.raises(ValueError):
+            exact_sigma(big, {0}, set())
+
+
+class TestSimulateSpread:
+    def test_seeds_always_active(self, rng):
+        g = figure1_graph()
+        active = simulate_spread(g, {0}, set(), rng)
+        assert 0 in active
+
+    def test_deterministic_chain(self, rng):
+        g = DiGraph(3, [0, 1], [1, 2], [1.0, 1.0], [1.0, 1.0])
+        assert simulate_spread(g, {0}, set(), rng) == {0, 1, 2}
+
+    def test_blocked_chain(self, rng):
+        g = DiGraph(3, [0, 1], [1, 2], [0.0, 0.0], [0.0, 0.0])
+        assert simulate_spread(g, {0}, set(), rng) == {0}
+
+    def test_boost_unlocks_edge(self, rng):
+        # p = 0 but p' = 1: only boosted heads get activated.
+        g = DiGraph(3, [0, 1], [1, 2], [0.0, 0.0], [1.0, 1.0])
+        assert simulate_spread(g, {0}, set(), rng) == {0}
+        assert simulate_spread(g, {0}, {1}, rng) == {0, 1}
+        assert simulate_spread(g, {0}, {1, 2}, rng) == {0, 1, 2}
+
+    def test_boosting_seed_is_noop(self, rng):
+        g = figure1_graph()
+        active = simulate_spread(g, {0}, {0}, rng)
+        assert 0 in active
+
+
+class TestEstimators:
+    def test_estimate_sigma_matches_exact(self, rng):
+        g = figure1_graph()
+        est = estimate_sigma(g, {0}, {1}, rng, runs=30000)
+        assert est == pytest.approx(1.44, abs=0.02)
+
+    def test_estimate_boost_matches_exact(self, rng):
+        g = figure1_graph()
+        est = estimate_boost(g, {0}, {1, 2}, rng, runs=30000)
+        assert est == pytest.approx(0.26, abs=0.02)
+
+    def test_common_random_numbers_nonnegative(self, rng):
+        # With shared worlds, the boosted cascade is a superset of the base
+        # cascade, so every per-run difference is >= 0.
+        g = figure1_graph()
+        for _ in range(20):
+            assert estimate_boost(g, {0}, {1}, rng, runs=10) >= 0.0
+
+    def test_runs_validation(self, rng):
+        g = figure1_graph()
+        with pytest.raises(ValueError):
+            estimate_sigma(g, {0}, set(), rng, runs=0)
+        with pytest.raises(ValueError):
+            estimate_boost(g, {0}, set(), rng, runs=-5)
+
+    def test_sigma_bounds(self, rng):
+        g = figure1_graph()
+        est = estimate_sigma(g, {0}, {1, 2}, rng, runs=500)
+        assert 1.0 <= est <= 3.0

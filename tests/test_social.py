@@ -1,0 +1,88 @@
+"""Tests for the additional social-topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import forest_fire, stochastic_block_model, watts_strogatz
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(83)
+
+
+class TestForestFire:
+    def test_connected_growth(self, rng):
+        g = forest_fire(100, rng)
+        assert g.n == 100
+        assert g.m >= 99  # every node links at least to its ambassador
+
+    def test_densification(self, rng):
+        # higher burning probability yields more edges
+        dense = forest_fire(150, np.random.default_rng(1), forward_prob=0.6)
+        sparse = forest_fire(150, np.random.default_rng(1), forward_prob=0.1)
+        assert dense.m > sparse.m
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            forest_fire(1, rng)
+        with pytest.raises(ValueError):
+            forest_fire(10, rng, forward_prob=1.0)
+
+    def test_no_self_loops(self, rng):
+        g = forest_fire(80, rng)
+        for u, v, _p, _pp in g.edges():
+            assert u != v
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring(self, rng):
+        g = watts_strogatz(10, 2, 0.0, rng)
+        assert g.m == 20
+        assert sorted(int(v) for v in g.out_neighbors(0)) == [1, 2]
+
+    def test_full_rewiring_randomizes(self, rng):
+        g = watts_strogatz(50, 2, 1.0, rng)
+        assert g.m <= 100  # duplicates may collapse
+        # some edge should leave the ring neighbourhood
+        far = any(
+            (v - u) % 50 > 2 for u, v, _p, _pp in g.edges()
+        )
+        assert far
+
+    def test_out_degree_regularity_no_rewire(self, rng):
+        g = watts_strogatz(20, 3, 0.0, rng)
+        assert all(g.out_degree(u) == 3 for u in range(20))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz(3, 1, 0.1, rng)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 0, 0.1, rng)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 2, 1.5, rng)
+
+
+class TestSBM:
+    def test_block_density(self, rng):
+        g = stochastic_block_model([40, 40], 0.2, 0.01, rng)
+        within = sum(
+            1
+            for u, v, _p, _pp in g.edges()
+            if (u < 40) == (v < 40)
+        )
+        across = g.m - within
+        # within-block edges should dominate despite equal pair counts
+        assert within > 3 * across
+
+    def test_sizes(self, rng):
+        g = stochastic_block_model([10, 20, 30], 0.1, 0.01, rng)
+        assert g.n == 60
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            stochastic_block_model([], 0.1, 0.01, rng)
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], 0.1, 0.5, rng)  # p_out > p_in
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 0], 0.1, 0.01, rng)

@@ -1,0 +1,157 @@
+"""Tests for DP-Boost (the rounded dynamic programming FPTAS)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    complete_binary_bidirected_tree,
+    constant_probability,
+    random_bidirected_tree,
+    trivalency,
+)
+from repro.trees import BidirectedTree, delta, dp_boost, greedy_boost, reachability_weight
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+def brute_force_best(tree, k):
+    candidates = [v for v in range(tree.n) if v not in tree.seeds]
+    best = 0.0
+    for size in range(k + 1):
+        for boost in combinations(candidates, size):
+            best = max(best, delta(tree, set(boost)))
+    return best
+
+
+class TestDPBoost:
+    def test_fptas_guarantee_binary(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.25, beta=2.0)
+        t = BidirectedTree(g, seeds={0})
+        opt = brute_force_best(t, 2)
+        for eps in (0.5, 0.2):
+            result = dp_boost(t, 2, epsilon=eps)
+            assert result.boost >= (1 - eps) * opt - 1e-9
+
+    def test_fptas_guarantee_random_trees(self, rng):
+        for trial in range(5):
+            g = random_bidirected_tree(7, rng, max_children=2)
+            probs = rng.uniform(0.05, 0.4, size=g.m)
+            g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+            t = BidirectedTree(g, seeds={0})
+            opt = brute_force_best(t, 2)
+            result = dp_boost(t, 2, epsilon=0.5)
+            assert result.boost >= (1 - 0.5) * opt - 1e-9, f"trial {trial}"
+
+    def test_dp_value_is_lower_bound(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        t = BidirectedTree(g, seeds={0, 4})
+        result = dp_boost(t, 3, epsilon=0.5)
+        # the rounded objective never overestimates the exact boost of the
+        # returned set
+        assert result.boost >= result.dp_value - 1e-9
+
+    def test_tracks_greedy(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(31), rng)
+        t = BidirectedTree(g, seeds={0, 8})
+        gr = greedy_boost(t, 4)
+        dp = dp_boost(t, 4, epsilon=0.5)
+        # Section VIII: greedy is near-optimal; DP should be close to it.
+        assert dp.boost >= 0.5 * gr.boost - 1e-9
+
+    def test_epsilon_refines(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        t = BidirectedTree(g, seeds={0})
+        coarse = dp_boost(t, 2, epsilon=1.0)
+        fine = dp_boost(t, 2, epsilon=0.2)
+        assert fine.delta_param < coarse.delta_param
+        assert fine.dp_value >= coarse.dp_value - 1e-9
+
+    def test_delta_override(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={0})
+        result = dp_boost(t, 2, delta_override=0.01)
+        assert result.delta_param == pytest.approx(0.01)
+
+    def test_budget_respected(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(31), rng)
+        t = BidirectedTree(g, seeds={0})
+        for k in (1, 3, 5):
+            result = dp_boost(t, k, epsilon=0.5)
+            assert len(result.boost_set) <= k
+            assert not set(result.boost_set) & t.seeds
+
+    def test_wide_star_fptas(self, rng):
+        """General fan-out (Appendix B): 4-leaf star hub."""
+        b = GraphBuilder(5)
+        for leaf in range(1, 5):
+            b.add_bidirected_edge(0, leaf, 0.2, 0.36)
+        t = BidirectedTree(b.build(), seeds={1})
+        opt = brute_force_best(t, 2)
+        result = dp_boost(t, 2, epsilon=0.5)
+        assert result.boost >= (1 - 0.5) * opt - 1e-9
+
+    def test_wide_random_trees_fptas(self, rng):
+        """General fan-out on random trees with 3-4 children."""
+        for trial in range(4):
+            g = random_bidirected_tree(8, rng)  # unbounded fan-out
+            probs = rng.uniform(0.05, 0.4, size=g.m)
+            g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+            t = BidirectedTree(g, seeds={0})
+            opt = brute_force_best(t, 2)
+            result = dp_boost(t, 2, epsilon=0.5)
+            assert result.boost >= (1 - 0.5) * opt - 1e-9, f"trial {trial}"
+            assert result.boost >= result.dp_value - 1e-9
+
+    def test_wide_tree_with_seed_hub(self, rng):
+        """A seed with many children exercises the generalized seed fold."""
+        b = GraphBuilder(6)
+        for leaf in range(1, 6):
+            b.add_bidirected_edge(0, leaf, 0.3, 0.51)
+        t = BidirectedTree(b.build(), seeds={0})
+        opt = brute_force_best(t, 2)
+        result = dp_boost(t, 2, epsilon=0.5)
+        assert result.boost >= (1 - 0.5) * opt - 1e-9
+
+    def test_rejects_bad_k(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={0})
+        with pytest.raises(ValueError):
+            dp_boost(t, 0)
+
+    def test_seed_root(self, rng):
+        # the DP handles a seed at the DP root
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.3, beta=2.0)
+        t = BidirectedTree(g, seeds={0})
+        result = dp_boost(t, 2, epsilon=0.5)
+        assert result.boost > 0
+
+    def test_seed_leaf_and_internal(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.3, beta=2.0)
+        t = BidirectedTree(g, seeds={3, 1})  # leaf seed + internal seed
+        opt = brute_force_best(t, 2)
+        result = dp_boost(t, 2, epsilon=0.5)
+        assert result.boost >= (1 - 0.5) * opt - 1e-9
+
+
+class TestReachabilityWeight:
+    def test_path_tree(self):
+        # 0 - 1 with p'=0.5 both ways: pairs (0,1) and (1,0) contribute 0.5
+        # each, self-pairs contribute 2.
+        b = GraphBuilder(2)
+        b.add_bidirected_edge(0, 1, 0.5, 0.5)
+        t = BidirectedTree(b.build(), seeds={0})
+        assert reachability_weight(t) == pytest.approx(3.0)
+
+    def test_three_chain(self):
+        b = GraphBuilder(3)
+        b.add_bidirected_edge(0, 1, 0.5, 0.5)
+        b.add_bidirected_edge(1, 2, 0.5, 0.5)
+        t = BidirectedTree(b.build(), seeds={0})
+        # self: 3; adjacent pairs: 4 * 0.5; end-to-end: 2 * 0.25
+        assert reachability_weight(t) == pytest.approx(3 + 2.0 + 0.5)

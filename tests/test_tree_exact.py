@@ -1,0 +1,139 @@
+"""Tests for the exact O(n) tree computation (Lemmas 5-7) against the
+world-enumeration oracle and the paper's Figure 4 example."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import exact_sigma
+from repro.graphs import (
+    GraphBuilder,
+    complete_binary_bidirected_tree,
+    constant_probability,
+    random_bidirected_tree,
+    trivalency,
+)
+from repro.trees import BidirectedTree, compute_tree_state, delta, sigma
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestFigure4Example:
+    """Paper Figure 4: star v0 with leaves v1,v2,v3; S={v1,v3};
+    p=0.1, p'=0.19 on every edge."""
+
+    def build(self):
+        b = GraphBuilder(4)
+        for leaf in (1, 2, 3):
+            b.add_bidirected_edge(0, leaf, 0.1, 0.19)
+        return BidirectedTree(b.build(), seeds={1, 3})
+
+    def test_ap_v0_no_boost(self):
+        t = self.build()
+        state = compute_tree_state(t, set())
+        # ap(v0) = 1 - (1-p)^2 = 0.19 (two seed neighbours, one non-seed
+        # leaf that can never activate anyone)
+        assert state.ap[0] == pytest.approx(0.19)
+
+    def test_ap_v0_minus_v1(self):
+        t = self.build()
+        state = compute_tree_state(t, set())
+        # Removing v1: only v3 influences v0 -> ap = p = 0.1.
+        # With root 0, down[1] = ap(v0 \ v1).
+        assert state.down[1] == pytest.approx(0.1)
+
+    def test_boosting_v0(self):
+        t = self.build()
+        base = sigma(t, set())
+        boosted = sigma(t, {0})
+        # boosting the hub: ap(v0) rises to 1-(1-0.19)^2
+        expected_gain_v0 = (1 - (1 - 0.19) ** 2) - 0.19
+        assert boosted > base
+        state = compute_tree_state(t, set())
+        assert state.sigma_with[0] == pytest.approx(boosted)
+        assert boosted - base >= expected_gain_v0  # plus downstream to v2
+
+
+class TestAgainstEnumeration:
+    def test_small_binary_tree_all_boost_sets(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(5), 0.3, beta=2.0)
+        t = BidirectedTree(g, seeds={0})
+        from itertools import combinations
+
+        dg = t.to_digraph()
+        nodes = [v for v in range(5) if v != 0]
+        for size in (0, 1, 2):
+            for boost in combinations(nodes, size):
+                assert sigma(t, set(boost)) == pytest.approx(
+                    exact_sigma(dg, {0}, set(boost)), abs=1e-9
+                )
+
+    def test_random_trees_random_boosts(self, rng):
+        for trial in range(10):
+            n = int(rng.integers(3, 8))
+            g = random_bidirected_tree(n, rng)
+            probs = rng.uniform(0.05, 0.6, size=g.m)
+            g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+            seeds = {int(rng.integers(n))}
+            t = BidirectedTree(g, seeds=seeds)
+            boost = {int(v) for v in rng.choice(n, size=min(2, n - 1), replace=False)}
+            boost -= seeds
+            assert sigma(t, boost) == pytest.approx(
+                exact_sigma(g, seeds, boost), abs=1e-9
+            )
+
+    def test_multiple_seeds(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.25, beta=2.0)
+        t = BidirectedTree(g, seeds={2, 5})
+        assert sigma(t, {0}) == pytest.approx(
+            exact_sigma(t.to_digraph(), {2, 5}, {0}), abs=1e-9
+        )
+
+
+class TestLemma7Marginals:
+    def test_sigma_with_matches_direct(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        t = BidirectedTree(g, seeds={0, 6})
+        boost = {3, 9}
+        state = compute_tree_state(t, boost)
+        for u in range(15):
+            assert state.sigma_with[u] == pytest.approx(
+                sigma(t, boost | {u}), abs=1e-9
+            ), f"node {u}"
+
+    def test_seed_and_boosted_marginals_are_noop(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={1})
+        state = compute_tree_state(t, {3})
+        assert state.sigma_with[1] == pytest.approx(state.sigma)
+        assert state.sigma_with[3] == pytest.approx(state.sigma)
+
+    def test_root_choice_does_not_matter(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        for root in (0, 3, 14):
+            t = BidirectedTree(g, seeds={5}, root=root)
+            assert sigma(t, {2, 8}) == pytest.approx(
+                sigma(BidirectedTree(g, seeds={5}), {2, 8}), abs=1e-9
+            )
+
+
+class TestDelta:
+    def test_delta_empty_is_zero(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={0})
+        assert delta(t, set()) == pytest.approx(0.0)
+
+    def test_delta_nonnegative_and_monotone_on_example(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.3, beta=2.0)
+        t = BidirectedTree(g, seeds={0})
+        d1 = delta(t, {1})
+        d12 = delta(t, {1, 2})
+        assert 0 <= d1 <= d12
+
+    def test_sigma_bounds(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(31), rng)
+        t = BidirectedTree(g, seeds={0, 1})
+        s = sigma(t, {2, 3, 4})
+        assert 2.0 <= s <= 31.0

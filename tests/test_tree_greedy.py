@@ -1,0 +1,92 @@
+"""Tests for Greedy-Boost on bidirected trees."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_binary_bidirected_tree,
+    constant_probability,
+    random_bidirected_tree,
+    trivalency,
+)
+from repro.trees import BidirectedTree, delta, greedy_boost
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(33)
+
+
+def brute_force_best(tree, k):
+    candidates = [v for v in range(tree.n) if v not in tree.seeds]
+    best, best_set = -1.0, ()
+    for size in range(k + 1):
+        for boost in combinations(candidates, size):
+            d = delta(tree, set(boost))
+            if d > best:
+                best, best_set = d, boost
+    return best, set(best_set)
+
+
+class TestGreedyBoost:
+    def test_matches_optimum_small(self, rng):
+        g = constant_probability(complete_binary_bidirected_tree(7), 0.25, beta=2.0)
+        t = BidirectedTree(g, seeds={0})
+        opt, _ = brute_force_best(t, 2)
+        result = greedy_boost(t, 2)
+        assert result.boost == pytest.approx(opt, rel=0.05)
+
+    def test_near_optimal_random_trees(self, rng):
+        for _ in range(5):
+            g = random_bidirected_tree(8, rng)
+            probs = rng.uniform(0.05, 0.4, size=g.m)
+            g = g.with_probabilities(probs, 1 - (1 - probs) ** 2)
+            t = BidirectedTree(g, seeds={int(rng.integers(8))})
+            opt, _ = brute_force_best(t, 2)
+            result = greedy_boost(t, 2)
+            # greedy is near-optimal in practice (Section VIII finding)
+            assert result.boost >= 0.8 * opt - 1e-12
+
+    def test_boost_monotone_in_k(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(31), rng)
+        t = BidirectedTree(g, seeds={0, 3})
+        boosts = [greedy_boost(t, k).boost for k in (1, 2, 4, 8)]
+        assert all(b2 >= b1 - 1e-12 for b1, b2 in zip(boosts, boosts[1:]))
+
+    def test_never_boosts_seeds(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        t = BidirectedTree(g, seeds={0, 7})
+        result = greedy_boost(t, 5)
+        assert not set(result.boost_set) & t.seeds
+
+    def test_k_zero(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={0})
+        result = greedy_boost(t, 0)
+        assert result.boost_set == []
+        assert result.boost == pytest.approx(0.0)
+
+    def test_k_negative_rejected(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(7), rng)
+        t = BidirectedTree(g, seeds={0})
+        with pytest.raises(ValueError):
+            greedy_boost(t, -1)
+
+    def test_stops_when_no_gain(self):
+        # all probabilities already 1: boosting changes nothing
+        g = constant_probability(complete_binary_bidirected_tree(7), 1.0, beta=1.0)
+        t = BidirectedTree(g, seeds={0})
+        result = greedy_boost(t, 3)
+        assert result.boost == pytest.approx(0.0)
+        assert result.boost_set == []
+
+    def test_sigma_consistency(self, rng):
+        g = trivalency(complete_binary_bidirected_tree(15), rng)
+        t = BidirectedTree(g, seeds={0})
+        result = greedy_boost(t, 3)
+        from repro.trees import sigma
+
+        assert result.sigma == pytest.approx(sigma(t, set(result.boost_set)))
+        assert result.sigma_empty == pytest.approx(sigma(t, set()))

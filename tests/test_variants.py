@@ -1,0 +1,94 @@
+"""Tests for model variants and the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import prr_boost
+from repro.diffusion import (
+    exact_boost,
+    exact_boost_outgoing,
+    exact_sigma,
+    exact_sigma_outgoing,
+    optimal_boost_set,
+    simulate_spread_outgoing,
+)
+from repro.graphs import DiGraph, GraphBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+def figure1_graph():
+    return DiGraph(3, [0, 1], [1, 2], [0.2, 0.1], [0.4, 0.2])
+
+
+class TestOutgoingVariant:
+    def test_boosting_seed_changes_its_edges(self):
+        # Outgoing variant: boosting the seed s raises p(s->v0) to 0.4.
+        g = figure1_graph()
+        base = exact_sigma_outgoing(g, {0}, set())
+        boosted = exact_sigma_outgoing(g, {0}, {0})
+        assert base == pytest.approx(1.22)
+        # sigma = 1 + 0.4 + 0.4*0.1 = 1.44
+        assert boosted == pytest.approx(1.44)
+
+    def test_boosting_leaf_is_useless_outgoing(self):
+        # v1's outgoing edges don't exist; boosting it does nothing.
+        g = figure1_graph()
+        assert exact_boost_outgoing(g, {0}, {2}) == pytest.approx(0.0)
+
+    def test_incoming_and_outgoing_differ(self):
+        g = figure1_graph()
+        # incoming: boosting v0 helps; outgoing: boosting v0 boosts v0->v1
+        incoming = exact_boost(g, {0}, {1})
+        outgoing = exact_boost_outgoing(g, {0}, {1})
+        assert incoming == pytest.approx(0.22)
+        assert outgoing == pytest.approx(0.2 * 0.1)  # p(v0->v1): .1 -> .2
+
+    def test_simulation_agrees_with_exact(self, rng):
+        g = figure1_graph()
+        runs = 30000
+        total = sum(
+            len(simulate_spread_outgoing(g, {0}, {0}, rng)) for _ in range(runs)
+        )
+        assert total / runs == pytest.approx(1.44, abs=0.02)
+
+    def test_rejects_large_graph(self):
+        big = DiGraph(30, list(range(29)), list(range(1, 30)), [0.5] * 29)
+        with pytest.raises(ValueError):
+            exact_sigma_outgoing(big, {0}, set())
+
+
+class TestOptimalBoostOracle:
+    def test_figure1_optimum(self):
+        g = figure1_graph()
+        best_set, best_value = optimal_boost_set(g, {0}, 1)
+        assert best_set == [1]
+        assert best_value == pytest.approx(0.22)
+
+    def test_figure1_optimum_k2(self):
+        g = figure1_graph()
+        best_set, best_value = optimal_boost_set(g, {0}, 2)
+        assert set(best_set) == {1, 2}
+        assert best_value == pytest.approx(0.26)
+
+    def test_candidates_restriction(self):
+        g = figure1_graph()
+        best_set, best_value = optimal_boost_set(g, {0}, 1, candidates=[2])
+        assert best_set == [2]
+        assert best_value == pytest.approx(0.02)
+
+    def test_prr_boost_matches_oracle(self, rng):
+        """End-to-end: PRR-Boost finds the true optimum on a tiny graph."""
+        b = GraphBuilder(5)
+        b.add_edge(0, 1, 0.2, 0.8)
+        b.add_edge(1, 2, 0.9, 0.9)
+        b.add_edge(1, 3, 0.9, 0.9)
+        b.add_edge(0, 4, 0.3, 0.4)
+        g = b.build()
+        oracle_set, oracle_value = optimal_boost_set(g, {0}, 1)
+        result = prr_boost(g, {0}, 1, rng, max_samples=6000)
+        assert result.boost_set == oracle_set
+        assert result.estimated_boost == pytest.approx(oracle_value, rel=0.25)

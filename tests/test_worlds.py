@@ -1,0 +1,66 @@
+"""Tests for the fixed-world evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import estimate_boost, exact_boost, exact_sigma
+from repro.diffusion.worlds import WorldCollection
+from repro.graphs import DiGraph, learned_like, preferential_attachment
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+def figure1_graph():
+    return DiGraph(3, [0, 1], [1, 2], [0.2, 0.1], [0.4, 0.2])
+
+
+class TestWorldCollection:
+    def test_sigma_empty_matches_exact(self, rng):
+        worlds = WorldCollection(figure1_graph(), {0}, rng, runs=30000)
+        assert worlds.sigma_empty == pytest.approx(1.22, abs=0.02)
+
+    def test_boost_matches_exact(self, rng):
+        g = figure1_graph()
+        worlds = WorldCollection(g, {0}, rng, runs=30000)
+        assert worlds.boost({1}) == pytest.approx(0.22, abs=0.02)
+        assert worlds.boost({1, 2}) == pytest.approx(0.26, abs=0.02)
+
+    def test_empty_boost_is_exactly_zero(self, rng):
+        worlds = WorldCollection(figure1_graph(), {0}, rng, runs=100)
+        assert worlds.boost(set()) == 0.0
+
+    def test_sigma_consistent_with_boost(self, rng):
+        worlds = WorldCollection(figure1_graph(), {0}, rng, runs=5000)
+        assert worlds.sigma({1}) - worlds.sigma_empty == pytest.approx(
+            worlds.boost({1}), abs=1e-9
+        )
+
+    def test_paired_comparison_is_monotone(self, rng):
+        """On shared worlds, a superset boost set never scores lower."""
+        g = learned_like(preferential_attachment(80, 2, rng), rng, 0.25)
+        worlds = WorldCollection(g, {0, 1}, rng, runs=300)
+        small = worlds.boost({10, 11})
+        large = worlds.boost({10, 11, 12, 13})
+        assert large >= small - 1e-9  # exact monotone coupling, no noise term
+
+    def test_rank(self, rng):
+        g = figure1_graph()
+        worlds = WorldCollection(g, {0}, rng, runs=8000)
+        ranked = worlds.rank([[2], [1]])
+        assert ranked[0][0] == 1  # candidate [1] (v0) wins
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            WorldCollection(figure1_graph(), {0}, rng, runs=0)
+        with pytest.raises(ValueError):
+            WorldCollection(figure1_graph(), set(), rng, runs=10)
+
+    def test_agrees_with_estimate_boost(self, rng):
+        g = learned_like(preferential_attachment(60, 2, rng), rng, 0.3)
+        boost = {5, 6, 7}
+        worlds = WorldCollection(g, {0}, rng, runs=4000)
+        direct = estimate_boost(g, {0}, boost, rng, runs=4000)
+        assert worlds.boost(boost) == pytest.approx(direct, abs=max(0.5, 0.4 * direct))
