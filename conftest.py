@@ -1,0 +1,19 @@
+"""Repo-wide pytest hooks.
+
+Everything under ``benchmarks/`` reproduces a paper figure or table and
+runs for minutes; mark it all ``slow`` so the tier-1 suite (``pytest -x
+-q``, which defaults to ``-m "not slow"``) stays fast.  ``pytest -m ""``
+runs the full suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent / "benchmarks"
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)

@@ -5,9 +5,10 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.21"],
     python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

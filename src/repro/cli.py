@@ -20,7 +20,7 @@ import numpy as np
 
 from .core import prr_boost, prr_boost_lb
 from .datasets import DATASETS, dataset_names, load_dataset
-from .diffusion import estimate_boost, estimate_sigma
+from .engine import SamplingEngine
 from .experiments import (
     budget_allocation_experiment,
     compare_algorithms,
@@ -49,8 +49,11 @@ def _cmd_boost(args: argparse.Namespace) -> int:
     seeds = imm(graph, args.seeds, rng, max_samples=args.max_samples).chosen
     algo = prr_boost_lb if args.lb else prr_boost
     result = algo(graph, seeds, args.k, rng, max_samples=args.max_samples)
-    boost = estimate_boost(graph, seeds, result.boost_set, rng, runs=args.mc_runs)
-    sigma0 = estimate_sigma(graph, seeds, set(), rng, runs=args.mc_runs)
+    # Evaluate both estimates on the graph's batch engine: the Monte Carlo
+    # worlds stream through one reusable set of traversal buffers.
+    engine = SamplingEngine.for_graph(graph)
+    boost = engine.estimate_boost(seeds, result.boost_set, rng, runs=args.mc_runs)
+    sigma0 = engine.estimate_sigma(seeds, set(), rng, runs=args.mc_runs)
     print(f"dataset        : {args.dataset} (n={graph.n}, m={graph.m})")
     print(f"seeds (IMM)    : {len(seeds)}")
     print(f"algorithm      : {'PRR-Boost-LB' if args.lb else 'PRR-Boost'}")

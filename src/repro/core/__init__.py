@@ -17,7 +17,9 @@ from .prr import (
     HOPELESS,
     EdgeState,
     PRRGraph,
+    sample_critical_batch,
     sample_critical_set,
+    sample_prr_batch,
     sample_prr_graph,
 )
 
@@ -25,7 +27,9 @@ __all__ = [
     "PRRGraph",
     "EdgeState",
     "sample_prr_graph",
+    "sample_prr_batch",
     "sample_critical_set",
+    "sample_critical_batch",
     "ACTIVATED",
     "HOPELESS",
     "BOOSTABLE",

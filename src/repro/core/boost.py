@@ -22,6 +22,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
 from ..im.greedy import greedy_max_coverage
 from ..im.imm import imm_sampling
@@ -32,7 +33,7 @@ from .estimator import (
     estimate_mu,
     greedy_delta_selection,
 )
-from .prr import PRRGraph, sample_critical_set, sample_prr_graph
+from .prr import PRRGraph, sample_prr_batch
 
 __all__ = ["BoostResult", "prr_boost", "prr_boost_lb", "PRRSampler", "CriticalSetSampler"]
 
@@ -54,9 +55,18 @@ class PRRSampler:
         self.graphs: List[PRRGraph] = []
 
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        prr = sample_prr_graph(self.graph, self.seeds, self.k, rng)
+        prr = sample_prr_batch(self.graph, self.seeds, self.k, rng, 1)[0]
         self.graphs.append(prr)
         return prr.critical if prr.is_boostable else frozenset()
+
+    def sample_batch(
+        self, rng: np.random.Generator, count: int
+    ) -> List[FrozenSet[int]]:
+        """``count`` PRR-graphs in one batch; returns their critical sets
+        (the ``μ`` payload) while the full graphs accumulate."""
+        batch = sample_prr_batch(self.graph, self.seeds, self.k, rng, count)
+        self.graphs.extend(batch)
+        return [g.critical if g.is_boostable else frozenset() for g in batch]
 
 
 class CriticalSetSampler:
@@ -68,12 +78,26 @@ class CriticalSetSampler:
         self.n = graph.n
         self.explored_edges = 0
         self.statuses = {"activated": 0, "hopeless": 0, "boostable": 0}
+        self._engine = SamplingEngine.for_graph(graph)
 
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        status, critical, explored = sample_critical_set(self.graph, self.seeds, rng)
+        status, critical, explored = self._engine.critical_set(self.seeds, rng)
         self.explored_edges += explored
         self.statuses[status] += 1
         return critical
+
+    def sample_batch(
+        self, rng: np.random.Generator, count: int
+    ) -> List[FrozenSet[int]]:
+        """``count`` critical sets in one engine batch."""
+        out = []
+        for status, critical, explored in self._engine.sample_critical_batch(
+            self.seeds, rng, count
+        ):
+            self.explored_edges += explored
+            self.statuses[status] += 1
+            out.append(critical)
+        return out
 
 
 @dataclass

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from .prr import PRRGraph
 
 __all__ = [
@@ -59,7 +61,8 @@ def greedy_delta_selection(
     Each round recomputes, for every still-inactive boostable PRR-graph, the
     set ``A_R(B)`` of single nodes whose addition would activate the root
     (two linear traversals per graph — the incremental update the paper's
-    complexity analysis relies on), tallies the counts, and takes the argmax.
+    complexity analysis relies on), tallies the counts into a dense array,
+    and takes the argmax.
 
     Returns the chosen boost set and its ``Δ̂`` estimate.
     """
@@ -68,33 +71,39 @@ def greedy_delta_selection(
     boost: set[int] = set()
     active = [False] * len(prr_graphs)
     activated_count = 0
+    allowed = np.ones(n, dtype=bool)
+    if candidates is not None:
+        allowed[:] = False
+        allowed[list(candidates)] = True
     # Cache each graph's current activation options.
     options: List[FrozenOptions] = [None] * len(prr_graphs)  # type: ignore[assignment]
 
     for _round in range(k):
-        counts: dict[int, int] = {}
+        counts = np.zeros(n, dtype=np.int64)
         for idx, g in enumerate(prr_graphs):
             if active[idx] or not g.is_boostable:
                 continue
             acts = g.activating_nodes(boost)
             options[idx] = acts
-            for v in acts:
-                if candidates is None or v in candidates:
-                    counts[v] = counts.get(v, 0) + 1
-        if not counts:
+            if acts:
+                counts[list(acts)] += 1
+        counts[~allowed] = 0
+        if not counts.any():
             # Supermodular stall: no single node finishes any root.  Expand
             # reachability instead — boost the node that unlocks the most
             # frontier edges, so multi-step chains become completable.
             for idx, g in enumerate(prr_graphs):
                 if active[idx] or not g.is_boostable:
                     continue
-                for v in g.frontier_nodes(boost):
-                    if candidates is None or v in candidates:
-                        counts[v] = counts.get(v, 0) + 1
+                frontier = g.frontier_nodes(boost)
+                if frontier:
+                    counts[list(frontier)] += 1
+            counts[~allowed] = 0
             options = [None] * len(prr_graphs)  # type: ignore[assignment]
-        if not counts:
+        if not counts.any():
             break
-        best = max(counts.items(), key=lambda item: (item[1], -item[0]))[0]
+        # argmax breaks ties toward the smallest node id.
+        best = int(np.argmax(counts))
         boost.add(best)
         for idx, g in enumerate(prr_graphs):
             if active[idx] or not g.is_boostable:

@@ -19,8 +19,9 @@ from typing import FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
-from .prr import PRRGraph, sample_critical_set, sample_prr_graph
+from .prr import PRRGraph, sample_critical_batch, sample_prr_batch
 
 __all__ = ["parallel_prr_collection", "parallel_critical_sets"]
 
@@ -35,27 +36,25 @@ def _init_worker(graph: DiGraph, seeds: frozenset, k: int) -> None:
     _worker_graph = graph
     _worker_seeds = seeds
     _worker_k = k
+    # Warm the engine once per worker; every streamed batch reuses it.
+    SamplingEngine.for_graph(graph)
 
 
 def _worker_sample_graphs(args: Tuple[int, int]) -> List[PRRGraph]:
     seed, count = args
     rng = np.random.default_rng(seed)
-    return [
-        sample_prr_graph(_worker_graph, _worker_seeds, _worker_k, rng)
-        for _ in range(count)
-    ]
+    return sample_prr_batch(_worker_graph, _worker_seeds, _worker_k, rng, count)
 
 
 def _worker_sample_critical(args: Tuple[int, int]) -> List[FrozenSet[int]]:
     seed, count = args
     rng = np.random.default_rng(seed)
-    results = []
-    for _ in range(count):
-        _status, critical, _explored = sample_critical_set(
-            _worker_graph, _worker_seeds, rng
+    return [
+        critical
+        for _status, critical, _explored in sample_critical_batch(
+            _worker_graph, _worker_seeds, rng, count
         )
-        results.append(critical)
-    return results
+    ]
 
 
 def _chunks(total: int, workers: int) -> List[int]:
@@ -80,7 +79,7 @@ def parallel_prr_collection(
     workers = workers or min(os.cpu_count() or 1, 8)
     if workers <= 1 or count < 64:
         rng = np.random.default_rng(master_seed)
-        return [sample_prr_graph(graph, seed_set, k, rng) for _ in range(count)]
+        return sample_prr_batch(graph, seed_set, k, rng, count)
     seq = np.random.SeedSequence(master_seed)
     child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
     jobs = list(zip(child_seeds, _chunks(count, workers)))
@@ -104,11 +103,12 @@ def parallel_critical_sets(
     workers = workers or min(os.cpu_count() or 1, 8)
     if workers <= 1 or count < 64:
         rng = np.random.default_rng(master_seed)
-        out = []
-        for _ in range(count):
-            _status, critical, _explored = sample_critical_set(graph, seed_set, rng)
-            out.append(critical)
-        return out
+        return [
+            critical
+            for _status, critical, _explored in sample_critical_batch(
+                graph, seed_set, rng, count
+            )
+        ]
     seq = np.random.SeedSequence(master_seed)
     child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
     jobs = list(zip(child_seeds, _chunks(count, workers)))

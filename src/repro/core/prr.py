@@ -16,25 +16,33 @@ to ``r``.  The estimator identities are (Lemma 1 / Section IV-C):
   and ``C_R = {v : f_R({v}) = 1}`` is the *critical node set* — a submodular
   lower bound.
 
-This module implements
+Sampling runs on the shared vectorized engine
+(:class:`repro.engine.SamplingEngine`): phase I is a frontier-based backward
+0–1 BFS over the in-CSR with edge states held in a flat ``int8`` array
+keyed by dense edge id (no per-edge ``(u, v)`` dict), and the batch entry
+points (:func:`sample_prr_batch`, :func:`sample_critical_batch`) amortize
+engine setup across hundreds of roots.  This module keeps the domain side:
 
-* :func:`sample_prr_graph` — phase I backward 0–1 BFS with the distance-
-  ``> k`` pruning, phase II compression (super-seed merge, dead-node removal,
-  live shortcut edges to the root),
-* :func:`sample_critical_set` — the cheaper generation used by PRR-Boost-LB
-  which only materializes ``C_R`` (backward exploration capped at distance 1),
 * :class:`PRRGraph` — the compressed graph with ``f_R`` evaluation and
-  incremental "which single node would activate the root" queries used by the
-  greedy selection over ``Δ̂``.
+  incremental "which single node would activate the root" queries used by
+  the greedy selection over ``Δ̂``, all mask-vectorized,
+* :func:`_compress` — phase II (super-seed merge, dead-node removal, live
+  shortcut edges to the root), shared with the reference sampler so seeded
+  equivalence is testable end-to-end.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, List, Optional, Tuple
+from typing import AbstractSet, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..engine import SamplingEngine
+from ..engine import world as engine_world
+from ..engine.batch import ACTIVATED, BOOSTABLE, HOPELESS, PhaseOneResult
+from ..engine.hashing import hash_draw as _hash_draw
+from ..engine.traversal import grow_reachable
 
 from ..graphs.digraph import DiGraph
 
@@ -42,7 +50,10 @@ __all__ = [
     "EdgeState",
     "PRRGraph",
     "sample_prr_graph",
+    "sample_prr_batch",
     "sample_critical_set",
+    "sample_critical_batch",
+    "prr_graph_from_phase1",
     "ACTIVATED",
     "HOPELESS",
     "BOOSTABLE",
@@ -50,69 +61,18 @@ __all__ = [
 
 
 class EdgeState:
-    """Edge states of the deterministic copy ``g`` (Definition 3)."""
+    """Edge states of the deterministic copy ``g`` (Definition 3).
 
-    LIVE = 0
-    BOOST = 1  # live-upon-boost
-    BLOCKED = 2
-
-
-ACTIVATED = "activated"
-HOPELESS = "hopeless"
-BOOSTABLE = "boostable"
-
-_INF = float("inf")
-
-
-_MASK64 = (1 << 64) - 1
-
-
-def _hash_draw(world_seed: int, u: int, v: int) -> float:
-    """Deterministic uniform in [0, 1) from (world, edge) via splitmix64.
-
-    Lets callers fix an entire world independent of traversal order, so the
-    same sampled world can be re-examined under different pruning budgets
-    (the paired design the pruning ablation needs).
+    The values are the engine's encoding — a single source of truth for
+    the flat ``int8`` state arrays.
     """
-    x = (
-        world_seed * 0x9E3779B97F4A7C15
-        + (u + 1) * 0xBF58476D1CE4E5B9
-        + (v + 1) * 0x94D049BB133111EB
-    ) & _MASK64
-    x ^= x >> 30
-    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
-    x ^= x >> 27
-    x = (x * 0x94D049BB133111EB) & _MASK64
-    x ^= x >> 31
-    return x / 2.0**64
+
+    LIVE = engine_world.LIVE
+    BOOST = engine_world.BOOST  # live-upon-boost
+    BLOCKED = engine_world.BLOCKED
 
 
-def _sample_edge_state(
-    cache: Dict[Tuple[int, int], int],
-    u: int,
-    v: int,
-    p: float,
-    pp: float,
-    rng: np.random.Generator,
-    world_seed: Optional[int] = None,
-) -> int:
-    """State of edge ``u -> v``, sampled once and cached.
-
-    With ``world_seed`` set, the draw is a hash of (world, edge) instead of
-    the next RNG variate — same world regardless of traversal order.
-    """
-    key = (u, v)
-    state = cache.get(key)
-    if state is None:
-        draw = rng.random() if world_seed is None else _hash_draw(world_seed, u, v)
-        if draw < p:
-            state = EdgeState.LIVE
-        elif draw < pp:
-            state = EdgeState.BOOST
-        else:
-            state = EdgeState.BLOCKED
-        cache[key] = state
-    return state
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -136,8 +96,9 @@ class PRRGraph:
     critical: FrozenSet[int] = frozenset()
     uncompressed_nodes: int = 0
     uncompressed_edges: int = 0
-    _fwd: Optional[List[List[Tuple[int, bool]]]] = field(default=None, repr=False)
-    _bwd: Optional[List[List[Tuple[int, bool]]]] = field(default=None, repr=False)
+    _arrays: Optional[Tuple[np.ndarray, ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -167,54 +128,43 @@ class PRRGraph:
         return len(self.edge_src)
 
     # ------------------------------------------------------------------
-    def _adjacency(self) -> Tuple[List[List[Tuple[int, bool]]], List[List[Tuple[int, bool]]]]:
-        if self._fwd is None:
-            fwd: List[List[Tuple[int, bool]]] = [[] for _ in self.node_globals]
-            bwd: List[List[Tuple[int, bool]]] = [[] for _ in self.node_globals]
-            for s, d, b in zip(self.edge_src, self.edge_dst, self.edge_boost):
-                fwd[s].append((d, b))
-                bwd[d].append((s, b))
-            self._fwd = fwd
-            self._bwd = bwd
-        return self._fwd, self._bwd
+    def _edge_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Cached numpy views of the edge lists plus per-edge head globals."""
+        if self._arrays is None:
+            src = np.asarray(self.edge_src, dtype=np.int64)
+            dst = np.asarray(self.edge_dst, dtype=np.int64)
+            boost = np.asarray(self.edge_boost, dtype=bool)
+            globals_ = np.asarray(self.node_globals, dtype=np.int64)
+            head_globals = globals_[dst] if dst.size else _EMPTY_IDS
+            self._arrays = (src, dst, boost, globals_, head_globals)
+        return self._arrays
 
-    def _forward_reachable(self, boost: AbstractSet[int]) -> List[bool]:
+    def _boosted_heads(self, boost: AbstractSet[int]) -> np.ndarray:
+        """Per-edge mask: the edge's head is in the boost set."""
+        _src, _dst, _eb, _globals, head_globals = self._edge_arrays()
+        if not boost or head_globals.size == 0:
+            return np.zeros(head_globals.size, dtype=bool)
+        return np.isin(head_globals, np.fromiter(boost, dtype=np.int64))
+
+    def _forward_reachable(self, boosted_heads: np.ndarray) -> np.ndarray:
         """Nodes reachable from the super-seed via traversable edges."""
-        fwd, _ = self._adjacency()
-        reached = [False] * self.num_nodes
+        src, dst, edge_boost, _globals, _hg = self._edge_arrays()
+        traversable = ~edge_boost | boosted_heads
+        reached = np.zeros(self.num_nodes, dtype=bool)
         reached[0] = True
-        stack = [0]
-        globals_ = self.node_globals
-        while stack:
-            u = stack.pop()
-            for v, is_boost in fwd[u]:
-                if reached[v]:
-                    continue
-                if is_boost and globals_[v] not in boost:
-                    continue
-                reached[v] = True
-                stack.append(v)
-        return reached
+        return grow_reachable(src, dst, reached, traversable)
 
-    def _backward_reachable(self, boost: AbstractSet[int]) -> List[bool]:
-        """Nodes from which the root is reachable via traversable edges."""
-        _, bwd = self._adjacency()
-        reached = [False] * self.num_nodes
+    def _backward_reachable(self, boosted_heads: np.ndarray) -> np.ndarray:
+        """Nodes from which the root is reachable via traversable edges.
+
+        The edge ``u -> v`` is traversable when live, or when its head ``v``
+        is boosted.
+        """
+        src, dst, edge_boost, _globals, _hg = self._edge_arrays()
+        traversable = ~edge_boost | boosted_heads
+        reached = np.zeros(self.num_nodes, dtype=bool)
         reached[self.root_local] = True
-        stack = [self.root_local]
-        globals_ = self.node_globals
-        while stack:
-            v = stack.pop()
-            for u, is_boost in bwd[v]:
-                if reached[u]:
-                    continue
-                # The edge u -> v is traversable when live, or when its head
-                # v is boosted.
-                if is_boost and globals_[v] not in boost:
-                    continue
-                reached[u] = True
-                stack.append(u)
-        return reached
+        return grow_reachable(dst, src, reached, traversable)
 
     def f(self, boost: AbstractSet[int]) -> bool:
         """Evaluate ``f_R(B)``: root activated upon boosting ``B``.
@@ -224,7 +174,8 @@ class PRRGraph:
         """
         if not self.is_boostable:
             return False
-        return self._forward_reachable(boost)[self.root_local]
+        boosted_heads = self._boosted_heads(boost)
+        return bool(self._forward_reachable(boosted_heads)[self.root_local])
 
     def f_lower(self, boost: AbstractSet[int]) -> bool:
         """Evaluate ``f⁻_R(B) = I(B ∩ C_R ≠ ∅)`` (the submodular proxy)."""
@@ -242,15 +193,13 @@ class PRRGraph:
         """
         if not self.is_boostable:
             return frozenset()
-        forward = self._forward_reachable(boost)
+        boosted_heads = self._boosted_heads(boost)
+        forward = self._forward_reachable(boosted_heads)
         if forward[self.root_local]:
             return frozenset()
-        globals_ = self.node_globals
-        result: set[int] = set()
-        for s, d, is_boost in zip(self.edge_src, self.edge_dst, self.edge_boost):
-            if is_boost and forward[s] and not forward[d] and globals_[d] not in boost:
-                result.add(globals_[d])
-        return frozenset(result)
+        src, dst, edge_boost, _globals, head_globals = self._edge_arrays()
+        crossing = edge_boost & forward[src] & ~forward[dst] & ~boosted_heads
+        return frozenset(np.unique(head_globals[crossing]).tolist())
 
     def activating_nodes(self, boost: AbstractSet[int]) -> FrozenSet[int]:
         """``A_R(B) = {v : f_R(B ∪ {v}) = 1}`` — single-node completions.
@@ -266,16 +215,39 @@ class PRRGraph:
         """
         if not self.is_boostable:
             return frozenset()
-        forward = self._forward_reachable(boost)
+        boosted_heads = self._boosted_heads(boost)
+        forward = self._forward_reachable(boosted_heads)
         if forward[self.root_local]:
             return frozenset()
-        backward = self._backward_reachable(boost)
-        globals_ = self.node_globals
-        result: set[int] = set()
-        for s, d, is_boost in zip(self.edge_src, self.edge_dst, self.edge_boost):
-            if is_boost and forward[s] and backward[d] and globals_[d] not in boost:
-                result.add(globals_[d])
-        return frozenset(result)
+        backward = self._backward_reachable(boosted_heads)
+        src, dst, edge_boost, _globals, head_globals = self._edge_arrays()
+        crossing = edge_boost & forward[src] & backward[dst] & ~boosted_heads
+        return frozenset(np.unique(head_globals[crossing]).tolist())
+
+
+# ----------------------------------------------------------------------
+# Sampling (engine-backed)
+# ----------------------------------------------------------------------
+def prr_graph_from_phase1(result: PhaseOneResult, k: int) -> PRRGraph:
+    """Assemble a :class:`PRRGraph` from a raw phase-I exploration."""
+    if result.activated:
+        return PRRGraph(root=result.root, status=ACTIVATED)
+    if result.seeds_found.size == 0:
+        return PRRGraph(
+            root=result.root,
+            status=HOPELESS,
+            uncompressed_nodes=result.node_count,
+            uncompressed_edges=int(result.edge_src.size),
+        )
+    return _compress(
+        result.root,
+        result.seeds_found,
+        result.edge_src,
+        result.edge_dst,
+        result.edge_boost,
+        k,
+        result.node_count,
+    )
 
 
 def sample_prr_graph(
@@ -294,216 +266,41 @@ def sample_prr_graph(
     hashing, so repeated calls with the same seed and root see identical
     edge states regardless of ``k`` — used by paired ablations.
     """
+    engine = SamplingEngine.for_graph(graph)
     r = int(rng.integers(graph.n)) if root is None else int(root)
-    if r in seeds:
+    seed_set = seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
+    if r in seed_set:
         return PRRGraph(root=r, status=ACTIVATED)
-
-    # ------------------------------------------------------------------
-    # Phase I: backward 0-1 BFS from r with distance pruning (Lines 1-19).
-    # ------------------------------------------------------------------
-    state_cache: Dict[Tuple[int, int], int] = {}
-    dr: Dict[int, float] = {r: 0}
-    queue: deque[Tuple[int, int]] = deque([(r, 0)])
-    processed: set[int] = set()
-    # Collected non-blocked edges (v, u, is_boost) with d_vr <= k.
-    edges: List[Tuple[int, int, bool]] = []
-    seeds_found: set[int] = set()
-
-    while queue:
-        u, dur = queue.popleft()
-        if dur > dr.get(u, _INF) or u in processed:
-            continue
-        processed.add(u)
-        sources = graph.in_neighbors(u)
-        probs = graph.in_probs(u)
-        boosted = graph.in_boosted_probs(u)
-        for i in range(sources.size):
-            v = int(sources[i])
-            state = _sample_edge_state(
-                state_cache, v, u, probs[i], boosted[i], rng, world_seed
-            )
-            if state == EdgeState.BLOCKED:
-                continue
-            dvr = dur + (1 if state == EdgeState.BOOST else 0)
-            if dvr > k:  # pruning (Line 11)
-                continue
-            edges.append((v, u, state == EdgeState.BOOST))
-            if v in seeds:
-                if dvr == 0:
-                    return PRRGraph(root=r, status=ACTIVATED)
-                seeds_found.add(v)
-                # Paths through a seed are dominated by the suffix starting
-                # at that seed, so its in-edges need not be explored.
-                dr[v] = min(dr.get(v, _INF), dvr)
-                continue
-            if dvr < dr.get(v, _INF):
-                dr[v] = dvr
-                if dvr == dur:
-                    queue.appendleft((v, dvr))
-                else:
-                    queue.append((v, dvr))
-
-    if not seeds_found:
-        return PRRGraph(
-            root=r,
-            status=HOPELESS,
-            uncompressed_nodes=len(dr),
-            uncompressed_edges=len(edges),
-        )
-
-    return _compress(r, seeds_found, edges, k, len(dr))
-
-
-def _zero_one_bfs(
-    starts: List[int],
-    adjacency: Dict[int, List[Tuple[int, bool]]],
-    excluded: AbstractSet[int] = frozenset(),
-) -> Dict[int, int]:
-    """Generic 0-1 BFS; edge weight is 1 for live-upon-boost edges.
-
-    ``excluded`` nodes are never entered (used to keep paths off the
-    super-seed when computing ``d'_r``).
-    """
-    dist: Dict[int, int] = {s: 0 for s in starts}
-    queue: deque[Tuple[int, int]] = deque((s, 0) for s in starts)
-    done: set[int] = set()
-    while queue:
-        u, du = queue.popleft()
-        if du > dist.get(u, _INF) or u in done:
-            continue
-        done.add(u)
-        for v, is_boost in adjacency.get(u, ()):
-            if v in excluded:
-                continue
-            dv = du + (1 if is_boost else 0)
-            if dv < dist.get(v, _INF):
-                dist[v] = dv
-                if is_boost:
-                    queue.append((v, dv))
-                else:
-                    queue.appendleft((v, dv))
-    return dist
-
-
-def _compress(
-    r: int,
-    seeds_found: set[int],
-    edges: List[Tuple[int, int, bool]],
-    k: int,
-    uncompressed_nodes: int,
-) -> PRRGraph:
-    """Phase II: merge the super-seed, prune, shortcut, and clean up."""
-    forward_adj: Dict[int, List[Tuple[int, bool]]] = {}
-    backward_adj: Dict[int, List[Tuple[int, bool]]] = {}
-    for v, u, is_boost in edges:
-        forward_adj.setdefault(v, []).append((u, is_boost))
-        backward_adj.setdefault(u, []).append((v, is_boost))
-
-    # dS: min #boost-edges from any seed (forward direction).
-    d_seed = _zero_one_bfs(sorted(seeds_found), forward_adj)
-    if d_seed.get(r) == 0:  # defensive; Phase I should have caught this
-        return PRRGraph(root=r, status=ACTIVATED)
-    merged = {v for v, d in d_seed.items() if d == 0}
-
-    # d'_r: min #boost-edges to the root avoiding the super-seed.
-    d_root = _zero_one_bfs([r], backward_adj, excluded=merged)
-
-    # Critical nodes: boost edge from the merged region into v, plus a live
-    # path from v to the root (both measured before the shortcut rewrite).
-    critical = {
-        u
-        for v, u, is_boost in edges
-        if is_boost and v in merged and u not in merged and d_root.get(u, _INF) == 0
-    }
-
-    # Nodes that can sit on a <=k-boost path from super-seed to root.
-    kept = {
-        v
-        for v in d_seed
-        if v not in merged
-        and d_root.get(v, _INF) + d_seed[v] <= k
-    }
-    if r not in kept:
-        # Root unreachable within budget after exact accounting.
-        return PRRGraph(
-            root=r,
-            status=HOPELESS,
-            uncompressed_nodes=uncompressed_nodes,
-            uncompressed_edges=len(edges),
-        )
-
-    # Rebuild edges over {super-seed} ∪ kept, applying the live-shortcut rule:
-    # a non-root node with a live path to the root keeps no out-edges and
-    # gains a direct live edge to the root.
-    shortcut = {v for v in kept if v != r and d_root.get(v, _INF) == 0}
-    new_edges: set[Tuple[int, int, bool]] = set()
-    for v, u, is_boost in edges:
-        src_merged = v in merged
-        if not src_merged and v not in kept:
-            continue
-        if u not in kept:
-            continue
-        if v == r:
-            continue  # out-edges of the root never help reach it
-        if not src_merged and v in shortcut:
-            continue  # replaced by the direct live edge below
-        src_key = -1 if src_merged else v
-        new_edges.add((src_key, u, is_boost))
-    for v in shortcut:
-        new_edges.add((v, r, False))
-
-    # Cleanup: keep only nodes on super-seed -> root paths.
-    fwd2: Dict[int, List[Tuple[int, bool]]] = {}
-    bwd2: Dict[int, List[Tuple[int, bool]]] = {}
-    for s, d, b in new_edges:
-        fwd2.setdefault(s, []).append((d, b))
-        bwd2.setdefault(d, []).append((s, b))
-
-    def _reach(start: int, adj: Dict[int, List[Tuple[int, bool]]]) -> set[int]:
-        seen = {start}
-        stack = [start]
-        while stack:
-            x = stack.pop()
-            for y, _b in adj.get(x, ()):
-                if y not in seen:
-                    seen.add(y)
-                    stack.append(y)
-        return seen
-
-    from_super = _reach(-1, fwd2)
-    to_root = _reach(r, bwd2)
-    alive = from_super & to_root
-    if r not in alive or -1 not in alive:
-        return PRRGraph(
-            root=r,
-            status=HOPELESS,
-            uncompressed_nodes=uncompressed_nodes,
-            uncompressed_edges=len(edges),
-        )
-    final_edges = [
-        (s, d, b) for (s, d, b) in new_edges if s in alive and d in alive
-    ]
-
-    # Local id assignment: super-seed = 0.
-    locals_: Dict[int, int] = {-1: 0}
-    node_globals: List[int] = [-1]
-    for v in sorted(alive - {-1}):
-        locals_[v] = len(node_globals)
-        node_globals.append(v)
-
-    prr = PRRGraph(
-        root=r,
-        status=BOOSTABLE,
-        node_globals=node_globals,
-        edge_src=[locals_[s] for s, _d, _b in final_edges],
-        edge_dst=[locals_[d] for _s, d, _b in final_edges],
-        edge_boost=[b for _s, _d, b in final_edges],
-        root_local=locals_[r],
-        critical=frozenset(critical),
-        uncompressed_nodes=uncompressed_nodes,
-        uncompressed_edges=len(edges),
+    result = engine.prr_phase1(
+        engine.seeds_mask(seed_set), r, k, rng=rng, world_seed=world_seed
     )
-    return prr
+    return prr_graph_from_phase1(result, k)
+
+
+def sample_prr_batch(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    k: int,
+    rng: np.random.Generator,
+    count: int,
+    roots: Sequence[int] | None = None,
+) -> List[PRRGraph]:
+    """Sample ``count`` PRR-graphs, looping phase I over one shared engine.
+
+    Equivalent to ``count`` :func:`sample_prr_graph` calls on the same RNG;
+    the engine's stamp buffers and seed mask are reused across the batch.
+    """
+    engine = SamplingEngine.for_graph(graph)
+    mask = engine.seeds_mask(seeds)
+    out: List[PRRGraph] = []
+    for i in range(count):
+        r = int(rng.integers(graph.n)) if roots is None else int(roots[i])
+        if mask[r]:
+            out.append(PRRGraph(root=r, status=ACTIVATED))
+            continue
+        result = engine.prr_phase1(mask, r, k, rng=rng)
+        out.append(prr_graph_from_phase1(result, k))
+    return out
 
 
 def sample_critical_set(
@@ -522,70 +319,154 @@ def sample_critical_set(
     empty for activated/hopeless roots, which still count as samples for the
     ``μ̂`` estimator.
     """
-    r = int(rng.integers(graph.n)) if root is None else int(root)
-    if r in seeds:
-        return ACTIVATED, frozenset(), 0
+    return SamplingEngine.for_graph(graph).critical_set(seeds, rng, root=root)
 
-    state_cache: Dict[Tuple[int, int], int] = {}
-    dr: Dict[int, float] = {r: 0}
-    queue: deque[Tuple[int, int]] = deque([(r, 0)])
-    processed: set[int] = set()
-    live_fwd: Dict[int, List[int]] = {}
-    boost_edges: List[Tuple[int, int]] = []
-    seeds_found: set[int] = set()
-    explored = 0
 
-    while queue:
-        u, dur = queue.popleft()
-        if dur > dr.get(u, _INF) or u in processed:
-            continue
-        processed.add(u)
-        sources = graph.in_neighbors(u)
-        probs = graph.in_probs(u)
-        boosted = graph.in_boosted_probs(u)
-        for i in range(sources.size):
-            v = int(sources[i])
-            state = _sample_edge_state(state_cache, v, u, probs[i], boosted[i], rng)
-            explored += 1
-            if state == EdgeState.BLOCKED:
-                continue
-            dvr = dur + (1 if state == EdgeState.BOOST else 0)
-            if dvr > 1:
-                continue
-            if state == EdgeState.LIVE:
-                live_fwd.setdefault(v, []).append(u)
-            else:
-                boost_edges.append((v, u))
-            if v in seeds:
-                if dvr == 0:
-                    return ACTIVATED, frozenset(), explored
-                seeds_found.add(v)
-                continue
-            if dvr < dr.get(v, _INF):
-                dr[v] = dvr
-                if dvr == dur:
-                    queue.appendleft((v, dvr))
-                else:
-                    queue.append((v, dvr))
+def sample_critical_batch(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    rng: np.random.Generator,
+    count: int,
+) -> List[Tuple[str, FrozenSet[int], int]]:
+    """Sample ``count`` critical sets on one shared engine."""
+    return SamplingEngine.for_graph(graph).sample_critical_batch(seeds, rng, count)
 
-    if not seeds_found:
-        return HOPELESS, frozenset(), explored
 
-    # Forward live reachability from the discovered seeds.
-    live_region: set[int] = set(seeds_found)
-    stack = list(seeds_found)
-    while stack:
-        x = stack.pop()
-        for y in live_fwd.get(x, ()):
-            if y not in live_region:
-                live_region.add(y)
-                stack.append(y)
-    if r in live_region:  # defensive; should have been caught in the BFS
-        return ACTIVATED, frozenset(), explored
+# ----------------------------------------------------------------------
+# Phase II compression (vectorized over the collected edge arrays)
+# ----------------------------------------------------------------------
+_BIG = np.int64(1) << 40
 
-    critical = frozenset(
-        head
-        for tail, head in boost_edges
-        if tail in live_region and dr.get(head, _INF) == 0 and head not in seeds
+
+def _bfs01_arrays(
+    nn: int,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    weights: np.ndarray,
+    starts: np.ndarray,
+) -> np.ndarray:
+    """0-1 shortest distances from ``starts`` by scatter-min relaxation.
+
+    Converges in O(diameter) passes of O(edges) vectorized work — the
+    compressed graphs are small and shallow, so this beats the deque BFS
+    it replaced by a wide margin.
+    """
+    dist = np.full(nn, _BIG, dtype=np.int64)
+    dist[starts] = 0
+    while True:
+        cand = dist[tails] + weights
+        relax = cand < dist[heads]
+        if not relax.any():
+            return dist
+        np.minimum.at(dist, heads[relax], cand[relax])
+
+
+def _compress(
+    r: int,
+    seeds_found: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    boost: np.ndarray,
+    k: int,
+    uncompressed_nodes: int,
+) -> PRRGraph:
+    """Phase II: merge the super-seed, prune, shortcut, and clean up.
+
+    Operates on the phase-I edge arrays with a compacted local id space;
+    the super-seed is local id ``nn`` during the rewrite and becomes 0 in
+    the output, matching the paper's Figure 2 compression.
+    """
+    num_edges = int(src.size)
+    nodes = np.unique(np.concatenate([src, dst, seeds_found, [r]]))
+    nn = int(nodes.size)
+    ls = np.searchsorted(nodes, src)
+    ld = np.searchsorted(nodes, dst)
+    lseeds = np.searchsorted(nodes, seeds_found)
+    lr = int(np.searchsorted(nodes, r))
+    wi = boost.astype(np.int64)
+
+    def hopeless() -> PRRGraph:
+        return PRRGraph(
+            root=r,
+            status=HOPELESS,
+            uncompressed_nodes=uncompressed_nodes,
+            uncompressed_edges=num_edges,
+        )
+
+    # dS: min #boost-edges from any seed (forward direction).
+    d_seed = _bfs01_arrays(nn, ls, ld, wi, lseeds)
+    if d_seed[lr] == 0:  # defensive; Phase I should have caught this
+        return PRRGraph(root=r, status=ACTIVATED)
+    merged = d_seed == 0
+
+    # d'_r: min #boost-edges to the root avoiding the super-seed — a
+    # backward relaxation over reversed edges that never enters the merged
+    # region.
+    rev = ~merged[ls]
+    d_root = _bfs01_arrays(
+        nn, ld[rev], ls[rev], wi[rev], np.array([lr], dtype=np.int64)
     )
-    return BOOSTABLE, critical, explored
+
+    # Critical nodes: boost edge from the merged region into v, plus a live
+    # path from v to the root (both measured before the shortcut rewrite).
+    crit_edges = boost & merged[ls] & ~merged[ld] & (d_root[ld] == 0)
+    critical = frozenset(nodes[np.unique(ld[crit_edges])].tolist())
+
+    # Nodes that can sit on a <=k-boost path from super-seed to root.
+    kept = ~merged & (d_seed + d_root <= k)
+    if not kept[lr]:
+        # Root unreachable within budget after exact accounting.
+        return hopeless()
+
+    # Rebuild edges over {super-seed} ∪ kept, applying the live-shortcut
+    # rule: a non-root node with a live path to the root keeps no out-edges
+    # and gains a direct live edge to the root.
+    shortcut = kept & (d_root == 0)
+    shortcut[lr] = False
+    src_merged = merged[ls]
+    keep_edge = (
+        (src_merged | (kept[ls] & ~shortcut[ls])) & kept[ld] & (ls != lr)
+    )
+    super_id = nn  # local id of the super-seed during the rewrite
+    src_key = np.where(src_merged[keep_edge], super_id, ls[keep_edge])
+    # Deduplicate (src, dst, boost) triples via integer encoding.
+    enc = (src_key * (nn + 1) + ld[keep_edge]) * 2 + wi[keep_edge]
+    shortcut_ids = np.flatnonzero(shortcut)
+    enc = np.unique(
+        np.concatenate([enc, (shortcut_ids * (nn + 1) + lr) * 2])
+    )
+    e_pair = enc >> 1
+    e_src = e_pair // (nn + 1)
+    e_dst = e_pair % (nn + 1)
+    e_boost = (enc & 1).astype(bool)
+
+    # Cleanup: keep only nodes on super-seed -> root paths.
+    from_super = np.zeros(nn + 1, dtype=bool)
+    from_super[super_id] = True
+    grow_reachable(e_src, e_dst, from_super)
+    to_root = np.zeros(nn + 1, dtype=bool)
+    to_root[lr] = True
+    grow_reachable(e_dst, e_src, to_root)
+    alive = from_super & to_root
+    if not (alive[lr] and alive[super_id]):
+        return hopeless()
+    edge_alive = alive[e_src] & alive[e_dst]
+
+    # Local id assignment: super-seed = 0, the rest ordered by global id.
+    alive_real = np.flatnonzero(alive[:nn])
+    local_out = np.zeros(nn + 1, dtype=np.int64)
+    local_out[alive_real] = np.arange(1, alive_real.size + 1)
+    local_out[super_id] = 0
+
+    return PRRGraph(
+        root=r,
+        status=BOOSTABLE,
+        node_globals=[-1] + nodes[alive_real].tolist(),
+        edge_src=local_out[e_src[edge_alive]].tolist(),
+        edge_dst=local_out[e_dst[edge_alive]].tolist(),
+        edge_boost=e_boost[edge_alive].tolist(),
+        root_local=int(local_out[lr]),
+        critical=critical,
+        uncompressed_nodes=uncompressed_nodes,
+        uncompressed_edges=num_edges,
+    )

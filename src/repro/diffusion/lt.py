@@ -23,6 +23,8 @@ from typing import AbstractSet, Sequence
 
 import numpy as np
 
+from ..engine import SamplingEngine
+from ..engine.traversal import frontier_edge_positions
 from ..graphs.digraph import DiGraph
 
 __all__ = ["normalize_lt_weights", "simulate_lt_spread", "estimate_lt_boost"]
@@ -58,32 +60,31 @@ def simulate_lt_spread(
     ``pp`` instead of ``p`` (with the per-node total clipped at 1), so it
     crosses its threshold sooner — more easily influenced, never
     self-starting, mirroring Definition 1's spirit.
+
+    The cascade runs on the engine's out-CSR arrays: the only random draw
+    is the threshold vector, after which each level accumulates incoming
+    weight for whole frontiers with ``np.add.at``.
     """
-    boost_set = set(boost)
+    engine = SamplingEngine.for_graph(graph)
     thresholds = rng.random(graph.n)
-    active = set(seeds)
+    weights = engine.thresholds(set(boost))  # pp where head boosted, else p
+    out = graph.out_csr()
+    active = np.zeros(graph.n, dtype=bool)
+    frontier = np.fromiter(set(seeds), dtype=np.int64)
+    active[frontier] = True
     accumulated = np.zeros(graph.n)
-    frontier = list(active)
-    while frontier:
-        next_frontier: list[int] = []
-        touched: set[int] = set()
-        for u in frontier:
-            targets = graph.out_neighbors(u)
-            base = graph.out_probs(u)
-            boosted = graph.out_boosted_probs(u)
-            for i in range(targets.size):
-                v = int(targets[i])
-                if v in active:
-                    continue
-                weight = boosted[i] if v in boost_set else base[i]
-                accumulated[v] += weight
-                touched.add(v)
-        for v in touched:
-            if v not in active and min(accumulated[v], 1.0) >= thresholds[v]:
-                active.add(v)
-                next_frontier.append(v)
-        frontier = next_frontier
-    return active
+    while frontier.size:
+        pos, _counts = frontier_edge_positions(out.indptr, frontier)
+        if pos.size == 0:
+            break
+        heads = out.nodes[pos]
+        inactive = ~active[heads]
+        np.add.at(accumulated, heads[inactive], weights[pos[inactive]])
+        touched = np.unique(heads[inactive])
+        crossed = np.minimum(accumulated[touched], 1.0) >= thresholds[touched]
+        frontier = touched[crossed]
+        active[frontier] = True
+    return set(np.flatnonzero(active).tolist())
 
 
 def estimate_lt_boost(

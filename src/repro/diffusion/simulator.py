@@ -12,15 +12,21 @@ Provides
   worlds; exponential, only for tiny graphs (used as test ground truth).
 
 Computing ``Δ_S(B)`` exactly is #P-hard (Theorem 1), hence simulation.
+
+All Monte Carlo paths run on the shared vectorized engine
+(:class:`repro.engine.SamplingEngine`): cascades are frontier BFS over the
+out-CSR with numpy masks, and the estimators stream whole batches of worlds
+through one engine instance.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import AbstractSet, Iterable, Sequence
+from typing import AbstractSet, Sequence
 
 import numpy as np
 
+from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
 
 __all__ = [
@@ -44,72 +50,7 @@ def simulate_spread(
     first activates), sampling its outcome lazily — equivalent to sampling a
     whole deterministic world up front.
     """
-    boost_set = set(boost)
-    active = set(seeds)
-    frontier = list(active)
-    while frontier:
-        next_frontier: list[int] = []
-        for u in frontier:
-            targets = graph.out_neighbors(u)
-            if targets.size == 0:
-                continue
-            base = graph.out_probs(u)
-            boosted = graph.out_boosted_probs(u)
-            draws = rng.random(targets.size)
-            for i in range(targets.size):
-                v = int(targets[i])
-                if v in active:
-                    continue
-                threshold = boosted[i] if v in boost_set else base[i]
-                if draws[i] < threshold:
-                    active.add(v)
-                    next_frontier.append(v)
-        frontier = next_frontier
-    return active
-
-
-def _csr_thresholds(
-    graph: DiGraph, boost: AbstractSet[int]
-) -> np.ndarray:
-    """Per-CSR-out-position activation thresholds given a boost set ``B``.
-
-    Position ``i`` of the out-CSR corresponds to one directed edge; its
-    threshold is ``p'`` when the edge's head is boosted, else ``p``.
-    """
-    if not boost:
-        return graph._out_p
-    boost_mask = np.zeros(graph.n, dtype=bool)
-    boost_mask[list(boost)] = True
-    return np.where(boost_mask[graph._out_targets], graph._out_pp, graph._out_p)
-
-
-def _cascade_size(
-    graph: DiGraph, seed_idx: np.ndarray, live: np.ndarray
-) -> int:
-    """Cascade size in the world where CSR out-position ``i`` is live iff
-    ``live[i]`` — a frontier BFS vectorized over numpy arrays."""
-    indptr = graph._out_indptr
-    targets_all = graph._out_targets
-    active = np.zeros(graph.n, dtype=bool)
-    active[seed_idx] = True
-    frontier = seed_idx
-    while frontier.size:
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        # Expand [start, start+count) ranges into flat edge positions.
-        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        edge_pos = np.repeat(starts, counts) + offsets
-        hit = live[edge_pos]
-        targets = targets_all[edge_pos[hit]]
-        fresh = targets[~active[targets]]
-        if fresh.size == 0:
-            break
-        frontier = np.unique(fresh)
-        active[frontier] = True
-    return int(active.sum())
+    return SamplingEngine.for_graph(graph).simulate(seeds, boost, rng)
 
 
 def estimate_sigma(
@@ -120,15 +61,7 @@ def estimate_sigma(
     runs: int = 1000,
 ) -> float:
     """Monte Carlo estimate of the boosted influence spread ``σ_S(B)``."""
-    if runs <= 0:
-        raise ValueError("runs must be positive")
-    seed_idx = np.fromiter(set(seeds), dtype=np.int64)
-    thresholds = _csr_thresholds(graph, set(boost))
-    total = 0
-    for _ in range(runs):
-        draws = rng.random(graph.m)
-        total += _cascade_size(graph, seed_idx, draws < thresholds)
-    return total / runs
+    return SamplingEngine.for_graph(graph).estimate_sigma(seeds, boost, rng, runs)
 
 
 def estimate_boost(
@@ -147,19 +80,7 @@ def estimate_boost(
     edges are a superset of the base world's, so every per-run difference is
     non-negative.
     """
-    if runs <= 0:
-        raise ValueError("runs must be positive")
-    seed_idx = np.fromiter(set(seeds), dtype=np.int64)
-    base_thr = graph._out_p
-    boosted_thr = _csr_thresholds(graph, set(boost))
-    total = 0
-    for _ in range(runs):
-        draws = rng.random(graph.m)
-        live_boosted = draws < boosted_thr
-        with_boost = _cascade_size(graph, seed_idx, live_boosted)
-        without = _cascade_size(graph, seed_idx, draws < base_thr)
-        total += with_boost - without
-    return total / runs
+    return SamplingEngine.for_graph(graph).estimate_boost(seeds, boost, rng, runs)
 
 
 def exact_sigma(

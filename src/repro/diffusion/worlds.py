@@ -17,8 +17,8 @@ from typing import AbstractSet, List, Sequence
 
 import numpy as np
 
+from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
-from .simulator import _cascade_size, _csr_thresholds
 
 __all__ = ["WorldCollection"]
 
@@ -44,15 +44,16 @@ class WorldCollection:
         if runs <= 0:
             raise ValueError("runs must be positive")
         self.graph = graph
+        self._engine = SamplingEngine.for_graph(graph)
         self.seed_idx = np.fromiter(set(seeds), dtype=np.int64)
         if self.seed_idx.size == 0:
             raise ValueError("seed set must be non-empty")
         self.runs = runs
         self._draws = rng.random((runs, graph.m))
-        base_thr = graph._out_p
+        base_thr = self._engine.thresholds(set())
         self._base_sizes = np.array(
             [
-                _cascade_size(graph, self.seed_idx, self._draws[r] < base_thr)
+                self._engine.cascade_count(self.seed_idx, self._draws[r] < base_thr)
                 for r in range(runs)
             ],
             dtype=np.int64,
@@ -65,10 +66,10 @@ class WorldCollection:
 
     def sigma(self, boost: AbstractSet[int] | Sequence[int]) -> float:
         """``σ_S(B)`` on these worlds."""
-        thr = _csr_thresholds(self.graph, set(boost))
+        thr = self._engine.thresholds(set(boost))
         total = 0
         for r in range(self.runs):
-            total += _cascade_size(self.graph, self.seed_idx, self._draws[r] < thr)
+            total += self._engine.cascade_count(self.seed_idx, self._draws[r] < thr)
         return total / self.runs
 
     def boost(self, boost: AbstractSet[int] | Sequence[int]) -> float:
@@ -76,10 +77,10 @@ class WorldCollection:
         boost_set = set(boost)
         if not boost_set:
             return 0.0
-        thr = _csr_thresholds(self.graph, boost_set)
+        thr = self._engine.thresholds(boost_set)
         total = 0
         for r in range(self.runs):
-            size = _cascade_size(self.graph, self.seed_idx, self._draws[r] < thr)
+            size = self._engine.cascade_count(self.seed_idx, self._draws[r] < thr)
             total += size - int(self._base_sizes[r])
         return total / self.runs
 

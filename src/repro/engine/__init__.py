@@ -1,0 +1,35 @@
+"""Unified vectorized sampling engine.
+
+Every Monte-Carlo hot path of the reproduction — forward cascades of the
+boosting model, backward reverse-reachable (RR) sets, and backward PRR-graph
+exploration — runs on the primitives in this package:
+
+* :mod:`repro.engine.hashing` — a numpy splitmix64 that fixes whole worlds
+  by hashing (world, edge) pairs, vectorized over edge arrays,
+* :mod:`repro.engine.world` — a flat ``int8`` edge-state store keyed by
+  dense edge id (replacing the per-edge ``(u, v)`` tuple-dict cache),
+* :mod:`repro.engine.traversal` — frontier-based CSR traversal primitives
+  (mask-driven BFS over ``DiGraph``'s indptr/indices arrays),
+* :mod:`repro.engine.batch` — :class:`SamplingEngine`, the batch API
+  (``sample_rr_batch``, ``simulate_batch``, ``sample_critical_batch``,
+  and ``prr_phase1`` — looped by :func:`repro.core.prr.sample_prr_batch`)
+  that reuses one set of buffers across hundreds of roots per call.
+
+:mod:`repro.engine.reference` keeps the pre-engine pure-Python samplers as
+oracles for the seeded equivalence tests and the speedup benchmarks; it is
+deliberately not imported here so production code never pays for it.
+"""
+
+from .batch import SamplingEngine
+from .hashing import hash_draw, hash_draw_array
+from .world import BLOCKED, BOOST, LIVE, EdgeStateArray
+
+__all__ = [
+    "SamplingEngine",
+    "EdgeStateArray",
+    "hash_draw",
+    "hash_draw_array",
+    "LIVE",
+    "BOOST",
+    "BLOCKED",
+]

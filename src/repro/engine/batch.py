@@ -1,0 +1,481 @@
+"""The :class:`SamplingEngine`: batched, array-based Monte-Carlo sampling.
+
+One engine instance per graph owns
+
+* reusable stamp buffers (visited marks, distances, processed flags) so a
+  sample costs no O(n) allocation,
+* an :class:`~repro.engine.world.EdgeStateArray` for PRR worlds,
+* the three hot-path samplers: forward cascades (``simulate`` /
+  ``simulate_batch``), backward RR sets (``rr_set`` / ``sample_rr_batch``)
+  and backward PRR exploration (``prr_phase1`` / ``critical_set`` /
+  ``sample_critical_batch``; PRR-graph assembly lives above in
+  :mod:`repro.core.prr`, which loops ``prr_phase1`` for its batches).
+
+RR sets and forward cascades are bit-for-bit compatible with the
+pre-engine pure-Python samplers (same RNG consumption, same results), as
+is PRR sampling when ``world_seed`` pins the world by hashing.  RNG-driven
+PRR/critical sampling draws edge states per frontier slice instead of per
+edge, so for a given generator state it samples a *different but equally
+valid* world — only the distribution is preserved.  Batch forms are
+bit-for-bit identical to looping the single-sample forms, except
+``sample_rr_batch`` whose default throughput mode trades stream parity for
+fewer drawn uniforms (pass ``strict=True`` to restore it); the sampled
+distributions are identical either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .traversal import first_occurrence, frontier_edge_positions, unique_sorted
+from .world import BLOCKED, BOOST, EdgeStateArray
+
+__all__ = ["SamplingEngine", "PhaseOneResult", "ACTIVATED", "HOPELESS", "BOOSTABLE"]
+
+# Root classification of backward PRR / critical-set sampling.  The string
+# values are shared with :mod:`repro.core.prr`, which re-exports them.
+ACTIVATED = "activated"
+HOPELESS = "hopeless"
+BOOSTABLE = "boostable"
+
+_INT64_MAX = np.iinfo(np.int64).max
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+
+
+@dataclass
+class PhaseOneResult:
+    """Raw outcome of the backward PRR exploration (Algorithm 1, phase I).
+
+    ``edge_src``/``edge_dst``/``edge_boost`` are the collected non-blocked
+    edges on paths within the boost budget; the domain layer
+    (:mod:`repro.core.prr`) compresses them into a PRR-graph.
+    """
+
+    root: int
+    activated: bool
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_boost: np.ndarray
+    seeds_found: np.ndarray
+    node_count: int
+    explored_edges: int
+
+
+class SamplingEngine:
+    """Vectorized sampling over one :class:`~repro.graphs.digraph.DiGraph`."""
+
+    __slots__ = (
+        "graph", "n", "m",
+        "_out_indptr", "_out_nodes", "_out_p", "_out_pp", "_out_eid",
+        "_in_indptr", "_in_nodes", "_in_p", "_in_pp", "_in_eid",
+        "_edge_states", "_visit", "_proc", "_dist", "_dist_stamp",
+        "_region", "_stamp", "_seeds_key_mask",
+    )
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.m = graph.m
+        out = graph.out_csr()
+        self._out_indptr = out.indptr
+        self._out_nodes = out.nodes
+        self._out_p = out.p
+        self._out_pp = out.pp
+        self._out_eid = out.eid
+        inc = graph.in_csr()
+        self._in_indptr = inc.indptr
+        self._in_nodes = inc.nodes
+        self._in_p = inc.p
+        self._in_pp = inc.pp
+        self._in_eid = inc.eid
+        src, dst, p, pp = graph.edge_arrays()
+        self._edge_states = EdgeStateArray(src, dst, p, pp)
+        self._visit = np.zeros(self.n, dtype=np.int64)
+        self._proc = np.zeros(self.n, dtype=np.int64)
+        self._dist = np.zeros(self.n, dtype=np.int64)
+        self._dist_stamp = np.zeros(self.n, dtype=np.int64)
+        self._region = np.zeros(self.n, dtype=np.int64)
+        self._stamp = 0
+        self._seeds_key_mask: Optional[Tuple[FrozenSet[int], np.ndarray]] = None
+
+    @classmethod
+    def for_graph(cls, graph) -> "SamplingEngine":
+        """The graph's cached engine (graphs are immutable, so one engine —
+        and its reusable buffers — serves every caller).
+
+        Engines are NOT thread-safe: the stamp buffers are shared scratch
+        state.  Concurrent sampling over one graph needs one engine per
+        thread (construct with ``SamplingEngine(graph)``); process-based
+        parallelism (:mod:`repro.core.parallel`) is unaffected, as each
+        worker owns its copy."""
+        engine = getattr(graph, "_engine_cache", None)
+        if engine is None:
+            engine = cls(graph)
+            try:
+                graph._engine_cache = engine
+            except AttributeError:  # graph type without the cache slot
+                pass
+        return engine
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def seeds_mask(self, seeds: AbstractSet[int]) -> np.ndarray:
+        key = seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
+        cached = self._seeds_key_mask
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        mask = np.zeros(self.n, dtype=bool)
+        mask[list(key)] = True
+        self._seeds_key_mask = (key, mask)
+        return mask
+
+    # ------------------------------------------------------------------
+    # Reverse-reachable sets
+    # ------------------------------------------------------------------
+    def _rr_members(
+        self, rng: np.random.Generator, r: int, strict: bool = True
+    ) -> np.ndarray:
+        """Node ids of one RR-set, via frontier-vectorized backward BFS.
+
+        With ``strict=True`` the draws are consumed draw-for-draw like the
+        edge-wise lazy BFS: one uniform per in-edge of every frontier node,
+        in frontier order.  With ``strict=False`` edges whose source is
+        already in the set are skipped *before* drawing — the sampled
+        distribution is unchanged (those draws can never add a node), but
+        dense RR-sets cost far fewer uniforms and smaller frontier scans.
+        """
+        cur = self._next_stamp()
+        visit = self._visit
+        visit[r] = cur
+        frontier = np.array([r], dtype=np.int64)
+        chunks = [frontier]
+        indptr = self._in_indptr
+        nodes = self._in_nodes
+        probs = self._in_p
+        while frontier.size:
+            pos, _counts = frontier_edge_positions(indptr, frontier)
+            if pos.size == 0:
+                break
+            if strict:
+                draws = rng.random(pos.size)
+                hit = draws < probs.take(pos)
+                cand = nodes.take(pos[hit])
+                fresh = cand[visit.take(cand) != cur]
+                if fresh.size == 0:
+                    break
+                frontier = first_occurrence(fresh)
+            else:
+                srcs = nodes.take(pos)
+                unvisited = visit.take(srcs) != cur
+                pos = pos[unvisited]
+                if pos.size == 0:
+                    break
+                srcs = srcs[unvisited]
+                draws = rng.random(pos.size)
+                fresh = srcs[draws < probs.take(pos)]
+                if fresh.size == 0:
+                    break
+                frontier = unique_sorted(fresh)
+            visit[frontier] = cur
+            chunks.append(frontier)
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+    def rr_set(
+        self, rng: np.random.Generator, root: int | None = None
+    ) -> FrozenSet[int]:
+        """One RR-set for ``root`` (uniform random root when omitted)."""
+        r = int(rng.integers(self.n)) if root is None else int(root)
+        return frozenset(self._rr_members(rng, r).tolist())
+
+    def sample_rr_batch(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        roots: Sequence[int] | None = None,
+        strict: bool = False,
+    ) -> List[FrozenSet[int]]:
+        """``count`` RR-sets, looped over the engine's reusable buffers.
+
+        The default throughput mode draws fewer uniforms than the edge-wise
+        sampler (see :meth:`_rr_members`) while sampling from the same
+        distribution; pass ``strict=True`` for batches bit-for-bit equal to
+        ``count`` :meth:`rr_set` calls.
+        """
+        out = []
+        for i in range(count):
+            r = int(rng.integers(self.n)) if roots is None else int(roots[i])
+            out.append(frozenset(self._rr_members(rng, r, strict=strict).tolist()))
+        return out
+
+    # ------------------------------------------------------------------
+    # Forward cascades (boosting IC model)
+    # ------------------------------------------------------------------
+    def thresholds(self, boost: AbstractSet[int]) -> np.ndarray:
+        """Per-out-CSR-position activation thresholds for boost set ``B``:
+        ``p'`` where the edge's head is boosted, else ``p``."""
+        if not boost:
+            return self._out_p
+        mask = np.zeros(self.n, dtype=bool)
+        mask[list(boost)] = True
+        return np.where(mask[self._out_nodes], self._out_pp, self._out_p)
+
+    def simulate(
+        self,
+        seeds,
+        boost,
+        rng: np.random.Generator,
+    ) -> set:
+        """One cascade of the boosting model; returns the activated set.
+
+        Uniforms are drawn per frontier out-edge in frontier order — the
+        same stream the edge-wise simulator consumed.
+        """
+        thr = self.thresholds(set(boost))
+        cur = self._next_stamp()
+        visit = self._visit
+        frontier = np.fromiter(set(seeds), dtype=np.int64)
+        visit[frontier] = cur
+        chunks = [frontier]
+        indptr = self._out_indptr
+        nodes = self._out_nodes
+        while frontier.size:
+            pos, _counts = frontier_edge_positions(indptr, frontier)
+            if pos.size == 0:
+                break
+            draws = rng.random(pos.size)
+            hit = draws < thr[pos]
+            cand = nodes[pos[hit]]
+            fresh = cand[visit[cand] != cur]
+            if fresh.size == 0:
+                break
+            frontier = first_occurrence(fresh)
+            visit[frontier] = cur
+            chunks.append(frontier)
+        return set(np.concatenate(chunks).tolist()) if len(chunks) > 1 else set(chunks[0].tolist())
+
+    def cascade_count(self, seed_idx: np.ndarray, live: np.ndarray) -> int:
+        """Cascade size in the fixed world where out-position ``i`` is live
+        iff ``live[i]`` (no RNG involved)."""
+        cur = self._next_stamp()
+        visit = self._visit
+        visit[seed_idx] = cur
+        total = seed_idx.size
+        frontier = seed_idx
+        indptr = self._out_indptr
+        nodes = self._out_nodes
+        while frontier.size:
+            pos, _counts = frontier_edge_positions(indptr, frontier)
+            if pos.size == 0:
+                break
+            heads = nodes.take(pos[live.take(pos)])
+            fresh = heads[visit.take(heads) != cur]
+            if fresh.size == 0:
+                break
+            frontier = unique_sorted(fresh)
+            visit[frontier] = cur
+            total += frontier.size
+        return int(total)
+
+    def simulate_batch(
+        self,
+        seeds,
+        boost,
+        rng: np.random.Generator,
+        runs: int,
+    ) -> np.ndarray:
+        """Cascade sizes of ``runs`` independent worlds (one uniform per
+        edge per world), under boost set ``boost``."""
+        seed_idx = np.fromiter(set(seeds), dtype=np.int64)
+        thr = self.thresholds(set(boost))
+        sizes = np.empty(runs, dtype=np.int64)
+        for i in range(runs):
+            draws = rng.random(self.m)
+            sizes[i] = self.cascade_count(seed_idx, draws < thr)
+        return sizes
+
+    def estimate_sigma(self, seeds, boost, rng, runs: int = 1000) -> float:
+        """Monte Carlo ``σ_S(B)`` via :meth:`simulate_batch`."""
+        if runs <= 0:
+            raise ValueError("runs must be positive")
+        return float(self.simulate_batch(seeds, boost, rng, runs).mean())
+
+    def estimate_boost(self, seeds, boost, rng, runs: int = 1000) -> float:
+        """Monte Carlo ``Δ_S(B)`` with common random numbers: each world is
+        evaluated under both ``B`` and ``∅``, so variance of the paired
+        difference stays small."""
+        if runs <= 0:
+            raise ValueError("runs must be positive")
+        seed_idx = np.fromiter(set(seeds), dtype=np.int64)
+        base_thr = self._out_p
+        boosted_thr = self.thresholds(set(boost))
+        total = 0
+        for _ in range(runs):
+            draws = rng.random(self.m)
+            with_boost = self.cascade_count(seed_idx, draws < boosted_thr)
+            without = self.cascade_count(seed_idx, draws < base_thr)
+            total += with_boost - without
+        return total / runs
+
+    # ------------------------------------------------------------------
+    # Backward PRR exploration
+    # ------------------------------------------------------------------
+    def prr_phase1(
+        self,
+        seeds_mask: np.ndarray,
+        root: int,
+        k: int,
+        rng: Optional[np.random.Generator] = None,
+        world_seed: Optional[int] = None,
+    ) -> PhaseOneResult:
+        """Backward 0–1 BFS from ``root`` with distance-``> k`` pruning.
+
+        Processes whole distance levels at a time (Dial's algorithm over
+        numpy frontiers); edge states come from the flat
+        :class:`EdgeStateArray`, hashed from ``world_seed`` when given so
+        the sampled world is independent of traversal order.
+        """
+        states = self._edge_states.new_world(rng=rng, world_seed=world_seed)
+        cur = self._next_stamp()
+        dist = self._dist
+        dstamp = self._dist_stamp
+        proc = self._proc
+        dist[root] = 0
+        dstamp[root] = cur
+        node_count = 1
+        buckets: List[List[np.ndarray]] = [[] for _ in range(k + 2)]
+        buckets[0].append(np.array([root], dtype=np.int64))
+        es_chunks: List[np.ndarray] = []
+        ed_chunks: List[np.ndarray] = []
+        ew_chunks: List[np.ndarray] = []
+        seed_chunks: List[np.ndarray] = []
+        explored = 0
+        indptr = self._in_indptr
+        sources = self._in_nodes
+        in_eid = self._in_eid
+
+        for d in range(k + 1):
+            pending = buckets[d]
+            while pending:
+                f = pending.pop()
+                ok = (proc[f] != cur) & (dstamp[f] == cur) & (dist[f] == d)
+                f = f[ok]
+                if f.size == 0:
+                    continue
+                if f.size > 1:
+                    f = unique_sorted(f)
+                proc[f] = cur
+                pos, counts = frontier_edge_positions(indptr, f)
+                explored += pos.size
+                if pos.size == 0:
+                    continue
+                st = states.states(in_eid[pos])
+                nonblocked = st != BLOCKED
+                w = st == BOOST
+                keep = nonblocked if d < k else nonblocked & ~w
+                if not keep.any():
+                    continue
+                srcs = sources[pos[keep]]
+                heads = np.repeat(f, counts)[keep]
+                wk = w[keep]
+                es_chunks.append(srcs)
+                ed_chunks.append(heads)
+                ew_chunks.append(wk)
+                is_seed = seeds_mask[srcs]
+                if is_seed.any():
+                    if d == 0 and bool(np.any(is_seed & ~wk)):
+                        # Live edge from a seed at distance 0: the root is
+                        # activated without boosting.
+                        return PhaseOneResult(
+                            root, True, _EMPTY_I64, _EMPTY_I64, _EMPTY_BOOL,
+                            _EMPTY_I64, node_count, explored,
+                        )
+                    seed_chunks.append(srcs[is_seed])
+                for boost_step in (False, True):
+                    group = srcs[wk] if boost_step else srcs[~wk]
+                    if group.size == 0:
+                        continue
+                    dv = d + 1 if boost_step else d
+                    stale = dstamp[group] != cur
+                    if stale.any():
+                        fresh_nodes = group[stale]
+                        dist[fresh_nodes] = _INT64_MAX
+                        dstamp[fresh_nodes] = cur
+                        node_count += int(np.unique(fresh_nodes).size)
+                    np.minimum.at(dist, group, dv)
+                    cand = group[
+                        (~seeds_mask[group]) & (dist[group] == dv) & (proc[group] != cur)
+                    ]
+                    if cand.size:
+                        buckets[dv].append(cand) if boost_step else pending.append(cand)
+
+        if seed_chunks:
+            seeds_found = np.unique(np.concatenate(seed_chunks))
+        else:
+            seeds_found = _EMPTY_I64
+        if es_chunks:
+            edge_src = np.concatenate(es_chunks)
+            edge_dst = np.concatenate(ed_chunks)
+            edge_boost = np.concatenate(ew_chunks)
+        else:
+            edge_src, edge_dst, edge_boost = _EMPTY_I64, _EMPTY_I64, _EMPTY_BOOL
+        return PhaseOneResult(
+            root, False, edge_src, edge_dst, edge_boost,
+            seeds_found, node_count, explored,
+        )
+
+    # ------------------------------------------------------------------
+    # Critical sets (PRR-Boost-LB fast path)
+    # ------------------------------------------------------------------
+    def critical_set(
+        self,
+        seeds,
+        rng: np.random.Generator,
+        root: int | None = None,
+    ) -> Tuple[str, FrozenSet[int], int]:
+        """Sample only the critical node set ``C_R`` (exploration capped at
+        boost-distance 1).  Returns ``(status, critical, explored_edges)``."""
+        mask = self.seeds_mask(seeds)
+        r = int(rng.integers(self.n)) if root is None else int(root)
+        if mask[r]:
+            return ACTIVATED, frozenset(), 0
+        res = self.prr_phase1(mask, r, 1, rng=rng)
+        if res.activated:
+            return ACTIVATED, frozenset(), res.explored_edges
+        if res.seeds_found.size == 0:
+            return HOPELESS, frozenset(), res.explored_edges
+        w = res.edge_boost
+        live_tails = res.edge_src[~w]
+        live_heads = res.edge_dst[~w]
+        cur = self._next_stamp()
+        region = self._region
+        region[res.seeds_found] = cur
+        while True:
+            grow = (region[live_tails] == cur) & (region[live_heads] != cur)
+            if not grow.any():
+                break
+            region[np.unique(live_heads[grow])] = cur
+        if region[r] == cur:  # defensive; phase I catches live seed paths
+            return ACTIVATED, frozenset(), res.explored_edges
+        boost_tails = res.edge_src[w]
+        boost_heads = res.edge_dst[w]
+        crit = boost_heads[(region[boost_tails] == cur) & ~mask[boost_heads]]
+        return BOOSTABLE, frozenset(np.unique(crit).tolist()), res.explored_edges
+
+    def sample_critical_batch(
+        self,
+        seeds,
+        rng: np.random.Generator,
+        count: int,
+    ) -> List[Tuple[str, FrozenSet[int], int]]:
+        """``count`` critical-set samples, looped over the engine's
+        reusable buffers (no per-item setup beyond the loop itself)."""
+        return [self.critical_set(seeds, rng) for _ in range(count)]

@@ -1,0 +1,66 @@
+"""Deterministic per-edge uniforms via splitmix64, scalar and vectorized.
+
+Fixing a whole deterministic world independent of traversal order lets the
+same sampled world be re-examined under different pruning budgets (the
+paired design of the pruning ablation) and lets the engine sample edge
+states for whole frontier slices in one shot.  The vectorized form is
+bit-for-bit identical to the scalar one: both compute
+
+    x = (seed * A + (u + 1) * B + (v + 1) * C) mod 2^64
+
+followed by the splitmix64 finalizer, and divide by 2^64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hash_draw", "hash_draw_array"]
+
+_MASK64 = (1 << 64) - 1
+
+_A = 0x9E3779B97F4A7C15
+_B = 0xBF58476D1CE4E5B9
+_C = 0x94D049BB133111EB
+
+_U_A = np.uint64(_A)
+_U_B = np.uint64(_B)
+_U_C = np.uint64(_C)
+_U_ONE = np.uint64(1)
+_SH30 = np.uint64(30)
+_SH27 = np.uint64(27)
+_SH31 = np.uint64(31)
+_TWO64 = 2.0**64
+
+
+def hash_draw(world_seed: int, u: int, v: int) -> float:
+    """Deterministic uniform in [0, 1) from (world, edge) via splitmix64."""
+    x = (world_seed * _A + (u + 1) * _B + (v + 1) * _C) & _MASK64
+    x ^= x >> 30
+    x = (x * _B) & _MASK64
+    x ^= x >> 27
+    x = (x * _C) & _MASK64
+    x ^= x >> 31
+    return x / _TWO64
+
+
+def hash_draw_array(
+    world_seed: int, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`hash_draw` over parallel endpoint arrays.
+
+    ``u`` and ``v`` are integer node-id arrays (edge sources and targets);
+    the result is a float64 array of uniforms, elementwise equal to the
+    scalar ``hash_draw(world_seed, u[i], v[i])``.
+    """
+    seed = np.uint64(world_seed & _MASK64)
+    uu = u.astype(np.uint64, copy=False)
+    vv = v.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        x = seed * _U_A + (uu + _U_ONE) * _U_B + (vv + _U_ONE) * _U_C
+        x ^= x >> _SH30
+        x *= _U_B
+        x ^= x >> _SH27
+        x *= _U_C
+        x ^= x >> _SH31
+    return x.astype(np.float64) / _TWO64

@@ -1,0 +1,96 @@
+"""Frontier-based CSR traversal primitives.
+
+All engine traversals share the same building blocks: expand a frontier of
+node ids into the flat CSR positions of their incident edges, mask those
+positions, and dedupe the discovered endpoints into the next frontier —
+no per-neighbour Python loop anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "frontier_edge_positions",
+    "first_occurrence",
+    "unique_sorted",
+    "grow_reachable",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def frontier_edge_positions(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR positions of all edges incident to ``frontier`` nodes.
+
+    Returns ``(positions, counts)`` where ``positions`` lists every CSR slot
+    in frontier order (each node's slice contiguous and in CSR order) and
+    ``counts[i]`` is the degree of ``frontier[i]`` — so
+    ``np.repeat(frontier, counts)`` aligns nodes with their positions.
+    """
+    if frontier.size == 1:  # single-node frontiers dominate sparse BFS
+        u = frontier[0]
+        start = int(indptr[u])
+        count = int(indptr[u + 1]) - start
+        return (
+            np.arange(start, start + count, dtype=np.int64),
+            np.array([count], dtype=np.int64),
+        )
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, counts
+    cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    return np.repeat(starts, counts) + offsets, counts
+
+
+def first_occurrence(values: np.ndarray) -> np.ndarray:
+    """Unique elements of ``values`` in order of first appearance.
+
+    Mirrors the discovery order of the scalar BFS loops (scan order, first
+    hit wins), which keeps vectorized traversals bit-for-bit aligned with
+    their per-edge predecessors.
+    """
+    if values.size <= 1:
+        return values
+    _, idx = np.unique(values, return_index=True)
+    return values[np.sort(idx)]
+
+
+def unique_sorted(values: np.ndarray) -> np.ndarray:
+    """Sorted unique elements; sorts ``values`` in place.
+
+    A sort + neighbour-diff is ~2-3x cheaper than ``np.unique`` on the
+    few-thousand-element frontiers the engine dedupes per BFS level.  Use
+    only where frontier order is free (any traversal order samples the
+    same set); :func:`first_occurrence` is the order-preserving variant.
+    """
+    if values.size <= 1:
+        return values
+    values.sort()
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def grow_reachable(
+    tails: np.ndarray,
+    heads: np.ndarray,
+    reached: np.ndarray,
+    traversable: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fixed-point reachability: grow ``reached`` (a bool mask, modified in
+    place) along edges ``tails[i] -> heads[i]``, optionally restricted to
+    ``traversable`` edges.  O(edges × diameter) scatter passes."""
+    while True:
+        grow = reached[tails] & ~reached[heads]
+        if traversable is not None:
+            grow &= traversable
+        if not grow.any():
+            return reached
+        reached[heads[grow]] = True

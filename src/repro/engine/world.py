@@ -1,0 +1,105 @@
+"""Flat edge-state storage for sampled deterministic worlds.
+
+A sampled world fixes every edge of the graph to one of three states
+(Definition 3 of the paper): LIVE with probability ``p``, BOOST
+(live-upon-boost) with probability ``p' − p``, BLOCKED otherwise.
+
+:class:`EdgeStateArray` stores the states of the current world in a
+preallocated ``np.int8`` array keyed by *dense edge id* — the insertion
+index of the edge in the :class:`~repro.graphs.digraph.DiGraph`.  Compared
+to the previous per-edge ``(u, v)`` tuple-dict cache this removes the top
+allocation site of PRR sampling and gives parallel edges independent
+states when drawn from the RNG.
+
+States are sampled lazily and in bulk: a traversal hands over the edge ids
+of a whole frontier slice and gets their states back in one vectorized
+draw.  Worlds are recycled with a stamp array instead of refilling the
+state array, so starting a new world is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .hashing import hash_draw_array
+
+__all__ = ["EdgeStateArray", "LIVE", "BOOST", "BLOCKED"]
+
+LIVE = 0
+BOOST = 1  # live-upon-boost
+BLOCKED = 2
+
+
+class EdgeStateArray:
+    """Lazily-sampled edge states of one world, keyed by dense edge id.
+
+    Parameters
+    ----------
+    src, dst:
+        Edge endpoint arrays in insertion (dense edge id) order.
+    p, pp:
+        Base and boosted probabilities in the same order.
+    """
+
+    __slots__ = ("_src", "_dst", "_p", "_pp", "_state", "_stamp", "_cur",
+                 "_rng", "_world_seed")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        p: np.ndarray,
+        pp: np.ndarray,
+    ) -> None:
+        m = src.size
+        self._src = src
+        self._dst = dst
+        self._p = p
+        self._pp = pp
+        self._state = np.empty(m, dtype=np.int8)
+        self._stamp = np.zeros(m, dtype=np.int64)
+        self._cur = np.int64(0)
+        self._rng: Optional[np.random.Generator] = None
+        self._world_seed: Optional[int] = None
+
+    def new_world(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        world_seed: Optional[int] = None,
+    ) -> "EdgeStateArray":
+        """Discard all sampled states and bind the draw source for the next
+        world: hashed (world, edge) uniforms when ``world_seed`` is given,
+        otherwise lazy draws from ``rng`` in request order."""
+        if rng is None and world_seed is None:
+            raise ValueError("either rng or world_seed is required")
+        self._cur += 1
+        self._rng = rng
+        self._world_seed = world_seed
+        return self
+
+    def states(self, eids: np.ndarray) -> np.ndarray:
+        """States of the given dense edge ids, sampling any not yet drawn.
+
+        ``eids`` must not contain duplicates of *unsampled* edges (frontier
+        slices satisfy this: each in-CSR position is visited at most once
+        per traversal).
+        """
+        fresh = self._stamp[eids] != self._cur
+        if fresh.any():
+            f_eids = eids[fresh] if not fresh.all() else eids
+            if self._world_seed is not None:
+                draws = hash_draw_array(
+                    self._world_seed, self._src[f_eids], self._dst[f_eids]
+                )
+            else:
+                draws = self._rng.random(f_eids.size)
+            p = self._p[f_eids]
+            pp = self._pp[f_eids]
+            st = np.where(
+                draws < p, LIVE, np.where(draws < pp, BOOST, BLOCKED)
+            ).astype(np.int8)
+            self._state[f_eids] = st
+            self._stamp[f_eids] = self._cur
+        return self._state[eids]

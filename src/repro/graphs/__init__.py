@@ -1,6 +1,6 @@
 """Graph substrate: compact directed graphs, generators, probability models."""
 
-from .digraph import DiGraph, GraphBuilder
+from .digraph import CSRView, DiGraph, GraphBuilder
 from .generators import (
     complete_binary_bidirected_tree,
     cycle,
@@ -30,6 +30,7 @@ from .probabilities import (
 )
 
 __all__ = [
+    "CSRView",
     "DiGraph",
     "GraphBuilder",
     "preferential_attachment",

@@ -15,13 +15,30 @@ them.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DiGraph", "GraphBuilder", "Edge"]
+__all__ = ["DiGraph", "GraphBuilder", "Edge", "CSRView"]
 
 Edge = Tuple[int, int, float, float]
+
+
+class CSRView(NamedTuple):
+    """Raw CSR arrays of one direction of a :class:`DiGraph`.
+
+    ``nodes[indptr[v]:indptr[v+1]]`` are the neighbours of ``v`` (targets
+    in the out-view, sources in the in-view), ``p``/``pp`` the aligned edge
+    probabilities, and ``eid`` the dense insertion-order edge id of each
+    position — the key into flat per-edge state arrays.  The arrays are the
+    graph's own storage: treat them as read-only.
+    """
+
+    indptr: np.ndarray
+    nodes: np.ndarray
+    p: np.ndarray
+    pp: np.ndarray
+    eid: np.ndarray
 
 
 class DiGraph:
@@ -57,6 +74,7 @@ class DiGraph:
         "_dst",
         "_p",
         "_pp",
+        "_engine_cache",
     )
 
     def __init__(
@@ -111,6 +129,22 @@ class DiGraph:
         self._in_eid = order_in
 
     # ------------------------------------------------------------------
+    # Pickling: drop the cached sampling engine — it is pure derived
+    # state (stamp buffers) that receivers rebuild on first use, and it
+    # would otherwise dominate the serialized size.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_engine_cache" and hasattr(self, name)
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
@@ -125,6 +159,20 @@ class DiGraph:
     # ------------------------------------------------------------------
     # Topology accessors
     # ------------------------------------------------------------------
+    def out_csr(self) -> CSRView:
+        """Raw out-direction CSR arrays (for the sampling engine)."""
+        return CSRView(
+            self._out_indptr, self._out_targets, self._out_p, self._out_pp,
+            self._out_eid,
+        )
+
+    def in_csr(self) -> CSRView:
+        """Raw in-direction CSR arrays (for the sampling engine)."""
+        return CSRView(
+            self._in_indptr, self._in_sources, self._in_p, self._in_pp,
+            self._in_eid,
+        )
+
     def out_neighbors(self, u: int) -> np.ndarray:
         """Targets of edges leaving ``u``."""
         return self._out_targets[self._out_indptr[u] : self._out_indptr[u + 1]]

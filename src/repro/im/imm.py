@@ -26,12 +26,35 @@ __all__ = ["SetSampler", "IMMResult", "imm_sampling", "imm", "log_binomial"]
 
 
 class SetSampler(Protocol):
-    """Anything that can draw random node sets over ``n`` nodes."""
+    """Anything that can draw random node sets over ``n`` nodes.
+
+    Samplers may additionally expose ``sample_batch(rng, count)`` returning
+    ``count`` sets (equivalent to ``count`` ``sample`` calls on the same
+    RNG); the sampling phases use it to amortize setup across a batch.
+    """
 
     n: int
 
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:  # pragma: no cover
         ...
+
+
+def _extend_samples(
+    samples: List[FrozenSet[int]],
+    sampler: SetSampler,
+    rng: np.random.Generator,
+    target: int,
+) -> None:
+    """Grow ``samples`` to ``target`` entries, batched when supported."""
+    need = target - len(samples)
+    if need <= 0:
+        return
+    batch = getattr(sampler, "sample_batch", None)
+    if batch is not None:
+        samples.extend(batch(rng, need))
+        return
+    while len(samples) < target:
+        samples.append(sampler.sample(rng))
 
 
 def log_binomial(n: int, k: int) -> float:
@@ -109,8 +132,7 @@ def imm_sampling(
     for i in range(1, max_rounds):
         x = n / (2.0**i)
         theta_i = min(int(math.ceil(lambda_prime / x)), max_samples)
-        while len(samples) < theta_i:
-            samples.append(sampler.sample(rng))
+        _extend_samples(samples, sampler, rng, theta_i)
         chosen, covered = greedy_max_coverage(samples, k, candidates)
         estimate = n * covered / len(samples)
         if estimate >= (1.0 + eps_prime) * x:
@@ -126,8 +148,7 @@ def imm_sampling(
     beta = math.sqrt((1.0 - 1.0 / math.e) * (log_nk + ell * log_n + math.log(2.0)))
     lambda_star = 2.0 * n * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2 / (epsilon**2)
     theta = min(int(math.ceil(lambda_star / max(lower_bound, 1e-12))), max_samples)
-    while len(samples) < theta:
-        samples.append(sampler.sample(rng))
+    _extend_samples(samples, sampler, rng, theta)
     return samples
 
 

@@ -25,7 +25,7 @@ from typing import FrozenSet, List, Set
 import numpy as np
 
 from .greedy import greedy_max_coverage
-from .imm import SetSampler
+from .imm import SetSampler, _extend_samples
 
 __all__ = ["SSAResult", "ssa_sampling"]
 
@@ -86,8 +86,7 @@ def ssa_sampling(
 
     while True:
         rounds += 1
-        while len(pool) < size:
-            pool.append(sampler.sample(rng))
+        _extend_samples(pool, sampler, rng, size)
         half = len(pool) // 2
         selection, validation = pool[:half], pool[half:]
         chosen, covered = greedy_max_coverage(selection, k, candidates)
