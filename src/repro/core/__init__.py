@@ -9,6 +9,9 @@ from .estimator import (
     estimate_delta,
     estimate_mu,
     greedy_delta_selection,
+    legacy_estimate_delta,
+    legacy_estimate_mu,
+    legacy_greedy_delta_selection,
 )
 from .params import SandwichParams, derive_params
 from .prr import (
@@ -16,18 +19,22 @@ from .prr import (
     BOOSTABLE,
     HOPELESS,
     EdgeState,
+    PRRArena,
     PRRGraph,
     sample_critical_batch,
     sample_critical_set,
+    sample_prr_arena,
     sample_prr_batch,
     sample_prr_graph,
 )
 
 __all__ = [
     "PRRGraph",
+    "PRRArena",
     "EdgeState",
     "sample_prr_graph",
     "sample_prr_batch",
+    "sample_prr_arena",
     "sample_critical_set",
     "sample_critical_batch",
     "ACTIVATED",
@@ -36,6 +43,9 @@ __all__ = [
     "estimate_delta",
     "estimate_mu",
     "greedy_delta_selection",
+    "legacy_estimate_delta",
+    "legacy_estimate_mu",
+    "legacy_greedy_delta_selection",
     "CollectionStats",
     "collection_stats",
     "prr_boost",

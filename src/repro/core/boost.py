@@ -12,6 +12,18 @@
 ``prr_boost_lb`` skips steps 3-4 and only ever materializes critical sets,
 which makes generation cheaper and memory much smaller — the trade-off
 studied in Figures 6/8/11.
+
+Both run on the flat selection subsystem end to end: sampled PRR-graphs
+accumulate in a :class:`~repro.core.prr.PRRArena` (never as Python object
+lists), critical sets stream into the IMM phase's
+:class:`~repro.engine.coverage.CoverageIndex`, and steps 2-4 are the
+vectorized kernels of :mod:`repro.core.estimator`.  ``μ̂`` and ``Δ̂`` of
+both arms come from :func:`estimate_mu`/:func:`estimate_delta` over the
+same collection — one source of truth for the sandwich comparison.
+``selection="legacy"`` reruns the pre-arena object path (Python sample
+lists, dict/heap greedy, per-graph loops) with identical RNG consumption
+— the seeded-equivalence oracle and the benchmark baseline of
+``benchmarks/bench_select.py``.
 """
 
 from __future__ import annotations
@@ -23,8 +35,9 @@ from typing import FrozenSet, List, Optional, Sequence, Set
 import numpy as np
 
 from ..engine import SamplingEngine
+from ..engine.coverage import CoverageIndex
 from ..graphs.digraph import DiGraph
-from ..im.greedy import greedy_max_coverage
+from ..im.greedy import legacy_greedy_max_coverage
 from ..im.imm import imm_sampling
 from .estimator import (
     CollectionStats,
@@ -32,8 +45,10 @@ from .estimator import (
     estimate_delta,
     estimate_mu,
     greedy_delta_selection,
+    legacy_estimate_delta,
+    legacy_greedy_delta_selection,
 )
-from .prr import PRRGraph, sample_prr_batch
+from .prr import PRRArena, PRRGraph, sample_prr_arena
 
 __all__ = ["BoostResult", "prr_boost", "prr_boost_lb", "PRRSampler", "CriticalSetSampler"]
 
@@ -42,9 +57,11 @@ class PRRSampler:
     """Sampler adapter: draws full PRR-graphs, exposes their critical sets.
 
     ``imm_sampling`` consumes the critical sets (that is the ``μ``
-    maximization); the full graphs accumulate in :attr:`graphs` so the
+    maximization); the full graphs accumulate in :attr:`arena` so the
     ``Δ̂`` arm and the final comparison can reuse the same samples, exactly
-    as Algorithm 2 reuses ``R``.
+    as Algorithm 2 reuses ``R``.  :attr:`graphs` exposes the arena's lazy
+    :class:`PRRGraph` views for object-based callers (e.g. the sandwich
+    ratio experiments).
     """
 
     def __init__(self, graph: DiGraph, seeds: Set[int], k: int) -> None:
@@ -52,21 +69,41 @@ class PRRSampler:
         self.seeds = frozenset(seeds)
         self.k = k
         self.n = graph.n
-        self.graphs: List[PRRGraph] = []
+        self.arena = PRRArena(graph.n)
+
+    @property
+    def graphs(self) -> PRRArena:
+        """The sampled collection (a sequence of lazy PRRGraph views)."""
+        return self.arena
 
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        prr = sample_prr_batch(self.graph, self.seeds, self.k, rng, 1)[0]
-        self.graphs.append(prr)
-        return prr.critical if prr.is_boostable else frozenset()
+        sample_prr_arena(self.graph, self.seeds, self.k, rng, 1, arena=self.arena)
+        return self.arena.critical_frozenset(len(self.arena) - 1)
 
     def sample_batch(
         self, rng: np.random.Generator, count: int
     ) -> List[FrozenSet[int]]:
         """``count`` PRR-graphs in one batch; returns their critical sets
         (the ``μ`` payload) while the full graphs accumulate."""
-        batch = sample_prr_batch(self.graph, self.seeds, self.k, rng, count)
-        self.graphs.extend(batch)
-        return [g.critical if g.is_boostable else frozenset() for g in batch]
+        start = len(self.arena)
+        sample_prr_arena(
+            self.graph, self.seeds, self.k, rng, count, arena=self.arena
+        )
+        return [
+            self.arena.critical_frozenset(i)
+            for i in range(start, len(self.arena))
+        ]
+
+    def sample_into(
+        self, rng: np.random.Generator, count: int, index: CoverageIndex
+    ) -> None:
+        """``count`` PRR-graphs; critical sets go straight into ``index``
+        as one CSR chunk (no frozensets), graphs into the arena."""
+        start = len(self.arena)
+        sample_prr_arena(
+            self.graph, self.seeds, self.k, rng, count, arena=self.arena
+        )
+        index.extend_csr(*self.arena.critical_csr(start))
 
 
 class CriticalSetSampler:
@@ -99,6 +136,18 @@ class CriticalSetSampler:
             out.append(critical)
         return out
 
+    def sample_into(
+        self, rng: np.random.Generator, count: int, index: CoverageIndex
+    ) -> None:
+        """``count`` critical sets appended as member arrays (no
+        frozensets); same RNG consumption as :meth:`sample_batch`."""
+        engine = self._engine
+        for _ in range(count):
+            status, members, explored = engine.critical_members(self.seeds, rng)
+            self.explored_edges += explored
+            self.statuses[status] += 1
+            index.append_array(members)
+
 
 @dataclass
 class BoostResult:
@@ -120,6 +169,17 @@ class BoostResult:
     elapsed_seconds: float = 0.0
 
 
+def _validate(graph: DiGraph, seeds, k: int):
+    seed_set = set(int(s) for s in seeds)
+    if not seed_set:
+        raise ValueError("seed set must be non-empty")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    candidates = {v for v in range(graph.n) if v not in seed_set}
+    k = min(k, max(len(candidates), 1))  # budgets beyond the pool are moot
+    return seed_set, candidates, k
+
+
 def prr_boost(
     graph: DiGraph,
     seeds: Sequence[int] | Set[int],
@@ -128,6 +188,7 @@ def prr_boost(
     epsilon: float = 0.5,
     ell: float = 1.0,
     max_samples: int = 200_000,
+    selection: str = "vectorized",
 ) -> BoostResult:
     """Run PRR-Boost (Algorithm 2) and return the sandwich solution.
 
@@ -145,31 +206,51 @@ def prr_boost(
     max_samples:
         Safety cap on the number of PRR-graphs (keeps worst-case
         parameterizations laptop-friendly).
+    selection:
+        ``"vectorized"`` (default) runs the arena/index kernels;
+        ``"legacy"`` reruns the pre-arena object path with identical RNG
+        consumption and identical outputs (oracle/benchmark only).
     """
     start = time.perf_counter()
-    seed_set = set(int(s) for s in seeds)
-    if not seed_set:
-        raise ValueError("seed set must be non-empty")
-    if k <= 0:
-        raise ValueError("k must be positive")
-    candidates = {v for v in range(graph.n) if v not in seed_set}
-    k = min(k, max(len(candidates), 1))  # budgets beyond the pool are moot
+    seed_set, candidates, k = _validate(graph, seeds, k)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
     sampler = PRRSampler(graph, seed_set, k)
-    critical_sets = imm_sampling(
-        sampler, k, epsilon, ell_prime, rng, candidates=candidates, max_samples=max_samples
-    )
-    prr_graphs = sampler.graphs
 
-    mu_set, mu_covered = greedy_max_coverage(critical_sets, k, candidates)
-    mu_estimate = graph.n * mu_covered / len(critical_sets)
+    if selection == "legacy":
+        critical_sets = imm_sampling(
+            sampler, k, epsilon, ell_prime, rng, candidates=candidates,
+            max_samples=max_samples, legacy_selection=True,
+        )
+        prr_graphs: Sequence[PRRGraph] = list(sampler.arena)
+        mu_set, mu_covered = legacy_greedy_max_coverage(
+            critical_sets, k, candidates
+        )
+        mu_estimate = graph.n * mu_covered / len(critical_sets)
+        delta_set, delta_estimate = legacy_greedy_delta_selection(
+            prr_graphs, graph.n, k, candidates
+        )
+        mu_delta = legacy_estimate_delta(prr_graphs, graph.n, set(mu_set))
+        num_samples = len(prr_graphs)
+        stats = collection_stats(prr_graphs)
+    else:
+        index = CoverageIndex(graph.n)
+        imm_sampling(
+            sampler, k, epsilon, ell_prime, rng, candidates=candidates,
+            max_samples=max_samples, index=index,
+        )
+        arena = sampler.arena
+        mu_set, _mu_covered = index.greedy(k, candidates)
+        # One source of truth for both arms: μ̂ and Δ̂ of either candidate
+        # set come from the vectorized estimators over the same arena.
+        mu_estimate = estimate_mu(arena, graph.n, set(mu_set))
+        delta_set, delta_estimate = greedy_delta_selection(
+            arena, graph.n, k, candidates
+        )
+        mu_delta = estimate_delta(arena, graph.n, set(mu_set))
+        num_samples = len(arena)
+        stats = collection_stats(arena)
 
-    delta_set, delta_estimate = greedy_delta_selection(
-        prr_graphs, graph.n, k, candidates
-    )
-
-    mu_delta = estimate_delta(prr_graphs, graph.n, set(mu_set))
     if mu_delta >= delta_estimate:
         chosen, value = mu_set, mu_delta
     else:
@@ -182,8 +263,8 @@ def prr_boost(
         mu_estimate=mu_estimate,
         delta_set=sorted(delta_set),
         delta_estimate=delta_estimate,
-        num_samples=len(prr_graphs),
-        stats=collection_stats(prr_graphs),
+        num_samples=num_samples,
+        stats=stats,
         elapsed_seconds=time.perf_counter() - start,
     )
 
@@ -196,6 +277,7 @@ def prr_boost_lb(
     epsilon: float = 0.5,
     ell: float = 1.0,
     max_samples: int = 200_000,
+    selection: str = "vectorized",
 ) -> BoostResult:
     """Run PRR-Boost-LB: maximize only the lower bound ``μ``.
 
@@ -204,27 +286,34 @@ def prr_boost_lb(
     node set.
     """
     start = time.perf_counter()
-    seed_set = set(int(s) for s in seeds)
-    if not seed_set:
-        raise ValueError("seed set must be non-empty")
-    if k <= 0:
-        raise ValueError("k must be positive")
-    candidates = {v for v in range(graph.n) if v not in seed_set}
-    k = min(k, max(len(candidates), 1))  # budgets beyond the pool are moot
+    seed_set, candidates, k = _validate(graph, seeds, k)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
     sampler = CriticalSetSampler(graph, seed_set)
-    critical_sets = imm_sampling(
-        sampler, k, epsilon, ell_prime, rng, candidates=candidates, max_samples=max_samples
-    )
-    mu_set, mu_covered = greedy_max_coverage(critical_sets, k, candidates)
-    mu_estimate = graph.n * mu_covered / len(critical_sets)
+    if selection == "legacy":
+        critical_sets = imm_sampling(
+            sampler, k, epsilon, ell_prime, rng, candidates=candidates,
+            max_samples=max_samples, legacy_selection=True,
+        )
+        mu_set, mu_covered = legacy_greedy_max_coverage(
+            critical_sets, k, candidates
+        )
+        num_samples = len(critical_sets)
+    else:
+        index = CoverageIndex(graph.n)
+        imm_sampling(
+            sampler, k, epsilon, ell_prime, rng, candidates=candidates,
+            max_samples=max_samples, index=index,
+        )
+        mu_set, mu_covered = index.greedy(k, candidates)
+        num_samples = index.num_sets
+    mu_estimate = graph.n * mu_covered / num_samples
 
     return BoostResult(
         boost_set=sorted(mu_set),
         estimated_boost=mu_estimate,
         mu_set=sorted(mu_set),
         mu_estimate=mu_estimate,
-        num_samples=len(critical_sets),
+        num_samples=num_samples,
         elapsed_seconds=time.perf_counter() - start,
     )

@@ -5,14 +5,24 @@ threads.  The Python analogue uses a process pool (fork start method):
 each worker owns a copy of the graph and an independently-seeded
 generator, and streams back sampled PRR-graphs (or critical sets).
 
-Because PRR-graphs are independent samples, the only coordination needed
-is seeding: workers derive child seeds from a ``SeedSequence`` spawn, so a
-parallel run is reproducible given the master seed (though it yields a
-*different* — equally valid — sample than a sequential run).
+Scheduling: work is split into many small chunks streamed through
+``imap_unordered`` — a worker that drew cheap samples (activated or
+hopeless roots) immediately pulls the next chunk instead of idling behind
+one giant per-worker slice.  Each chunk carries its own RNG seed derived
+from a ``SeedSequence`` spawn keyed by chunk id, and the master reorders
+results by chunk id, so the master seed fully determines the output
+collection regardless of worker count or completion order (though it
+yields a *different* — equally valid — sample than a sequential run).
+
+IPC: workers return :class:`~repro.core.prr.PRRArena` payloads (a handful
+of large flat arrays) or critical-set CSRs instead of pickled lists of
+``PRRGraph``/frozenset objects, so serialization cost scales with bytes,
+not object count.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 from typing import FrozenSet, List, Optional, Tuple
@@ -21,9 +31,14 @@ import numpy as np
 
 from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
-from .prr import PRRGraph, sample_critical_batch, sample_prr_batch
+from .prr import PRRArena, sample_critical_batch, sample_prr_arena
 
 __all__ = ["parallel_prr_collection", "parallel_critical_sets"]
+
+# Samples per streamed chunk: small enough that stragglers rebalance,
+# large enough that per-chunk overhead (seed spawn + one result pickle)
+# stays negligible.
+CHUNK_SIZE = 64
 
 # Globals initialised once per worker process (fork-friendly pattern).
 _worker_graph: Optional[DiGraph] = None
@@ -36,30 +51,55 @@ def _init_worker(graph: DiGraph, seeds: frozenset, k: int) -> None:
     _worker_graph = graph
     _worker_seeds = seeds
     _worker_k = k
-    # Warm the engine once per worker; every streamed batch reuses it.
+    # Warm the engine once per worker; every streamed chunk reuses it.
     SamplingEngine.for_graph(graph)
 
 
-def _worker_sample_graphs(args: Tuple[int, int]) -> List[PRRGraph]:
-    seed, count = args
+def _worker_sample_graphs(args: Tuple[int, int, int]) -> Tuple[int, tuple]:
+    chunk_id, seed, count = args
     rng = np.random.default_rng(seed)
-    return sample_prr_batch(_worker_graph, _worker_seeds, _worker_k, rng, count)
+    arena = sample_prr_arena(_worker_graph, _worker_seeds, _worker_k, rng, count)
+    return chunk_id, arena.payload()
 
 
-def _worker_sample_critical(args: Tuple[int, int]) -> List[FrozenSet[int]]:
-    seed, count = args
+def _worker_sample_critical(
+    args: Tuple[int, int, int]
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    chunk_id, seed, count = args
     rng = np.random.default_rng(seed)
+    engine = SamplingEngine.for_graph(_worker_graph)
+    counts = np.empty(count, dtype=np.int64)
+    members: List[np.ndarray] = []
+    for i in range(count):
+        _status, crit, _explored = engine.critical_members(_worker_seeds, rng)
+        counts[i] = crit.size
+        members.append(crit)
+    values = (
+        np.concatenate(members).astype(np.int32, copy=False)
+        if members
+        else np.empty(0, dtype=np.int32)
+    )
+    return chunk_id, counts, values
+
+
+def _chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
+    """``(chunk_id, seed, size)`` jobs of at most :data:`CHUNK_SIZE` samples.
+
+    The chunking is a pure function of ``count`` (never of the worker
+    count), and each chunk's RNG seed is spawned from its chunk id — so
+    the merged collection depends only on ``(count, master_seed)``, no
+    matter how many workers ran or in which order chunks finished.
+    """
+    num_chunks = math.ceil(count / CHUNK_SIZE)
+    base, extra = divmod(count, num_chunks)
+    sizes = [base + (1 if i < extra else 0) for i in range(num_chunks)]
+    seq = np.random.SeedSequence(master_seed)
+    seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(num_chunks)]
     return [
-        critical
-        for _status, critical, _explored in sample_critical_batch(
-            _worker_graph, _worker_seeds, rng, count
-        )
+        (cid, seed, size)
+        for cid, (seed, size) in enumerate(zip(seeds, sizes))
+        if size > 0
     ]
-
-
-def _chunks(total: int, workers: int) -> List[int]:
-    base, extra = divmod(total, workers)
-    return [base + (1 if i < extra else 0) for i in range(workers)]
 
 
 def parallel_prr_collection(
@@ -69,26 +109,27 @@ def parallel_prr_collection(
     count: int,
     master_seed: int = 0,
     workers: int | None = None,
-) -> List[PRRGraph]:
-    """Sample ``count`` PRR-graphs across a process pool.
+) -> PRRArena:
+    """Sample ``count`` PRR-graphs across a process pool into one arena.
 
     Falls back to sequential generation when ``workers`` resolves to 1 or
-    the platform lacks fork (keeps tests portable).
+    the platform lacks fork (keeps tests portable).  The result is a
+    :class:`PRRArena` — index it for :class:`PRRGraph` views, or feed it
+    directly to the vectorized estimators.
     """
     seed_set = frozenset(int(s) for s in seeds)
     workers = workers or min(os.cpu_count() or 1, 8)
     if workers <= 1 or count < 64:
         rng = np.random.default_rng(master_seed)
-        return sample_prr_batch(graph, seed_set, k, rng, count)
-    seq = np.random.SeedSequence(master_seed)
-    child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
-    jobs = list(zip(child_seeds, _chunks(count, workers)))
+        return sample_prr_arena(graph, seed_set, k, rng, count)
+    jobs = _chunk_jobs(count, master_seed)
     ctx = mp.get_context("fork")
     with ctx.Pool(
         workers, initializer=_init_worker, initargs=(graph, seed_set, k)
     ) as pool:
-        parts = pool.map(_worker_sample_graphs, jobs)
-    return [prr for part in parts for prr in part]
+        parts = list(pool.imap_unordered(_worker_sample_graphs, jobs))
+    parts.sort(key=lambda part: part[0])  # deterministic merge by chunk id
+    return PRRArena.from_payloads([payload for _cid, payload in parts])
 
 
 def parallel_critical_sets(
@@ -109,12 +150,19 @@ def parallel_critical_sets(
                 graph, seed_set, rng, count
             )
         ]
-    seq = np.random.SeedSequence(master_seed)
-    child_seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(workers)]
-    jobs = list(zip(child_seeds, _chunks(count, workers)))
+    jobs = _chunk_jobs(count, master_seed)
     ctx = mp.get_context("fork")
     with ctx.Pool(
         workers, initializer=_init_worker, initargs=(graph, seed_set, 1)
     ) as pool:
-        parts = pool.map(_worker_sample_critical, jobs)
-    return [c for part in parts for c in part]
+        parts = list(pool.imap_unordered(_worker_sample_critical, jobs))
+    parts.sort(key=lambda part: part[0])  # deterministic merge by chunk id
+    out: List[FrozenSet[int]] = []
+    for _cid, counts, values in parts:
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        out.extend(
+            frozenset(values[offsets[i] : offsets[i + 1]].tolist())
+            for i in range(counts.size)
+        )
+    return out

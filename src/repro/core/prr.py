@@ -26,15 +26,24 @@ engine setup across hundreds of roots.  This module keeps the domain side:
 * :class:`PRRGraph` — the compressed graph with ``f_R`` evaluation and
   incremental "which single node would activate the root" queries used by
   the greedy selection over ``Δ̂``, all mask-vectorized,
-* :func:`_compress` — phase II (super-seed merge, dead-node removal, live
-  shortcut edges to the root), shared with the reference sampler so seeded
-  equivalence is testable end-to-end.
+* :class:`PRRArena` — a whole *collection* of compressed PRR-graphs in
+  shared flat arrays (node-global CSR, edge CSR with arena-global
+  endpoints, critical-set CSR, per-graph status codes), so the selection
+  and estimation kernels in :mod:`repro.core.estimator` evaluate
+  ``f``/``f⁻``/``A_R`` batch-vectorized across *all* graphs at once and
+  worker processes ship a handful of large arrays instead of pickled
+  object lists.  :class:`PRRGraph` stays available as a lazy per-graph
+  view (``arena[i]``),
+* :func:`_compress_core` — phase II (super-seed merge, dead-node removal,
+  live shortcut edges to the root) returning plain arrays, shared by the
+  object path and the arena path so seeded equivalence is testable
+  end-to-end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, FrozenSet, List, Optional, Sequence, Tuple
+from typing import AbstractSet, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,8 +58,10 @@ from ..graphs.digraph import DiGraph
 __all__ = [
     "EdgeState",
     "PRRGraph",
+    "PRRArena",
     "sample_prr_graph",
     "sample_prr_batch",
+    "sample_prr_arena",
     "sample_critical_set",
     "sample_critical_batch",
     "prr_graph_from_phase1",
@@ -239,14 +250,17 @@ def prr_graph_from_phase1(result: PhaseOneResult, k: int) -> PRRGraph:
             uncompressed_nodes=result.node_count,
             uncompressed_edges=int(result.edge_src.size),
         )
-    return _compress(
+    return _graph_from_core(
         result.root,
-        result.seeds_found,
-        result.edge_src,
-        result.edge_dst,
-        result.edge_boost,
-        k,
-        result.node_count,
+        _compress_core(
+            result.root,
+            result.seeds_found,
+            result.edge_src,
+            result.edge_dst,
+            result.edge_boost,
+            k,
+            result.node_count,
+        ),
     )
 
 
@@ -361,7 +375,49 @@ def _bfs01_arrays(
         np.minimum.at(dist, heads[relax], cand[relax])
 
 
-def _compress(
+# ``_compress_core`` return shape: (status, node_globals, edge_src,
+# edge_dst, edge_boost, root_local, critical, uncompressed_nodes,
+# uncompressed_edges) — plain arrays, consumed by both the PRRGraph
+# object path and the PRRArena append path.
+_CoreResult = Tuple[
+    str, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, np.ndarray, int, int
+]
+_EMPTY_EB = np.empty(0, dtype=bool)
+
+
+def _core_non_boostable(
+    status: str, un_nodes: int, un_edges: int
+) -> _CoreResult:
+    return (status, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_EB, -1, _EMPTY_IDS, un_nodes, un_edges)
+
+
+def _graph_from_core(root: int, core: _CoreResult) -> PRRGraph:
+    """Materialize a :class:`PRRGraph` object from ``_compress_core`` output."""
+    status, ng, es, ed, eb, rl, crit, un_nodes, un_edges = core
+    if status == ACTIVATED:
+        return PRRGraph(root=root, status=ACTIVATED)
+    if status == HOPELESS:
+        return PRRGraph(
+            root=root,
+            status=HOPELESS,
+            uncompressed_nodes=un_nodes,
+            uncompressed_edges=un_edges,
+        )
+    return PRRGraph(
+        root=root,
+        status=BOOSTABLE,
+        node_globals=ng.tolist(),
+        edge_src=es.tolist(),
+        edge_dst=ed.tolist(),
+        edge_boost=eb.tolist(),
+        root_local=rl,
+        critical=frozenset(crit.tolist()),
+        uncompressed_nodes=un_nodes,
+        uncompressed_edges=un_edges,
+    )
+
+
+def _compress_core(
     r: int,
     seeds_found: np.ndarray,
     src: np.ndarray,
@@ -369,12 +425,14 @@ def _compress(
     boost: np.ndarray,
     k: int,
     uncompressed_nodes: int,
-) -> PRRGraph:
+) -> _CoreResult:
     """Phase II: merge the super-seed, prune, shortcut, and clean up.
 
     Operates on the phase-I edge arrays with a compacted local id space;
     the super-seed is local id ``nn`` during the rewrite and becomes 0 in
-    the output, matching the paper's Figure 2 compression.
+    the output, matching the paper's Figure 2 compression.  Returns plain
+    arrays (see ``_CoreResult``) so the arena path never constructs
+    Python lists.
     """
     num_edges = int(src.size)
     nodes = np.unique(np.concatenate([src, dst, seeds_found, [r]]))
@@ -385,18 +443,13 @@ def _compress(
     lr = int(np.searchsorted(nodes, r))
     wi = boost.astype(np.int64)
 
-    def hopeless() -> PRRGraph:
-        return PRRGraph(
-            root=r,
-            status=HOPELESS,
-            uncompressed_nodes=uncompressed_nodes,
-            uncompressed_edges=num_edges,
-        )
+    def hopeless() -> _CoreResult:
+        return _core_non_boostable(HOPELESS, uncompressed_nodes, num_edges)
 
     # dS: min #boost-edges from any seed (forward direction).
     d_seed = _bfs01_arrays(nn, ls, ld, wi, lseeds)
     if d_seed[lr] == 0:  # defensive; Phase I should have caught this
-        return PRRGraph(root=r, status=ACTIVATED)
+        return _core_non_boostable(ACTIVATED, 0, 0)
     merged = d_seed == 0
 
     # d'_r: min #boost-edges to the root avoiding the super-seed — a
@@ -410,7 +463,7 @@ def _compress(
     # Critical nodes: boost edge from the merged region into v, plus a live
     # path from v to the root (both measured before the shortcut rewrite).
     crit_edges = boost & merged[ls] & ~merged[ld] & (d_root[ld] == 0)
-    critical = frozenset(nodes[np.unique(ld[crit_edges])].tolist())
+    critical = nodes[np.unique(ld[crit_edges])]
 
     # Nodes that can sit on a <=k-boost path from super-seed to root.
     kept = ~merged & (d_seed + d_root <= k)
@@ -458,15 +511,553 @@ def _compress(
     local_out[alive_real] = np.arange(1, alive_real.size + 1)
     local_out[super_id] = 0
 
-    return PRRGraph(
-        root=r,
-        status=BOOSTABLE,
-        node_globals=[-1] + nodes[alive_real].tolist(),
-        edge_src=local_out[e_src[edge_alive]].tolist(),
-        edge_dst=local_out[e_dst[edge_alive]].tolist(),
-        edge_boost=e_boost[edge_alive].tolist(),
-        root_local=int(local_out[lr]),
-        critical=critical,
-        uncompressed_nodes=uncompressed_nodes,
-        uncompressed_edges=num_edges,
+    node_globals = np.concatenate(
+        [np.array([-1], dtype=np.int64), nodes[alive_real]]
     )
+    return (
+        BOOSTABLE,
+        node_globals,
+        local_out[e_src[edge_alive]],
+        local_out[e_dst[edge_alive]],
+        e_boost[edge_alive],
+        int(local_out[lr]),
+        critical,
+        uncompressed_nodes,
+        num_edges,
+    )
+
+
+# ----------------------------------------------------------------------
+# PRRArena: a whole collection in shared flat arrays
+# ----------------------------------------------------------------------
+_STATUS_CODE = {ACTIVATED: 0, HOPELESS: 1, BOOSTABLE: 2}
+_STATUS_NAME = (ACTIVATED, HOPELESS, BOOSTABLE)
+_CODE_BOOSTABLE = 2
+
+
+class PRRArena:
+    """All compressed PRR-graphs of a collection, stored flat.
+
+    Canonical storage (one entry per graph ``i`` of ``len(self)``):
+
+    * ``roots``/``status``/``root_local``/``uncomp_nodes``/``uncomp_edges``
+      — per-graph scalars (``status`` is an int8 code, see
+      ``status_names``),
+    * ``node_indptr`` → ``node_globals`` — the local→global node map
+      (int32; slot 0 of every boostable graph is the merged super-seed,
+      stored as ``-1``),
+    * ``edge_indptr`` → ``edge_src_local``/``edge_dst_local``/``edge_boost``
+      — edges in *graph-local* ids (so arenas merge by plain
+      concatenation),
+    * ``crit_indptr`` → ``crit_nodes`` — the critical node sets ``C_R``.
+
+    Derived, cached per consolidation: arena-global edge endpoints
+    (local id + the graph's node base), per-edge head global ids and graph
+    ids, per-graph root positions — the arrays the vectorized selection
+    kernels in :mod:`repro.core.estimator` run on.  Appends buffer into
+    Python lists and consolidate lazily, so building an arena during IMM
+    sampling is O(sample size) amortized.
+
+    The arena is a read-only sequence of :class:`PRRGraph` views:
+    ``arena[i]`` materializes graph ``i`` on demand (compat with every
+    object-based caller), and ``payload()``/``from_payload`` move whole
+    collections between processes as a handful of large arrays.
+    """
+
+    status_names = _STATUS_NAME
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = int(n)
+        self._roots = np.empty(0, dtype=np.int64)
+        self._status = np.empty(0, dtype=np.int8)
+        self._root_local = np.empty(0, dtype=np.int64)
+        self._un_nodes = np.empty(0, dtype=np.int64)
+        self._un_edges = np.empty(0, dtype=np.int64)
+        self._node_indptr = np.zeros(1, dtype=np.int64)
+        self._node_globals = np.empty(0, dtype=np.int32)
+        self._edge_indptr = np.zeros(1, dtype=np.int64)
+        self._edge_src = np.empty(0, dtype=np.int32)
+        self._edge_dst = np.empty(0, dtype=np.int32)
+        self._edge_boost = np.empty(0, dtype=bool)
+        self._crit_indptr = np.zeros(1, dtype=np.int64)
+        self._crit_nodes = np.empty(0, dtype=np.int32)
+        # Pending per-graph appends, consolidated lazily.
+        self._p_scalars: List[Tuple[int, int, int, int, int]] = []
+        self._p_nodes: List[np.ndarray] = []
+        self._p_esrc: List[np.ndarray] = []
+        self._p_edst: List[np.ndarray] = []
+        self._p_eboost: List[np.ndarray] = []
+        self._p_crit: List[np.ndarray] = []
+        self._derived = None
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        root: int,
+        code: int,
+        node_globals: np.ndarray,
+        esrc: np.ndarray,
+        edst: np.ndarray,
+        eboost: np.ndarray,
+        root_local: int,
+        critical: np.ndarray,
+        un_nodes: int,
+        un_edges: int,
+    ) -> None:
+        self._p_scalars.append(
+            (int(root), code, int(root_local), int(un_nodes), int(un_edges))
+        )
+        self._p_nodes.append(np.asarray(node_globals, dtype=np.int32))
+        self._p_esrc.append(np.asarray(esrc, dtype=np.int32))
+        self._p_edst.append(np.asarray(edst, dtype=np.int32))
+        self._p_eboost.append(np.asarray(eboost, dtype=bool))
+        self._p_crit.append(np.asarray(critical, dtype=np.int32))
+        self._derived = None
+
+    def add_activated(self, root: int) -> None:
+        self._append(root, 0, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_EB, -1, _EMPTY_IDS, 0, 0)
+
+    def add_hopeless(self, root: int, un_nodes: int, un_edges: int) -> None:
+        self._append(
+            root, 1, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_EB, -1, _EMPTY_IDS, un_nodes, un_edges
+        )
+
+    def add_core(self, root: int, core: _CoreResult) -> None:
+        """Append one ``_compress_core`` result."""
+        status, ng, es, ed, eb, rl, crit, un_nodes, un_edges = core
+        if status == ACTIVATED:
+            self.add_activated(root)
+        elif status == HOPELESS:
+            self.add_hopeless(root, un_nodes, un_edges)
+        else:
+            self._append(root, 2, ng, es, ed, eb, rl, crit, un_nodes, un_edges)
+
+    def add_phase1(self, result: PhaseOneResult, k: int) -> None:
+        """Append one phase-I exploration, compressing when boostable.
+
+        Mirrors :func:`prr_graph_from_phase1` without constructing a
+        :class:`PRRGraph`.
+        """
+        if result.activated:
+            self.add_activated(result.root)
+            return
+        if result.seeds_found.size == 0:
+            self.add_hopeless(
+                result.root, result.node_count, int(result.edge_src.size)
+            )
+            return
+        self.add_core(
+            result.root,
+            _compress_core(
+                result.root,
+                result.seeds_found,
+                result.edge_src,
+                result.edge_dst,
+                result.edge_boost,
+                k,
+                result.node_count,
+            ),
+        )
+
+    def add_graph(self, prr: PRRGraph) -> None:
+        """Append an existing :class:`PRRGraph` object."""
+        code = _STATUS_CODE[prr.status]
+        if code != _CODE_BOOSTABLE:
+            self._append(
+                prr.root, code, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_IDS, _EMPTY_EB, -1,
+                _EMPTY_IDS, prr.uncompressed_nodes, prr.uncompressed_edges,
+            )
+            return
+        crit = np.fromiter(sorted(prr.critical), dtype=np.int32, count=len(prr.critical))
+        self._append(
+            prr.root,
+            code,
+            np.asarray(prr.node_globals, dtype=np.int32),
+            np.asarray(prr.edge_src, dtype=np.int32),
+            np.asarray(prr.edge_dst, dtype=np.int32),
+            np.asarray(prr.edge_boost, dtype=bool),
+            prr.root_local,
+            crit,
+            prr.uncompressed_nodes,
+            prr.uncompressed_edges,
+        )
+
+    @classmethod
+    def from_graphs(cls, n: int, graphs: Iterable[PRRGraph]) -> "PRRArena":
+        arena = cls(n)
+        for g in graphs:
+            arena.add_graph(g)
+        return arena
+
+    # ------------------------------------------------------------------
+    # Consolidation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cat(values: np.ndarray, chunks: List[np.ndarray], dtype) -> np.ndarray:
+        return np.concatenate([values] + chunks).astype(dtype, copy=False)
+
+    @staticmethod
+    def _extend_indptr(
+        indptr: np.ndarray, chunks: List[np.ndarray]
+    ) -> np.ndarray:
+        counts = np.fromiter(map(len, chunks), dtype=np.int64, count=len(chunks))
+        return np.concatenate([indptr, indptr[-1] + np.cumsum(counts)])
+
+    def _commit(self) -> None:
+        if not self._p_scalars:
+            return
+        scal = np.array(self._p_scalars, dtype=np.int64)
+        self._roots = np.concatenate([self._roots, scal[:, 0]])
+        self._status = np.concatenate(
+            [self._status, scal[:, 1].astype(np.int8)]
+        )
+        self._root_local = np.concatenate([self._root_local, scal[:, 2]])
+        self._un_nodes = np.concatenate([self._un_nodes, scal[:, 3]])
+        self._un_edges = np.concatenate([self._un_edges, scal[:, 4]])
+        self._node_indptr = self._extend_indptr(self._node_indptr, self._p_nodes)
+        self._node_globals = self._cat(self._node_globals, self._p_nodes, np.int32)
+        self._edge_indptr = self._extend_indptr(self._edge_indptr, self._p_esrc)
+        self._edge_src = self._cat(self._edge_src, self._p_esrc, np.int32)
+        self._edge_dst = self._cat(self._edge_dst, self._p_edst, np.int32)
+        self._edge_boost = self._cat(self._edge_boost, self._p_eboost, bool)
+        self._crit_indptr = self._extend_indptr(self._crit_indptr, self._p_crit)
+        self._crit_nodes = self._cat(self._crit_nodes, self._p_crit, np.int32)
+        self._p_scalars = []
+        self._p_nodes = []
+        self._p_esrc = []
+        self._p_edst = []
+        self._p_eboost = []
+        self._p_crit = []
+        self._derived = None
+
+    # ------------------------------------------------------------------
+    # Read access (consolidating lazily)
+    # ------------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return self._roots.size + len(self._p_scalars)
+
+    def __len__(self) -> int:
+        return self.num_graphs
+
+    def __bool__(self) -> bool:
+        # A sampled-but-empty arena is still truthy context-wise; mirror
+        # list semantics instead (empty collection is falsy).
+        return self.num_graphs > 0
+
+    @property
+    def roots(self) -> np.ndarray:
+        self._commit()
+        return self._roots
+
+    @property
+    def status_codes(self) -> np.ndarray:
+        self._commit()
+        return self._status
+
+    @property
+    def root_local(self) -> np.ndarray:
+        self._commit()
+        return self._root_local
+
+    @property
+    def uncomp_nodes(self) -> np.ndarray:
+        self._commit()
+        return self._un_nodes
+
+    @property
+    def uncomp_edges(self) -> np.ndarray:
+        self._commit()
+        return self._un_edges
+
+    @property
+    def node_indptr(self) -> np.ndarray:
+        self._commit()
+        return self._node_indptr
+
+    @property
+    def node_globals(self) -> np.ndarray:
+        self._commit()
+        return self._node_globals
+
+    @property
+    def edge_indptr(self) -> np.ndarray:
+        self._commit()
+        return self._edge_indptr
+
+    @property
+    def edge_src_local(self) -> np.ndarray:
+        self._commit()
+        return self._edge_src
+
+    @property
+    def edge_dst_local(self) -> np.ndarray:
+        self._commit()
+        return self._edge_dst
+
+    @property
+    def edge_boost(self) -> np.ndarray:
+        self._commit()
+        return self._edge_boost
+
+    @property
+    def crit_indptr(self) -> np.ndarray:
+        self._commit()
+        return self._crit_indptr
+
+    @property
+    def crit_nodes(self) -> np.ndarray:
+        self._commit()
+        return self._crit_nodes
+
+    def flat(self):
+        """The derived arena-global arrays the selection kernels run on.
+
+        Returns a dict with ``node_base``, ``total_nodes``, ``edge_src`` /
+        ``edge_dst`` (arena-global node positions), ``edge_head_global``
+        (graph node id of each edge's head), ``edge_gid`` (owning graph of
+        each edge), ``root_arena`` (arena position of each boostable
+        graph's root, ``-1`` otherwise) and ``boostable`` (per-graph
+        mask).  Cached until the next append.
+        """
+        self._commit()
+        if self._derived is None:
+            node_base = self._node_indptr[:-1]
+            edge_counts = np.diff(self._edge_indptr)
+            ebase = np.repeat(node_base, edge_counts)
+            esrc = self._edge_src.astype(np.int64) + ebase
+            edst = self._edge_dst.astype(np.int64) + ebase
+            head_global = (
+                self._node_globals[edst].astype(np.int64)
+                if edst.size
+                else _EMPTY_IDS
+            )
+            gcount = self._roots.size
+            edge_gid = np.repeat(
+                np.arange(gcount, dtype=np.int64), edge_counts
+            )
+            boostable = self._status == _CODE_BOOSTABLE
+            root_arena = np.where(
+                boostable, node_base + self._root_local, -1
+            )
+            crit_gid = np.repeat(
+                np.arange(gcount, dtype=np.int64), np.diff(self._crit_indptr)
+            )
+            self._derived = {
+                "node_base": node_base,
+                "total_nodes": int(self._node_indptr[-1]),
+                "edge_src": esrc,
+                "edge_dst": edst,
+                "edge_head_global": head_global,
+                "edge_gid": edge_gid,
+                "root_arena": root_arena,
+                "boostable": boostable,
+                "crit_gid": crit_gid,
+            }
+        return self._derived
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def critical_array(self, i: int) -> np.ndarray:
+        """Critical node set of graph ``i`` as a sorted int32 array.
+
+        Graphs still in the pending buffer are served directly — a
+        sample-then-read loop (the single-sample ``SetSampler`` protocol)
+        must not pay a full consolidation per sample.
+        """
+        if i < 0:
+            i += self.num_graphs
+        committed = self._roots.size
+        if i >= committed:
+            return self._p_crit[i - committed]
+        return self._crit_nodes[self._crit_indptr[i] : self._crit_indptr[i + 1]]
+
+    def critical_frozenset(self, i: int) -> FrozenSet[int]:
+        return frozenset(self.critical_array(i).tolist())
+
+    def critical_csr(self, start: int = 0, stop: Optional[int] = None):
+        """``(counts, values)`` of the critical sets of graphs
+        ``[start, stop)`` — the payload the μ maximization consumes."""
+        self._commit()
+        stop = self._roots.size if stop is None else stop
+        lo, hi = int(self._crit_indptr[start]), int(self._crit_indptr[stop])
+        counts = np.diff(self._crit_indptr[start : stop + 1])
+        return counts, self._crit_nodes[lo:hi]
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        self._commit()
+        if i < 0:
+            i += self._roots.size
+        if not 0 <= i < self._roots.size:
+            raise IndexError(i)
+        code = int(self._status[i])
+        if code != _CODE_BOOSTABLE:
+            return PRRGraph(
+                root=int(self._roots[i]),
+                status=_STATUS_NAME[code],
+                uncompressed_nodes=int(self._un_nodes[i]),
+                uncompressed_edges=int(self._un_edges[i]),
+            )
+        nlo, nhi = self._node_indptr[i], self._node_indptr[i + 1]
+        elo, ehi = self._edge_indptr[i], self._edge_indptr[i + 1]
+        return PRRGraph(
+            root=int(self._roots[i]),
+            status=BOOSTABLE,
+            node_globals=self._node_globals[nlo:nhi].tolist(),
+            edge_src=self._edge_src[elo:ehi].tolist(),
+            edge_dst=self._edge_dst[elo:ehi].tolist(),
+            edge_boost=self._edge_boost[elo:ehi].tolist(),
+            root_local=int(self._root_local[i]),
+            critical=self.critical_frozenset(i),
+            uncompressed_nodes=int(self._un_nodes[i]),
+            uncompressed_edges=int(self._un_edges[i]),
+        )
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PRRArena({len(self)} graphs over n={self.n})"
+
+    # ------------------------------------------------------------------
+    # Merge / IPC
+    # ------------------------------------------------------------------
+    def extend_arena(self, other: "PRRArena") -> None:
+        """Append all graphs of ``other`` (plain array concatenation)."""
+        if other.n != self.n:
+            raise ValueError("arena node counts differ")
+        self._commit()
+        other._commit()
+        self._roots = np.concatenate([self._roots, other._roots])
+        self._status = np.concatenate([self._status, other._status])
+        self._root_local = np.concatenate([self._root_local, other._root_local])
+        self._un_nodes = np.concatenate([self._un_nodes, other._un_nodes])
+        self._un_edges = np.concatenate([self._un_edges, other._un_edges])
+        self._node_globals = np.concatenate([self._node_globals, other._node_globals])
+        self._node_indptr = np.concatenate(
+            [self._node_indptr, self._node_indptr[-1] + other._node_indptr[1:]]
+        )
+        self._edge_src = np.concatenate([self._edge_src, other._edge_src])
+        self._edge_dst = np.concatenate([self._edge_dst, other._edge_dst])
+        self._edge_boost = np.concatenate([self._edge_boost, other._edge_boost])
+        self._edge_indptr = np.concatenate(
+            [self._edge_indptr, self._edge_indptr[-1] + other._edge_indptr[1:]]
+        )
+        self._crit_nodes = np.concatenate([self._crit_nodes, other._crit_nodes])
+        self._crit_indptr = np.concatenate(
+            [self._crit_indptr, self._crit_indptr[-1] + other._crit_indptr[1:]]
+        )
+        self._derived = None
+
+    def payload(self) -> tuple:
+        """The consolidated arrays — cheap to pickle across processes."""
+        self._commit()
+        return (
+            self.n,
+            self._roots,
+            self._status,
+            self._root_local,
+            self._un_nodes,
+            self._un_edges,
+            self._node_indptr,
+            self._node_globals,
+            self._edge_indptr,
+            self._edge_src,
+            self._edge_dst,
+            self._edge_boost,
+            self._crit_indptr,
+            self._crit_nodes,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "PRRArena":
+        arena = cls(payload[0])
+        (
+            _n,
+            arena._roots,
+            arena._status,
+            arena._root_local,
+            arena._un_nodes,
+            arena._un_edges,
+            arena._node_indptr,
+            arena._node_globals,
+            arena._edge_indptr,
+            arena._edge_src,
+            arena._edge_dst,
+            arena._edge_boost,
+            arena._crit_indptr,
+            arena._crit_nodes,
+        ) = payload
+        return arena
+
+    @classmethod
+    def from_payloads(cls, payloads: Sequence[tuple]) -> "PRRArena":
+        """Merge many payloads with one concatenation per array.
+
+        Linear in total size — the merge path for chunked parallel
+        generation (repeated :meth:`extend_arena` would re-copy the
+        accumulated arrays once per chunk).
+        """
+        if not payloads:
+            raise ValueError("need at least one payload")
+        arena = cls(payloads[0][0])
+        for p in payloads:
+            if p[0] != arena.n:
+                raise ValueError("arena node counts differ")
+        # Payload layout: see payload().  Fields 1-5 are per-graph scalar
+        # arrays, 6/8/12 are indptrs (offset before concatenation), the
+        # rest are flat value arrays.
+        for field_idx, attr in (
+            (1, "_roots"), (2, "_status"), (3, "_root_local"),
+            (4, "_un_nodes"), (5, "_un_edges"),
+            (7, "_node_globals"), (9, "_edge_src"), (10, "_edge_dst"),
+            (11, "_edge_boost"), (13, "_crit_nodes"),
+        ):
+            setattr(arena, attr, np.concatenate([p[field_idx] for p in payloads]))
+        for field_idx, attr in (
+            (6, "_node_indptr"), (8, "_edge_indptr"), (12, "_crit_indptr"),
+        ):
+            parts = [np.zeros(1, dtype=np.int64)]
+            offset = 0
+            for p in payloads:
+                indptr = p[field_idx]
+                parts.append(indptr[1:] + offset)
+                offset += int(indptr[-1])
+            setattr(arena, attr, np.concatenate(parts))
+        return arena
+
+
+def sample_prr_arena(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    k: int,
+    rng: np.random.Generator,
+    count: int,
+    roots: Sequence[int] | None = None,
+    arena: Optional[PRRArena] = None,
+) -> PRRArena:
+    """Sample ``count`` PRR-graphs straight into a :class:`PRRArena`.
+
+    Consumes the RNG exactly like :func:`sample_prr_batch` (the two are
+    interchangeable sample-for-sample); the arena path skips every
+    per-graph Python object.
+    """
+    engine = SamplingEngine.for_graph(graph)
+    mask = engine.seeds_mask(seeds)
+    if arena is None:
+        arena = PRRArena(graph.n)
+    for i in range(count):
+        r = int(rng.integers(graph.n)) if roots is None else int(roots[i])
+        if mask[r]:
+            arena.add_activated(r)
+            continue
+        arena.add_phase1(engine.prr_phase1(mask, r, k, rng=rng), k)
+    return arena

@@ -13,7 +13,11 @@ exploration — runs on the primitives in this package:
 * :mod:`repro.engine.batch` — :class:`SamplingEngine`, the batch API
   (``sample_rr_batch``, ``simulate_batch``, ``sample_critical_batch``,
   and ``prr_phase1`` — looped by :func:`repro.core.prr.sample_prr_batch`)
-  that reuses one set of buffers across hundreds of roots per call.
+  that reuses one set of buffers across hundreds of roots per call,
+* :mod:`repro.engine.coverage` — :class:`CoverageIndex`, the selection
+  side: sampled node sets in one flat int32 CSR with an inverted
+  node→set CSR and a vectorized greedy max-coverage kernel (warm
+  restarts across IMM doubling rounds).
 
 :mod:`repro.engine.reference` keeps the pre-engine pure-Python samplers as
 oracles for the seeded equivalence tests and the speedup benchmarks; it is
@@ -21,11 +25,14 @@ deliberately not imported here so production code never pays for it.
 """
 
 from .batch import SamplingEngine
+from .coverage import CoverageIndex, SetsView
 from .hashing import hash_draw, hash_draw_array
 from .world import BLOCKED, BOOST, LIVE, EdgeStateArray
 
 __all__ = [
     "SamplingEngine",
+    "CoverageIndex",
+    "SetsView",
     "EdgeStateArray",
     "hash_draw",
     "hash_draw_array",

@@ -196,6 +196,20 @@ class SamplingEngine:
         r = int(rng.integers(self.n)) if root is None else int(root)
         return frozenset(self._rr_members(rng, r).tolist())
 
+    def rr_members(
+        self,
+        rng: np.random.Generator,
+        root: int | None = None,
+        strict: bool = True,
+    ) -> np.ndarray:
+        """One RR-set as a member-id array (no frozenset materialization).
+
+        Same sampling as :meth:`rr_set`; array-consuming callers (the
+        coverage index) skip the Python set entirely.
+        """
+        r = int(rng.integers(self.n)) if root is None else int(root)
+        return self._rr_members(rng, r, strict=strict)
+
     def sample_rr_batch(
         self,
         rng: np.random.Generator,
@@ -435,23 +449,27 @@ class SamplingEngine:
     # ------------------------------------------------------------------
     # Critical sets (PRR-Boost-LB fast path)
     # ------------------------------------------------------------------
-    def critical_set(
+    def critical_members(
         self,
         seeds,
         rng: np.random.Generator,
         root: int | None = None,
-    ) -> Tuple[str, FrozenSet[int], int]:
-        """Sample only the critical node set ``C_R`` (exploration capped at
-        boost-distance 1).  Returns ``(status, critical, explored_edges)``."""
+    ) -> Tuple[str, np.ndarray, int]:
+        """Sample one critical node set ``C_R`` as a sorted member array.
+
+        Exploration is capped at boost-distance 1.  Returns ``(status,
+        members, explored_edges)``; array-consuming callers (the coverage
+        index) skip the frozenset of :meth:`critical_set`.
+        """
         mask = self.seeds_mask(seeds)
         r = int(rng.integers(self.n)) if root is None else int(root)
         if mask[r]:
-            return ACTIVATED, frozenset(), 0
+            return ACTIVATED, _EMPTY_I64, 0
         res = self.prr_phase1(mask, r, 1, rng=rng)
         if res.activated:
-            return ACTIVATED, frozenset(), res.explored_edges
+            return ACTIVATED, _EMPTY_I64, res.explored_edges
         if res.seeds_found.size == 0:
-            return HOPELESS, frozenset(), res.explored_edges
+            return HOPELESS, _EMPTY_I64, res.explored_edges
         w = res.edge_boost
         live_tails = res.edge_src[~w]
         live_heads = res.edge_dst[~w]
@@ -464,11 +482,22 @@ class SamplingEngine:
                 break
             region[np.unique(live_heads[grow])] = cur
         if region[r] == cur:  # defensive; phase I catches live seed paths
-            return ACTIVATED, frozenset(), res.explored_edges
+            return ACTIVATED, _EMPTY_I64, res.explored_edges
         boost_tails = res.edge_src[w]
         boost_heads = res.edge_dst[w]
         crit = boost_heads[(region[boost_tails] == cur) & ~mask[boost_heads]]
-        return BOOSTABLE, frozenset(np.unique(crit).tolist()), res.explored_edges
+        return BOOSTABLE, np.unique(crit), res.explored_edges
+
+    def critical_set(
+        self,
+        seeds,
+        rng: np.random.Generator,
+        root: int | None = None,
+    ) -> Tuple[str, FrozenSet[int], int]:
+        """Sample only the critical node set ``C_R`` (exploration capped at
+        boost-distance 1).  Returns ``(status, critical, explored_edges)``."""
+        status, members, explored = self.critical_members(seeds, rng, root=root)
+        return status, frozenset(members.tolist()), explored
 
     def sample_critical_batch(
         self,

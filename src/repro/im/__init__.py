@@ -1,6 +1,6 @@
 """Influence maximization substrate: RR-sets, IMM, greedy coverage."""
 
-from .greedy import greedy_max_coverage, lazy_greedy
+from .greedy import greedy_max_coverage, lazy_greedy, legacy_greedy_max_coverage
 from .imm import IMMResult, SetSampler, estimate_influence, imm, imm_sampling, log_binomial
 from .rr import RRSampler, random_rr_set
 from .seeds import select_seeds
@@ -10,6 +10,7 @@ __all__ = [
     "random_rr_set",
     "RRSampler",
     "greedy_max_coverage",
+    "legacy_greedy_max_coverage",
     "lazy_greedy",
     "imm",
     "imm_sampling",

@@ -4,6 +4,15 @@ Both the IMM node-selection phase and the lower-bound arm of PRR-Boost
 reduce to the same primitive: given a collection of sampled node sets, pick
 ``k`` nodes covering the most sets.  Plain greedy gives the classical
 ``1 - 1/e`` guarantee for this (submodular) objective.
+
+:func:`greedy_max_coverage` now runs on the flat
+:class:`repro.engine.coverage.CoverageIndex` (dense-gain argmax with
+decrement-on-cover, no per-set Python objects); the pre-index heap
+implementation is kept verbatim as :func:`legacy_greedy_max_coverage` — the
+seeded-equivalence oracle and benchmark baseline, same pattern as
+:mod:`repro.engine.reference`.  The two produce identical outputs (same
+picks, same smallest-id tie-breaks); ``tests/test_selection.py`` enforces
+it.
 """
 
 from __future__ import annotations
@@ -11,7 +20,11 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, List, Sequence, Set, Tuple
 
-__all__ = ["greedy_max_coverage", "lazy_greedy"]
+import numpy as np
+
+from ..engine.coverage import CoverageIndex, SetsView
+
+__all__ = ["greedy_max_coverage", "legacy_greedy_max_coverage", "lazy_greedy"]
 
 
 def greedy_max_coverage(
@@ -26,6 +39,8 @@ def greedy_max_coverage(
     sets:
         The sampled sets; empty sets are allowed (they can never be covered
         but still count toward the collection size a caller divides by).
+        A :class:`~repro.engine.coverage.SetsView` reuses its backing
+        index directly; other sequences are loaded into a fresh index.
     k:
         Cardinality budget.
     candidates:
@@ -36,6 +51,38 @@ def greedy_max_coverage(
     (chosen, covered):
         The chosen nodes (may be fewer than ``k`` when no candidate adds
         coverage) and the number of covered sets.
+    """
+    if k <= 0:
+        return [], 0
+    if isinstance(sets, SetsView):
+        return sets.index.greedy(k, candidates, limit=len(sets))
+    # Dense arrays need a universe size; derive it in the same single pass
+    # that converts the sets (works for one-shot iterables too).
+    arrays = []
+    top = -1
+    for node_set in sets:
+        seq = node_set if isinstance(node_set, (frozenset, set, list, tuple)) else list(node_set)
+        arr = np.fromiter(seq, dtype=np.int64, count=len(seq))
+        if arr.size:
+            top = max(top, int(arr.max()))
+        arrays.append(arr)
+    if top < 0:
+        return [], 0
+    index = CoverageIndex(top + 1)
+    for arr in arrays:
+        index.append_array(arr)
+    return index.greedy(k, candidates)
+
+
+def legacy_greedy_max_coverage(
+    sets: Sequence[Iterable[int]],
+    k: int,
+    candidates: Set[int] | None = None,
+) -> Tuple[List[int], int]:
+    """The pre-index dict/heap greedy — seeded-equivalence oracle.
+
+    Lazy-greedy with a max-heap of stale upper bounds; valid because
+    coverage gain is submodular (gains only shrink).
     """
     if k <= 0:
         return [], 0
@@ -51,8 +98,6 @@ def greedy_max_coverage(
     chosen: List[int] = []
     total_covered = 0
 
-    # Lazy-greedy with a max-heap of stale upper bounds; valid because
-    # coverage gain is submodular (gains only shrink).
     heap = [(-g, node) for node, g in gain.items()]
     heapq.heapify(heap)
     while heap and len(chosen) < k:

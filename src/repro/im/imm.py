@@ -9,6 +9,20 @@ so the same machinery drives
 * classical influence maximization with RR-sets (:class:`repro.im.rr.RRSampler`),
 * the lower-bound maximization inside PRR-Boost, where the sampled sets are
   the critical-node sets of boostable PRR-graphs.
+
+Selection runs on a :class:`repro.engine.coverage.CoverageIndex` that
+persists across the doubling rounds: each round appends the newly drawn
+samples to the flat CSR and re-runs the vectorized greedy kernel (a warm
+restart), instead of rebuilding a Python dict/heap over the full sample
+list from scratch — the dominant cost of the pre-index sampling phase.
+Samplers may expose ``sample_into(rng, count, index)`` to stream member
+arrays straight into the index; the returned sample collection is a lazy
+:class:`~repro.engine.coverage.SetsView`, so frozensets are only
+materialized for callers that actually read them.  Passing
+``legacy_selection=True`` re-enables the pre-index path (Python sample
+list + heap greedy) — the seeded-equivalence oracle and benchmark
+baseline; both paths consume the RNG identically and return identical
+samples and selections.
 """
 
 from __future__ import annotations
@@ -19,7 +33,8 @@ from typing import FrozenSet, List, Protocol, Sequence, Set
 
 import numpy as np
 
-from .greedy import greedy_max_coverage
+from ..engine.coverage import CoverageIndex
+from .greedy import legacy_greedy_max_coverage
 from .rr import RRSampler
 
 __all__ = ["SetSampler", "IMMResult", "imm_sampling", "imm", "log_binomial"]
@@ -30,7 +45,9 @@ class SetSampler(Protocol):
 
     Samplers may additionally expose ``sample_batch(rng, count)`` returning
     ``count`` sets (equivalent to ``count`` ``sample`` calls on the same
-    RNG); the sampling phases use it to amortize setup across a batch.
+    RNG), and ``sample_into(rng, count, index)`` appending ``count`` sets
+    to a :class:`CoverageIndex` without materializing Python sets; the
+    sampling phases prefer the cheapest form available.
     """
 
     n: int
@@ -55,6 +72,28 @@ def _extend_samples(
         return
     while len(samples) < target:
         samples.append(sampler.sample(rng))
+
+
+def _extend_index(
+    index: CoverageIndex,
+    sampler: SetSampler,
+    rng: np.random.Generator,
+    target: int,
+) -> None:
+    """Grow ``index`` to ``target`` sets via the cheapest sampler form."""
+    need = target - index.num_sets
+    if need <= 0:
+        return
+    into = getattr(sampler, "sample_into", None)
+    if into is not None:
+        into(rng, need, index)
+        return
+    batch = getattr(sampler, "sample_batch", None)
+    if batch is not None:
+        index.extend(batch(rng, need))
+        return
+    while index.num_sets < target:
+        index.append(sampler.sample(rng))
 
 
 def log_binomial(n: int, k: int) -> float:
@@ -86,7 +125,7 @@ class IMMResult:
     """
 
     chosen: List[int]
-    samples: List[FrozenSet[int]] = field(repr=False)
+    samples: Sequence[FrozenSet[int]] = field(repr=False)
     coverage: int
     estimate: float
     theta: int
@@ -100,13 +139,23 @@ def imm_sampling(
     rng: np.random.Generator,
     candidates: Set[int] | None = None,
     max_samples: int = 2_000_000,
-) -> List[FrozenSet[int]]:
+    index: CoverageIndex | None = None,
+    legacy_selection: bool = False,
+) -> Sequence[FrozenSet[int]]:
     """IMM sampling phase: draw enough sets for the approximation guarantee.
 
     Implements Algorithm 2 of Tang et al. with the standard martingale
     bounds.  ``max_samples`` caps pathological parameterizations so the
     reproduction stays laptop-friendly; the cap is far above what the
     benchmark workloads need.
+
+    ``index`` (optional, must be empty) receives every sample; callers that
+    run further selections over the collection — e.g. the final
+    max-coverage pick of :func:`imm` or PRR-Boost's μ arm — pass one in
+    and reuse it, skipping any rebuild.  With ``legacy_selection=True``
+    the doubling rounds run the pre-index heap greedy over a Python
+    sample list instead (oracle/benchmark path; identical RNG consumption
+    and results).
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -116,7 +165,13 @@ def imm_sampling(
     log_n = math.log(max(n, 2))
     log_nk = log_binomial(n, k)
 
-    samples: List[FrozenSet[int]] = []
+    if legacy_selection:
+        samples: List[FrozenSet[int]] = []
+    else:
+        if index is None:
+            index = CoverageIndex(n)
+        elif index.num_sets:
+            raise ValueError("imm_sampling requires an empty index")
     lower_bound = 1.0
 
     eps_prime = math.sqrt(2.0) * epsilon
@@ -132,13 +187,19 @@ def imm_sampling(
     for i in range(1, max_rounds):
         x = n / (2.0**i)
         theta_i = min(int(math.ceil(lambda_prime / x)), max_samples)
-        _extend_samples(samples, sampler, rng, theta_i)
-        chosen, covered = greedy_max_coverage(samples, k, candidates)
-        estimate = n * covered / len(samples)
+        if legacy_selection:
+            _extend_samples(samples, sampler, rng, theta_i)
+            chosen, covered = legacy_greedy_max_coverage(samples, k, candidates)
+            drawn = len(samples)
+        else:
+            _extend_index(index, sampler, rng, theta_i)
+            chosen, covered = index.greedy(k, candidates)
+            drawn = index.num_sets
+        estimate = n * covered / drawn
         if estimate >= (1.0 + eps_prime) * x:
             lower_bound = estimate / (1.0 + eps_prime)
             break
-        if len(samples) >= max_samples:
+        if drawn >= max_samples:
             lower_bound = max(estimate, 1.0)
             break
     else:
@@ -148,8 +209,11 @@ def imm_sampling(
     beta = math.sqrt((1.0 - 1.0 / math.e) * (log_nk + ell * log_n + math.log(2.0)))
     lambda_star = 2.0 * n * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2 / (epsilon**2)
     theta = min(int(math.ceil(lambda_star / max(lower_bound, 1e-12))), max_samples)
-    _extend_samples(samples, sampler, rng, theta)
-    return samples
+    if legacy_selection:
+        _extend_samples(samples, sampler, rng, theta)
+        return samples
+    _extend_index(index, sampler, rng, theta)
+    return index.sets_view()
 
 
 def imm(
@@ -159,6 +223,7 @@ def imm(
     epsilon: float = 0.5,
     ell: float = 1.0,
     max_samples: int = 2_000_000,
+    legacy_selection: bool = False,
 ) -> IMMResult:
     """Classical influence maximization: select ``k`` seeds with IMM.
 
@@ -166,8 +231,18 @@ def imm(
     expected influence spread of the chosen seeds under the IC model.
     """
     sampler = RRSampler(graph)
-    samples = imm_sampling(sampler, k, epsilon, ell, rng, max_samples=max_samples)
-    chosen, covered = greedy_max_coverage(samples, k)
+    if legacy_selection:
+        samples = imm_sampling(
+            sampler, k, epsilon, ell, rng, max_samples=max_samples,
+            legacy_selection=True,
+        )
+        chosen, covered = legacy_greedy_max_coverage(samples, k)
+    else:
+        index = CoverageIndex(graph.n)
+        samples = imm_sampling(
+            sampler, k, epsilon, ell, rng, max_samples=max_samples, index=index
+        )
+        chosen, covered = index.greedy(k)
     estimate = graph.n * covered / len(samples)
     return IMMResult(
         chosen=chosen,

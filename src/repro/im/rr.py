@@ -18,6 +18,7 @@ from typing import FrozenSet, List
 import numpy as np
 
 from ..engine import SamplingEngine
+from ..engine.coverage import CoverageIndex
 from ..graphs.digraph import DiGraph
 
 __all__ = ["random_rr_set", "RRSampler"]
@@ -63,3 +64,16 @@ class RRSampler:
         into already-reached nodes are skipped before drawing).
         """
         return self._engine.sample_rr_batch(rng, count)
+
+    def sample_into(
+        self, rng: np.random.Generator, count: int, index: CoverageIndex
+    ) -> None:
+        """Append ``count`` RR-sets straight into a coverage index.
+
+        Same RNG consumption and sampled sets as :meth:`sample_batch`, but
+        the engine's member arrays go into the flat CSR without a
+        frozenset round-trip — the form the IMM/SSA sampling phases use.
+        """
+        engine = self._engine
+        for _ in range(count):
+            index.append_array(engine.rr_members(rng, strict=False))

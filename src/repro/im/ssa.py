@@ -14,18 +14,23 @@ The split removes the selection bias that makes naive reuse of training
 samples overestimate coverage.  Constants are simplified relative to the
 published SSA (which tunes three epsilons); the stopping rule is the same
 in structure and the output plugs into everything that accepts IMM samples.
+
+The pool lives in a :class:`repro.engine.coverage.CoverageIndex`: the
+selection half is a prefix-limited greedy over the flat CSR and the
+validation count is one masked scan — no list slicing, no per-round
+rebuild.  Outputs are identical to the pre-index implementation.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, List, Set
+from typing import FrozenSet, List, Sequence, Set
 
 import numpy as np
 
-from .greedy import greedy_max_coverage
-from .imm import SetSampler, _extend_samples
+from ..engine.coverage import CoverageIndex
+from .imm import SetSampler, _extend_index
 
 __all__ = ["SSAResult", "ssa_sampling"]
 
@@ -40,17 +45,10 @@ class SSAResult:
     """
 
     chosen: List[int]
-    samples: List[FrozenSet[int]]
+    samples: Sequence[FrozenSet[int]]
     estimate: float
     selection_estimate: float
     rounds: int
-
-
-def _coverage_estimate(samples, n: int, chosen: Set[int]) -> float:
-    if not samples:
-        return 0.0
-    covered = sum(1 for s in samples if s & chosen)
-    return n * covered / len(samples)
 
 
 def ssa_sampling(
@@ -79,28 +77,26 @@ def ssa_sampling(
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must lie in (0, 1)")
     n = sampler.n
-    pool: List[FrozenSet[int]] = []
+    index = CoverageIndex(n)
     size = max(initial_samples, 16)
     rounds = 0
     min_coverage = max(8, int(math.ceil(4.0 / epsilon)))
 
     while True:
         rounds += 1
-        _extend_samples(pool, sampler, rng, size)
-        half = len(pool) // 2
-        selection, validation = pool[:half], pool[half:]
-        chosen, covered = greedy_max_coverage(selection, k, candidates)
-        chosen_set = set(chosen)
-        sel_est = n * covered / max(len(selection), 1)
-        val_covered = sum(1 for s in validation if s & chosen_set)
-        val_est = n * val_covered / max(len(validation), 1)
+        _extend_index(index, sampler, rng, size)
+        half = index.num_sets // 2
+        chosen, covered = index.greedy(k, candidates, limit=half)
+        sel_est = n * covered / max(half, 1)
+        val_covered = index.coverage_count(chosen, start=half)
+        val_est = n * val_covered / max(index.num_sets - half, 1)
 
         enough_signal = covered >= min_coverage and val_covered >= min_coverage
         agrees = val_est >= (1.0 - epsilon) * sel_est and sel_est > 0
-        if (enough_signal and agrees) or len(pool) >= max_samples:
+        if (enough_signal and agrees) or index.num_sets >= max_samples:
             return SSAResult(
                 chosen=chosen,
-                samples=pool,
+                samples=index.sets_view(),
                 estimate=val_est,
                 selection_estimate=sel_est,
                 rounds=rounds,
