@@ -2,7 +2,14 @@
 
 from .boost import BoostResult, CriticalSetSampler, PRRSampler, prr_boost, prr_boost_lb
 from .mc_greedy import mc_greedy_boost
-from .parallel import parallel_critical_sets, parallel_prr_collection
+from .parallel import (
+    legacy_parallel_critical_sets,
+    legacy_parallel_prr_collection,
+    parallel_critical_sets,
+    parallel_prr_collection,
+    parallel_rr_csr,
+    shutdown_runtime,
+)
 from .estimator import (
     CollectionStats,
     collection_stats,
@@ -26,6 +33,7 @@ from .prr import (
     sample_prr_arena,
     sample_prr_batch,
     sample_prr_graph,
+    sample_prr_lanes,
 )
 
 __all__ = [
@@ -56,6 +64,11 @@ __all__ = [
     "SandwichParams",
     "derive_params",
     "mc_greedy_boost",
+    "sample_prr_lanes",
     "parallel_prr_collection",
     "parallel_critical_sets",
+    "parallel_rr_csr",
+    "legacy_parallel_prr_collection",
+    "legacy_parallel_critical_sets",
+    "shutdown_runtime",
 ]

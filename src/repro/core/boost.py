@@ -35,7 +35,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set
 import numpy as np
 
 from ..engine import SamplingEngine
-from ..engine.coverage import CoverageIndex
+from ..engine.coverage import CoverageIndex, csr_to_frozensets
 from ..graphs.digraph import DiGraph
 from ..im.greedy import legacy_greedy_max_coverage
 from ..im.imm import imm_sampling
@@ -48,7 +48,8 @@ from .estimator import (
     legacy_estimate_delta,
     legacy_greedy_delta_selection,
 )
-from .prr import PRRArena, PRRGraph, sample_prr_arena
+from .parallel import PARALLEL_MIN_SAMPLES, resolve_sampler_workers
+from .prr import PRRArena, PRRGraph, sample_prr_lanes
 
 __all__ = ["BoostResult", "prr_boost", "prr_boost_lb", "PRRSampler", "CriticalSetSampler"]
 
@@ -62,33 +63,61 @@ class PRRSampler:
     as Algorithm 2 reuses ``R``.  :attr:`graphs` exposes the arena's lazy
     :class:`PRRGraph` views for object-based callers (e.g. the sandwich
     ratio experiments).
+
+    Sampling runs on the lane kernels (:func:`sample_prr_lanes`); with
+    ``workers > 1`` large extensions dispatch chunk jobs to the
+    shared-memory runtime (:mod:`repro.core.parallel`) and merge the
+    returned arena payloads.  All sampling forms consume the RNG
+    identically for a given request size, so the legacy and vectorized
+    selection arms stay sample-for-sample in sync either way.
     """
 
-    def __init__(self, graph: DiGraph, seeds: Set[int], k: int) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        seeds: Set[int],
+        k: int,
+        workers: Optional[int] = None,
+    ) -> None:
         self.graph = graph
         self.seeds = frozenset(seeds)
         self.k = k
         self.n = graph.n
         self.arena = PRRArena(graph.n)
+        self.workers = resolve_sampler_workers(workers)
 
     @property
     def graphs(self) -> PRRArena:
         """The sampled collection (a sequence of lazy PRRGraph views)."""
         return self.arena
 
+    def _draw(self, rng: np.random.Generator, count: int) -> int:
+        """Grow the arena by ``count`` samples; returns the start index."""
+        start = len(self.arena)
+        if self.workers > 1 and count >= PARALLEL_MIN_SAMPLES:
+            from .parallel import parallel_prr_payloads
+
+            base = int(rng.integers(np.iinfo(np.int64).max))
+            payloads = parallel_prr_payloads(
+                self.graph, self.seeds, self.k, count, base, self.workers
+            )
+            self.arena.extend_arena(PRRArena.from_payloads(payloads))
+        else:
+            sample_prr_lanes(
+                self.graph, self.seeds, self.k, rng, count, arena=self.arena
+            )
+        return start
+
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        sample_prr_arena(self.graph, self.seeds, self.k, rng, 1, arena=self.arena)
-        return self.arena.critical_frozenset(len(self.arena) - 1)
+        start = self._draw(rng, 1)
+        return self.arena.critical_frozenset(start)
 
     def sample_batch(
         self, rng: np.random.Generator, count: int
     ) -> List[FrozenSet[int]]:
         """``count`` PRR-graphs in one batch; returns their critical sets
         (the ``μ`` payload) while the full graphs accumulate."""
-        start = len(self.arena)
-        sample_prr_arena(
-            self.graph, self.seeds, self.k, rng, count, arena=self.arena
-        )
+        start = self._draw(rng, count)
         return [
             self.arena.critical_frozenset(i)
             for i in range(start, len(self.arena))
@@ -99,54 +128,70 @@ class PRRSampler:
     ) -> None:
         """``count`` PRR-graphs; critical sets go straight into ``index``
         as one CSR chunk (no frozensets), graphs into the arena."""
-        start = len(self.arena)
-        sample_prr_arena(
-            self.graph, self.seeds, self.k, rng, count, arena=self.arena
-        )
+        start = self._draw(rng, count)
         index.extend_csr(*self.arena.critical_csr(start))
 
 
 class CriticalSetSampler:
-    """Sampler that generates only critical sets (PRR-Boost-LB fast path)."""
+    """Sampler that generates only critical sets (PRR-Boost-LB fast path).
 
-    def __init__(self, graph: DiGraph, seeds: Set[int]) -> None:
+    Lane-driven like :class:`PRRSampler`; with ``workers > 1`` large
+    extensions run on the shared-memory runtime.  ``statuses`` and
+    ``explored_edges`` keep the per-collection diagnostics either way.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        seeds: Set[int],
+        workers: Optional[int] = None,
+    ) -> None:
         self.graph = graph
         self.seeds = frozenset(seeds)
         self.n = graph.n
         self.explored_edges = 0
         self.statuses = {"activated": 0, "hopeless": 0, "boostable": 0}
+        self.workers = resolve_sampler_workers(workers)
         self._engine = SamplingEngine.for_graph(graph)
 
+    def _draw(self, rng: np.random.Generator, count: int):
+        """``count`` samples as ``(status_codes, counts, values)`` CSR,
+        with the diagnostics accumulated."""
+        if self.workers > 1 and count >= PARALLEL_MIN_SAMPLES:
+            from .parallel import parallel_critical_csr
+
+            base = int(rng.integers(np.iinfo(np.int64).max))
+            status, counts, values, explored = parallel_critical_csr(
+                self.graph, self.seeds, count, base, self.workers
+            )
+        else:
+            status, counts, values, explored = self._engine.critical_lane_csr(
+                self.seeds, rng, count
+            )
+        self.explored_edges += int(explored.sum())
+        tallies = np.bincount(status, minlength=3)
+        for code, name in enumerate(PRRArena.status_names):
+            self.statuses[name] += int(tallies[code])
+        return status, counts, values
+
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        status, critical, explored = self._engine.critical_set(self.seeds, rng)
-        self.explored_edges += explored
-        self.statuses[status] += 1
-        return critical
+        _status, _counts, values = self._draw(rng, 1)
+        return frozenset(values.tolist())
 
     def sample_batch(
         self, rng: np.random.Generator, count: int
     ) -> List[FrozenSet[int]]:
-        """``count`` critical sets in one engine batch."""
-        out = []
-        for status, critical, explored in self._engine.sample_critical_batch(
-            self.seeds, rng, count
-        ):
-            self.explored_edges += explored
-            self.statuses[status] += 1
-            out.append(critical)
-        return out
+        """``count`` critical sets in one lane batch."""
+        _status, counts, values = self._draw(rng, count)
+        return csr_to_frozensets(counts, values)
 
     def sample_into(
         self, rng: np.random.Generator, count: int, index: CoverageIndex
     ) -> None:
-        """``count`` critical sets appended as member arrays (no
+        """``count`` critical sets appended as one CSR chunk (no
         frozensets); same RNG consumption as :meth:`sample_batch`."""
-        engine = self._engine
-        for _ in range(count):
-            status, members, explored = engine.critical_members(self.seeds, rng)
-            self.explored_edges += explored
-            self.statuses[status] += 1
-            index.append_array(members)
+        _status, counts, values = self._draw(rng, count)
+        index.extend_csr(counts, values.astype(np.int32, copy=False))
 
 
 @dataclass
@@ -189,6 +234,7 @@ def prr_boost(
     ell: float = 1.0,
     max_samples: int = 200_000,
     selection: str = "vectorized",
+    workers: int | None = None,
 ) -> BoostResult:
     """Run PRR-Boost (Algorithm 2) and return the sandwich solution.
 
@@ -210,12 +256,16 @@ def prr_boost(
         ``"vectorized"`` (default) runs the arena/index kernels;
         ``"legacy"`` reruns the pre-arena object path with identical RNG
         consumption and identical outputs (oracle/benchmark only).
+    workers:
+        With ``workers > 1`` (and fork available) the sampling phases
+        dispatch to the persistent shared-memory runtime of
+        :mod:`repro.core.parallel`; selection stays in-process.
     """
     start = time.perf_counter()
     seed_set, candidates, k = _validate(graph, seeds, k)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
-    sampler = PRRSampler(graph, seed_set, k)
+    sampler = PRRSampler(graph, seed_set, k, workers=workers)
 
     if selection == "legacy":
         critical_sets = imm_sampling(
@@ -278,18 +328,20 @@ def prr_boost_lb(
     ell: float = 1.0,
     max_samples: int = 200_000,
     selection: str = "vectorized",
+    workers: int | None = None,
 ) -> BoostResult:
     """Run PRR-Boost-LB: maximize only the lower bound ``μ``.
 
     Same approximation factor as PRR-Boost but faster generation and far
     lower memory, because each sample is just a (typically tiny) critical
-    node set.
+    node set.  ``workers > 1`` dispatches sampling to the shared-memory
+    runtime like :func:`prr_boost`.
     """
     start = time.perf_counter()
     seed_set, candidates, k = _validate(graph, seeds, k)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
-    sampler = CriticalSetSampler(graph, seed_set)
+    sampler = CriticalSetSampler(graph, seed_set, workers=workers)
     if selection == "legacy":
         critical_sets = imm_sampling(
             sampler, k, epsilon, ell_prime, rng, candidates=candidates,

@@ -1,46 +1,590 @@
-"""Parallel PRR-graph generation.
+"""Parallel sampling on a persistent zero-copy shared-memory runtime.
 
 The paper parallelizes PRR-graph generation with OpenMP over eight
-threads.  The Python analogue uses a process pool (fork start method):
-each worker owns a copy of the graph and an independently-seeded
-generator, and streams back sampled PRR-graphs (or critical sets).
+threads.  The Python analogue here is a process-based runtime built for
+repeated use:
 
-Scheduling: work is split into many small chunks streamed through
-``imap_unordered`` — a worker that drew cheap samples (activated or
-hopeless roots) immediately pulls the next chunk instead of idling behind
-one giant per-worker slice.  Each chunk carries its own RNG seed derived
-from a ``SeedSequence`` spawn keyed by chunk id, and the master reorders
-results by chunk id, so the master seed fully determines the output
-collection regardless of worker count or completion order (though it
-yields a *different* — equally valid — sample than a sequential run).
+* **Zero-copy graph publication** — the graph's CSR arrays and edge
+  probabilities are written once into a single
+  :mod:`multiprocessing.shared_memory` segment
+  (:class:`SharedGraphRuntime`); workers attach by name and build their
+  :class:`~repro.engine.SamplingEngine` over read-only views, so neither
+  pool startup nor any task pays a per-worker graph pickle.
+* **Persistent pull-scheduled workers** — one pool per graph survives
+  across calls (IMM doubling rounds, repeated ``prr_boost`` runs, …).
+  Tasks are small sample chunks on one shared queue; an idle worker
+  steals the next chunk the moment it finishes, so cheap chunks
+  (activated/hopeless roots) never leave a worker idling behind a static
+  partition.
+* **Raw-buffer results** — workers sample with the lane kernels and ship
+  flat arrays back (:class:`~repro.core.prr.PRRArena` payloads, critical
+  or RR CSRs).  Large results travel through a per-result shared-memory
+  segment — bytes, not pickled object graphs; small ones ride the result
+  queue directly, which is cheaper than a segment round-trip.
 
-IPC: workers return :class:`~repro.core.prr.PRRArena` payloads (a handful
-of large flat arrays) or critical-set CSRs instead of pickled lists of
-``PRRGraph``/frozenset objects, so serialization cost scales with bytes,
-not object count.
+Determinism: chunking is a pure function of ``count`` and each chunk's
+RNG seed is spawned from its chunk id, so a collection depends only on
+``(count, master_seed)`` — not on worker count, scheduling, or whether
+the serial fallback ran.  The serial fallback (``workers <= 1``, or a
+platform without ``fork``) iterates the same chunks in-process without
+touching any pool machinery.
+
+The pre-runtime implementation (fork pool per call, pickled graph
+initargs, pickled payload results, single-sample chunk loops) is kept as
+``legacy_parallel_prr_collection`` / ``legacy_parallel_critical_sets`` —
+the baseline ``benchmarks/bench_lanes.py`` measures the runtime against.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing as mp
 import os
-from typing import FrozenSet, List, Optional, Tuple
+import time
+from multiprocessing import shared_memory
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine import SamplingEngine
-from ..graphs.digraph import DiGraph
-from .prr import PRRArena, sample_critical_batch, sample_prr_arena
+from ..engine.coverage import csr_to_frozensets
+from ..graphs.digraph import CSRView, DiGraph
+from .prr import PRRArena, sample_prr_arena, sample_prr_lanes
 
-__all__ = ["parallel_prr_collection", "parallel_critical_sets"]
+__all__ = [
+    "parallel_prr_collection",
+    "parallel_critical_sets",
+    "parallel_rr_csr",
+    "SharedGraphRuntime",
+    "get_runtime",
+    "shutdown_runtime",
+    "fork_available",
+    "resolve_sampler_workers",
+    "PARALLEL_MIN_SAMPLES",
+    "legacy_parallel_prr_collection",
+    "legacy_parallel_critical_sets",
+]
 
 # Samples per streamed chunk: small enough that stragglers rebalance,
-# large enough that per-chunk overhead (seed spawn + one result pickle)
-# stays negligible.
-CHUNK_SIZE = 64
+# large enough that per-chunk overhead (seed spawn + one result ship)
+# stays negligible.  Chunks are lane batches, so CHUNK_SIZE is a multiple
+# of the lane width.
+CHUNK_SIZE = 256
 
-# Globals initialised once per worker process (fork-friendly pattern).
+# Results below this many bytes ride the queue; larger ones go through a
+# per-result shared-memory segment.
+_SHM_RESULT_MIN = 1 << 18
+
+
+# Below this many samples a sampler dispatch stays in-process: a chunk
+# queue round-trip costs more than two lane batches.
+PARALLEL_MIN_SAMPLES = 512
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the fork start method."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_sampler_workers(workers: int | None) -> int:
+    """Effective worker count for a sampler: explicit value, or 1 (serial)
+    when unset or the platform lacks fork."""
+    if workers is None or workers <= 1 or not fork_available():
+        return 1
+    return int(workers)
+
+
+def _resolve_workers(workers: int | None) -> int:
+    return workers or min(os.cpu_count() or 1, 8)
+
+
+def _chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
+    """``(chunk_id, seed, size)`` jobs of at most :data:`CHUNK_SIZE` samples.
+
+    The chunking is a pure function of ``count`` (never of the worker
+    count), and each chunk's RNG seed is spawned from its chunk id — so
+    the merged collection depends only on ``(count, master_seed)``, no
+    matter how many workers ran or in which order chunks finished.
+    """
+    if count <= 0:
+        return []
+    num_chunks = math.ceil(count / CHUNK_SIZE)
+    base, extra = divmod(count, num_chunks)
+    sizes = [base + (1 if i < extra else 0) for i in range(num_chunks)]
+    seq = np.random.SeedSequence(master_seed)
+    seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(num_chunks)]
+    return [
+        (cid, seed, size)
+        for cid, (seed, size) in enumerate(zip(seeds, sizes))
+        if size > 0
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing
+# ----------------------------------------------------------------------
+# Resource-tracker note: the runtime requires fork, so every process
+# shares the master's tracker.  CPython's SharedMemory registers a name
+# on open (a set add, idempotent across attachers) and unregisters it in
+# unlink() — each segment here is unlinked exactly once by its consumer,
+# so the ledger balances without any manual (un)registration.
+
+_ArrayTable = List[Tuple[str, str, tuple, int]]
+
+
+def _publish_arrays(
+    arrays: Dict[str, np.ndarray]
+) -> Tuple[shared_memory.SharedMemory, _ArrayTable]:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    Returns the segment plus an offset table (name, dtype, shape, offset)
+    that :func:`_attach_arrays` uses to rebuild zero-copy views.
+    """
+    table: _ArrayTable = []
+    offset = 0
+    contiguous = {}
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        contiguous[name] = arr
+        table.append((name, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+        offset = (offset + 63) & ~63  # 64-byte alignment
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (name, _dt, _shape, off), arr in zip(table, contiguous.values()):
+        if arr.nbytes:
+            dst = np.frombuffer(
+                shm.buf, dtype=arr.dtype, count=arr.size, offset=off
+            )
+            dst[:] = arr.ravel()
+    return shm, table
+
+
+def _attach_arrays(
+    shm: shared_memory.SharedMemory, table: _ArrayTable
+) -> Dict[str, np.ndarray]:
+    """Zero-copy read-only views of a published segment."""
+    out = {}
+    for name, dtype_str, shape, offset in table:
+        dt = np.dtype(dtype_str)
+        size = int(np.prod(shape, dtype=np.int64))
+        arr = np.frombuffer(shm.buf, dtype=dt, count=size, offset=offset)
+        arr = arr.reshape(shape)
+        arr.flags.writeable = False
+        out[name] = arr
+    return out
+
+
+def _ship_result(arrays: Sequence[np.ndarray]):
+    """Package worker output: queue-inline when small, else one shared
+    segment of raw buffers."""
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    total = sum(a.nbytes for a in arrays)
+    if total < _SHM_RESULT_MIN:
+        return ("q", arrays)
+    named = {str(i): a for i, a in enumerate(arrays)}
+    shm, table = _publish_arrays(named)
+    shm.close()  # the master unlinks after copying out
+    return ("shm", shm.name, table)
+
+
+def _receive_result(msg) -> List[np.ndarray]:
+    """Unpack :func:`_ship_result` output (copies out of shared memory)."""
+    if msg[0] == "q":
+        return list(msg[1])
+    _tag, name, table = msg
+    shm = shared_memory.SharedMemory(name=name)  # attach: not re-tracked
+    views = _attach_arrays(shm, table)
+    out = [np.array(views[str(i)], copy=True) for i in range(len(table))]
+    del views
+    shm.close()
+    shm.unlink()
+    return out
+
+
+class _SharedGraphView:
+    """Duck-typed :class:`DiGraph` over shared-memory array views.
+
+    Exposes exactly what :class:`~repro.engine.SamplingEngine` and the
+    samplers consume (``n``/``m``, the two CSR views, the flat edge
+    arrays) without ever materializing a private copy of the graph.
+    """
+
+    def __init__(self, n: int, m: int, shm, arrays: Dict[str, np.ndarray]):
+        self.n = n
+        self.m = m
+        self._shm = shm  # keeps the segment mapped
+        self._a = arrays
+        self._engine_cache = None
+
+    def out_csr(self) -> CSRView:
+        a = self._a
+        return CSRView(
+            a["out_indptr"], a["out_nodes"], a["out_p"], a["out_pp"], a["out_eid"]
+        )
+
+    def in_csr(self) -> CSRView:
+        a = self._a
+        return CSRView(
+            a["in_indptr"], a["in_nodes"], a["in_p"], a["in_pp"], a["in_eid"]
+        )
+
+    def edge_arrays(self):
+        a = self._a
+        return a["src"], a["dst"], a["p"], a["pp"]
+
+
+def _graph_arrays(graph: DiGraph) -> Dict[str, np.ndarray]:
+    out = graph.out_csr()
+    inc = graph.in_csr()
+    src, dst, p, pp = graph.edge_arrays()
+    return {
+        "out_indptr": out.indptr, "out_nodes": out.nodes, "out_p": out.p,
+        "out_pp": out.pp, "out_eid": out.eid,
+        "in_indptr": inc.indptr, "in_nodes": inc.nodes, "in_p": inc.p,
+        "in_pp": inc.pp, "in_eid": inc.eid,
+        "src": src, "dst": dst, "p": p, "pp": pp,
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+def _run_task(graph, kind: str, seed: int, size: int, params) -> List[np.ndarray]:
+    """Sample one chunk on ``graph`` (a view in workers, the real graph in
+    the serial fallback) and return the result as a flat array list."""
+    rng = np.random.default_rng(seed)
+    if kind == "prr":
+        seed_set, k = params
+        arena = sample_prr_lanes(graph, frozenset(seed_set), k, rng, size)
+        return list(arena.payload()[1:])  # n is implicit
+    if kind == "critical":
+        (seed_set,) = params
+        engine = SamplingEngine.for_graph(graph)
+        status, counts, values, explored = engine.critical_lane_csr(
+            frozenset(seed_set), rng, size
+        )
+        return [status, counts, values, explored]
+    if kind == "rr":
+        engine = SamplingEngine.for_graph(graph)
+        counts, values = engine.rr_lane_csr(rng, size)
+        return [counts, values]
+    raise ValueError(f"unknown task kind: {kind}")
+
+
+def _worker_main(shm_name, table, n, m, task_queue, result_queue) -> None:
+    shm = shared_memory.SharedMemory(name=shm_name)  # attach: not re-tracked
+    view = _SharedGraphView(n, m, shm, _attach_arrays(shm, table))
+    SamplingEngine.for_graph(view)  # warm the engine once
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        task_id, kind, seed, size, params = task
+        try:
+            msg = _ship_result(_run_task(view, kind, seed, size, params))
+            result_queue.put((task_id, True, msg))
+        except Exception as exc:  # surface, don't hang the master
+            result_queue.put((task_id, False, repr(exc)))
+    # Flush pending queue feeds, then exit without interpreter teardown:
+    # the engine holds views into the shared segment, and unwinding them
+    # through GC trips BufferError in SharedMemory.__del__.
+    result_queue.close()
+    result_queue.join_thread()
+    os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# Runtime
+# ----------------------------------------------------------------------
+class SharedGraphRuntime:
+    """A persistent worker pool bound to one graph's shared arrays.
+
+    Construction publishes the graph once and forks ``workers``
+    long-lived processes; :meth:`run` streams chunk tasks through the
+    shared queue and returns results in task order.  Reused across calls
+    via :func:`get_runtime`; :meth:`shutdown` (or interpreter exit)
+    releases processes and shared memory.
+    """
+
+    def __init__(self, graph: DiGraph, workers: int) -> None:
+        if not fork_available():
+            raise RuntimeError("SharedGraphRuntime requires the fork start method")
+        self.graph = graph
+        self.workers = int(workers)
+        self._ctx = mp.get_context("fork")
+        self._shm, table = _publish_arrays(_graph_arrays(graph))
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    self._shm.name, table, graph.n, graph.m,
+                    self._tasks, self._results,
+                ),
+                daemon=True,
+            )
+            for _ in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._closed = False
+
+    def run(
+        self, kind: str, jobs: Sequence[Tuple[int, int, int]], params: tuple
+    ) -> List[List[np.ndarray]]:
+        """Execute ``jobs`` (``(chunk_id, seed, size)``) and return their
+        results ordered by chunk id.
+
+        A failed or stalled run tears the runtime down before raising:
+        task ids restart at 0 every run, so in-flight results of an
+        abandoned run must never survive to be mistaken for the next
+        run's chunks (:func:`get_runtime` builds a fresh pool on demand).
+        """
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        for cid, seed, size in jobs:
+            self._tasks.put((cid, kind, seed, size, params))
+        out: Dict[int, List[np.ndarray]] = {}
+        try:
+            for _ in jobs:
+                while True:
+                    try:
+                        task_id, ok, msg = self._results.get(timeout=60)
+                        break
+                    except Exception:
+                        # No timeout on healthy-but-slow chunks: only a
+                        # dead worker (whose task is lost) means a result
+                        # may never arrive.
+                        alive = sum(p.is_alive() for p in self._procs)
+                        if alive < self.workers:
+                            raise RuntimeError(
+                                f"parallel runtime lost workers "
+                                f"({alive}/{self.workers} alive)"
+                            )
+                if not ok:
+                    raise RuntimeError(f"worker task {task_id} failed: {msg}")
+                out[task_id] = _receive_result(msg)
+        except BaseException:
+            self.shutdown()
+            raise
+        return [out[cid] for cid, _seed, _size in jobs]
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except Exception:
+                pass
+        # Drain in-flight results *while* workers wind down: a worker
+        # mid-put must not block forever against a full pipe, and every
+        # abandoned result's shared segment needs unlinking.  Bounded, and
+        # tolerant of a truncated message from a dying worker.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            try:
+                _tid, ok, msg = self._results.get(timeout=0.25)
+            except Exception:
+                if not any(p.is_alive() for p in self._procs):
+                    break
+                continue
+            if ok:
+                try:
+                    _receive_result(msg)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._tasks.close()
+        self._results.close()
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+_runtime: Optional[SharedGraphRuntime] = None
+
+
+def get_runtime(graph: DiGraph, workers: int) -> SharedGraphRuntime:
+    """The cached runtime for ``graph`` (created/replaced on demand).
+
+    One runtime is kept alive at a time — repeated calls with the same
+    graph and a compatible worker count reuse the warm pool, which is
+    what makes multi-round algorithms (IMM doubling, repeated boosts)
+    pay pool startup once per graph instead of once per call.
+    """
+    global _runtime
+    if (
+        _runtime is not None
+        and not _runtime._closed
+        and _runtime.graph is graph
+        and _runtime.workers >= workers
+    ):
+        return _runtime
+    if _runtime is not None:
+        _runtime.shutdown()
+    _runtime = SharedGraphRuntime(graph, workers)
+    return _runtime
+
+
+def shutdown_runtime() -> None:
+    """Tear down the cached runtime (idempotent; also runs at exit)."""
+    global _runtime
+    if _runtime is not None:
+        _runtime.shutdown()
+        _runtime = None
+
+
+atexit.register(shutdown_runtime)
+
+
+def _run_chunks(
+    graph: DiGraph,
+    kind: str,
+    jobs: Sequence[Tuple[int, int, int]],
+    params: tuple,
+    workers: int,
+) -> List[List[np.ndarray]]:
+    """Run chunk jobs on the shared runtime, or serially in-process when
+    ``workers <= 1`` / no fork — same chunks, same seeds, same results,
+    and the serial path never touches pool or shared-memory machinery."""
+    if workers > 1 and fork_available() and len(jobs) > 1:
+        return get_runtime(graph, workers).run(kind, jobs, params)
+    return [
+        _run_task(graph, kind, seed, size, params) for _cid, seed, size in jobs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Public sampling entry points
+# ----------------------------------------------------------------------
+def parallel_prr_collection(
+    graph: DiGraph,
+    seeds,
+    k: int,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> PRRArena:
+    """Sample ``count`` PRR-graphs into one arena across the runtime.
+
+    The collection is a pure function of ``(count, master_seed)`` —
+    independent of worker count, including the serial fallback.  The
+    result is a :class:`PRRArena`; index it for :class:`PRRGraph` views
+    or feed it directly to the vectorized estimators.
+    """
+    seed_set = frozenset(int(s) for s in seeds)
+    jobs = _chunk_jobs(count, master_seed)
+    if not jobs:
+        return PRRArena(graph.n)
+    parts = _run_chunks(
+        graph, "prr", jobs, (tuple(seed_set), k), _resolve_workers(workers)
+    )
+    return PRRArena.from_payloads([(graph.n, *arrays) for arrays in parts])
+
+
+def parallel_critical_sets(
+    graph: DiGraph,
+    seeds,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> List[FrozenSet[int]]:
+    """Sample ``count`` critical sets (the PRR-Boost-LB payload) in parallel."""
+    seed_set = frozenset(int(s) for s in seeds)
+    jobs = _chunk_jobs(count, master_seed)
+    parts = _run_chunks(
+        graph, "critical", jobs, (tuple(seed_set),), _resolve_workers(workers)
+    )
+    out: List[FrozenSet[int]] = []
+    for _status, counts, values, _explored in parts:
+        out.extend(csr_to_frozensets(counts, values))
+    return out
+
+
+def parallel_rr_csr(
+    graph: DiGraph,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` RR-sets as one ``(counts, values)`` CSR.
+
+    The shape :meth:`repro.engine.coverage.CoverageIndex.extend_csr`
+    ingests — the parallel backend of
+    :meth:`repro.im.rr.RRSampler.sample_into`.
+    """
+    jobs = _chunk_jobs(count, master_seed)
+    if not jobs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    parts = _run_chunks(graph, "rr", jobs, (), _resolve_workers(workers))
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+def parallel_critical_csr(
+    graph: DiGraph,
+    seeds,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``count`` critical sets as ``(status_codes, counts, values,
+    explored)`` — the array-shaped sibling of
+    :func:`parallel_critical_sets` used by the samplers."""
+    seed_set = frozenset(int(s) for s in seeds)
+    jobs = _chunk_jobs(count, master_seed)
+    if not jobs:
+        return (
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    parts = _run_chunks(
+        graph, "critical", jobs, (tuple(seed_set),), _resolve_workers(workers)
+    )
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+        np.concatenate([p[3] for p in parts]),
+    )
+
+
+def parallel_prr_payloads(
+    graph: DiGraph,
+    seeds,
+    k: int,
+    count: int,
+    master_seed: int = 0,
+    workers: int | None = None,
+) -> List[tuple]:
+    """Chunk-ordered arena payloads for ``count`` PRR-graphs — the form
+    :meth:`repro.core.boost.PRRSampler.sample_into` merges incrementally."""
+    seed_set = frozenset(int(s) for s in seeds)
+    jobs = _chunk_jobs(count, master_seed)
+    parts = _run_chunks(
+        graph, "prr", jobs, (tuple(seed_set), k), _resolve_workers(workers)
+    )
+    return [(graph.n, *arrays) for arrays in parts]
+
+
+# ----------------------------------------------------------------------
+# Legacy per-call pool path (benchmark baseline)
+# ----------------------------------------------------------------------
+_LEGACY_CHUNK = 64
+
 _worker_graph: Optional[DiGraph] = None
 _worker_seeds: Optional[frozenset] = None
 _worker_k: int = 0
@@ -51,7 +595,6 @@ def _init_worker(graph: DiGraph, seeds: frozenset, k: int) -> None:
     _worker_graph = graph
     _worker_seeds = seeds
     _worker_k = k
-    # Warm the engine once per worker; every streamed chunk reuses it.
     SamplingEngine.for_graph(graph)
 
 
@@ -82,15 +625,8 @@ def _worker_sample_critical(
     return chunk_id, counts, values
 
 
-def _chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
-    """``(chunk_id, seed, size)`` jobs of at most :data:`CHUNK_SIZE` samples.
-
-    The chunking is a pure function of ``count`` (never of the worker
-    count), and each chunk's RNG seed is spawned from its chunk id — so
-    the merged collection depends only on ``(count, master_seed)``, no
-    matter how many workers ran or in which order chunks finished.
-    """
-    num_chunks = math.ceil(count / CHUNK_SIZE)
+def _legacy_chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
+    num_chunks = math.ceil(count / _LEGACY_CHUNK)
     base, extra = divmod(count, num_chunks)
     sizes = [base + (1 if i < extra else 0) for i in range(num_chunks)]
     seq = np.random.SeedSequence(master_seed)
@@ -102,7 +638,7 @@ def _chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
     ]
 
 
-def parallel_prr_collection(
+def legacy_parallel_prr_collection(
     graph: DiGraph,
     seeds,
     k: int,
@@ -110,59 +646,52 @@ def parallel_prr_collection(
     master_seed: int = 0,
     workers: int | None = None,
 ) -> PRRArena:
-    """Sample ``count`` PRR-graphs across a process pool into one arena.
-
-    Falls back to sequential generation when ``workers`` resolves to 1 or
-    the platform lacks fork (keeps tests portable).  The result is a
-    :class:`PRRArena` — index it for :class:`PRRGraph` views, or feed it
-    directly to the vectorized estimators.
-    """
+    """The PR-2 parallel path, preserved verbatim as a baseline: a fork
+    pool spun up per call (graph pickled to every worker via initargs),
+    single-sample chunk loops, pickled payload results."""
     seed_set = frozenset(int(s) for s in seeds)
-    workers = workers or min(os.cpu_count() or 1, 8)
-    if workers <= 1 or count < 64:
+    workers = _resolve_workers(workers)
+    if workers <= 1 or count < _LEGACY_CHUNK or not fork_available():
         rng = np.random.default_rng(master_seed)
         return sample_prr_arena(graph, seed_set, k, rng, count)
-    jobs = _chunk_jobs(count, master_seed)
+    jobs = _legacy_chunk_jobs(count, master_seed)
     ctx = mp.get_context("fork")
     with ctx.Pool(
         workers, initializer=_init_worker, initargs=(graph, seed_set, k)
     ) as pool:
         parts = list(pool.imap_unordered(_worker_sample_graphs, jobs))
-    parts.sort(key=lambda part: part[0])  # deterministic merge by chunk id
+    parts.sort(key=lambda part: part[0])
     return PRRArena.from_payloads([payload for _cid, payload in parts])
 
 
-def parallel_critical_sets(
+def legacy_parallel_critical_sets(
     graph: DiGraph,
     seeds,
     count: int,
     master_seed: int = 0,
     workers: int | None = None,
 ) -> List[FrozenSet[int]]:
-    """Sample ``count`` critical sets (the PRR-Boost-LB payload) in parallel."""
+    """The PR-2 parallel critical-set path (see
+    :func:`legacy_parallel_prr_collection`)."""
     seed_set = frozenset(int(s) for s in seeds)
-    workers = workers or min(os.cpu_count() or 1, 8)
-    if workers <= 1 or count < 64:
+    workers = _resolve_workers(workers)
+    if workers <= 1 or count < _LEGACY_CHUNK or not fork_available():
         rng = np.random.default_rng(master_seed)
+        engine = SamplingEngine.for_graph(graph)
         return [
             critical
-            for _status, critical, _explored in sample_critical_batch(
-                graph, seed_set, rng, count
+            for _status, critical, _explored in (
+                engine.critical_set(seed_set, rng) for _ in range(count)
             )
         ]
-    jobs = _chunk_jobs(count, master_seed)
+    jobs = _legacy_chunk_jobs(count, master_seed)
     ctx = mp.get_context("fork")
     with ctx.Pool(
         workers, initializer=_init_worker, initargs=(graph, seed_set, 1)
     ) as pool:
         parts = list(pool.imap_unordered(_worker_sample_critical, jobs))
-    parts.sort(key=lambda part: part[0])  # deterministic merge by chunk id
+    parts.sort(key=lambda part: part[0])
     out: List[FrozenSet[int]] = []
     for _cid, counts, values in parts:
-        offsets = np.zeros(counts.size + 1, dtype=np.int64)
-        np.cumsum(counts, out=offsets[1:])
-        out.extend(
-            frozenset(values[offsets[i] : offsets[i + 1]].tolist())
-            for i in range(counts.size)
-        )
+        out.extend(csr_to_frozensets(counts, values))
     return out

@@ -21,7 +21,11 @@ Sampling runs on the shared vectorized engine
 0–1 BFS over the in-CSR with edge states held in a flat ``int8`` array
 keyed by dense edge id (no per-edge ``(u, v)`` dict), and the batch entry
 points (:func:`sample_prr_batch`, :func:`sample_critical_batch`) amortize
-engine setup across hundreds of roots.  This module keeps the domain side:
+engine setup across hundreds of roots.  :func:`sample_prr_lanes` is the
+lane-parallel fast path: whole lane batches explore at once over per-lane
+hashed worlds (bit-for-bit the ``world_seed`` single-sample path, pinned
+in ``tests/test_lanes.py``) and compress straight into the arena.  This
+module keeps the domain side:
 
 * :class:`PRRGraph` — the compressed graph with ``f_R`` evaluation and
   incremental "which single node would activate the root" queries used by
@@ -62,6 +66,7 @@ __all__ = [
     "sample_prr_graph",
     "sample_prr_batch",
     "sample_prr_arena",
+    "sample_prr_lanes",
     "sample_critical_set",
     "sample_critical_batch",
     "prr_graph_from_phase1",
@@ -317,6 +322,90 @@ def sample_prr_batch(
     return out
 
 
+def _extend_arena_from_lanes(arena: PRRArena, ph, k: int) -> None:
+    """Append one lane batch to ``arena`` — phase-II compression straight
+    from the lane output slices, no :class:`PhaseOneResult` objects."""
+    edge_indptr = ph.edge_indptr
+    seed_indptr = ph.seed_indptr
+    for i in range(ph.roots.size):
+        root = int(ph.roots[i])
+        if ph.activated[i]:
+            arena.add_activated(root)
+            continue
+        lo, hi = int(edge_indptr[i]), int(edge_indptr[i + 1])
+        slo, shi = int(seed_indptr[i]), int(seed_indptr[i + 1])
+        if shi == slo:
+            arena.add_hopeless(root, int(ph.node_count[i]), hi - lo)
+            continue
+        arena.add_core(
+            root,
+            _compress_core(
+                root,
+                ph.seed_nodes[slo:shi],
+                ph.edge_src[lo:hi],
+                ph.edge_dst[lo:hi],
+                ph.edge_boost[lo:hi],
+                k,
+                int(ph.node_count[i]),
+            ),
+        )
+
+
+def sample_prr_lanes(
+    graph: DiGraph,
+    seeds: AbstractSet[int],
+    k: int,
+    rng: Optional[np.random.Generator],
+    count: int,
+    roots: Sequence[int] | None = None,
+    world_seeds: Sequence[int] | None = None,
+    arena: Optional[PRRArena] = None,
+    lane_width: int = 64,
+) -> PRRArena:
+    """Sample ``count`` PRR-graphs with the multi-source lane kernel.
+
+    ``lane_width`` roots advance per frontier step; each sample's world is
+    fixed by hashing a per-lane seed, so sample ``i`` is bit-for-bit the
+    graph :func:`sample_prr_graph` returns for ``root=roots[i],
+    world_seed=world_seeds[i]`` (``tests/test_lanes.py`` pins this).
+    Roots and world seeds default to two upfront draws from ``rng``
+    (uniform roots, uniform seeds) — a different, equally valid stream
+    than :func:`sample_prr_arena`, which stays the RNG-consumption oracle.
+    Compression lands straight in the arena; no per-sample Python objects.
+    """
+    engine = SamplingEngine.for_graph(graph)
+    mask = engine.seeds_mask(seeds)
+    if arena is None:
+        arena = PRRArena(graph.n)
+    if roots is None:
+        if rng is None:
+            raise ValueError("rng is required when roots are not given")
+        all_roots = rng.integers(graph.n, size=count)
+    else:
+        if len(roots) < count:
+            raise ValueError(f"need {count} roots, got {len(roots)}")
+        all_roots = np.asarray(roots, dtype=np.int64)[:count]
+    if world_seeds is None:
+        if rng is None:
+            raise ValueError("rng is required when world_seeds are not given")
+        all_seeds = rng.integers(
+            np.iinfo(np.int64).max, size=count, dtype=np.int64
+        ).astype(np.uint64)
+    else:
+        if len(world_seeds) < count:
+            raise ValueError(f"need {count} world_seeds, got {len(world_seeds)}")
+        all_seeds = np.asarray(world_seeds).astype(np.uint64)[:count]
+    done = 0
+    while done < count:
+        b = min(lane_width, count - done)
+        ph = engine.prr_phase1_lanes(
+            mask, all_roots[done : done + b], k, all_seeds[done : done + b]
+        )
+        _extend_arena_from_lanes(arena, ph, k)
+        done += b
+    return arena
+
+
 def sample_critical_set(
     graph: DiGraph,
     seeds: AbstractSet[int],
@@ -342,7 +431,8 @@ def sample_critical_batch(
     rng: np.random.Generator,
     count: int,
 ) -> List[Tuple[str, FrozenSet[int], int]]:
-    """Sample ``count`` critical sets on one shared engine."""
+    """Sample ``count`` critical sets on one shared engine (lane-driven;
+    :meth:`~repro.engine.SamplingEngine.critical_set` is the oracle)."""
     return SamplingEngine.for_graph(graph).sample_critical_batch(seeds, rng, count)
 
 

@@ -10,10 +10,18 @@ exploration — runs on the primitives in this package:
   dense edge id (replacing the per-edge ``(u, v)`` tuple-dict cache),
 * :mod:`repro.engine.traversal` — frontier-based CSR traversal primitives
   (mask-driven BFS over ``DiGraph``'s indptr/indices arrays),
+* :mod:`repro.engine.lanes` — multi-source lane kernels: up to
+  :data:`~repro.engine.lanes.LANE_WIDTH` roots advance per frontier step
+  over stacked ``(B, n)`` stamp planes, each lane sampling the
+  independent world fixed by its own splitmix64 seed — the single-sample
+  paths stay as seeded distributional oracles (bit-for-bit for
+  world-seeded PRR lanes),
 * :mod:`repro.engine.batch` — :class:`SamplingEngine`, the batch API
   (``sample_rr_batch``, ``simulate_batch``, ``sample_critical_batch``,
-  and ``prr_phase1`` — looped by :func:`repro.core.prr.sample_prr_batch`)
-  that reuses one set of buffers across hundreds of roots per call,
+  ``prr_phase1`` and the lane CSR entry points ``rr_lane_csr`` /
+  ``critical_lane_csr`` / ``prr_phase1_lanes`` consumed by
+  :func:`repro.core.prr.sample_prr_lanes`) that reuses one set of
+  buffers across hundreds of roots per call,
 * :mod:`repro.engine.coverage` — :class:`CoverageIndex`, the selection
   side: sampled node sets in one flat int32 CSR with an inverted
   node→set CSR and a vectorized greedy max-coverage kernel (warm
@@ -22,20 +30,38 @@ exploration — runs on the primitives in this package:
 :mod:`repro.engine.reference` keeps the pre-engine pure-Python samplers as
 oracles for the seeded equivalence tests and the speedup benchmarks; it is
 deliberately not imported here so production code never pays for it.
+
+Concurrency contract
+--------------------
+:meth:`SamplingEngine.for_graph` is thread-safe: a process-wide lock
+guards the per-graph cache slot, so concurrent callers always receive the
+same engine instance.  The engine *itself* is not thread-safe — its stamp
+buffers are shared mutable scratch — so concurrent sampling over one
+graph needs one private engine per thread (``SamplingEngine(graph)``).
+Process-based parallelism (:mod:`repro.core.parallel`) is unaffected:
+every worker attaches to the shared read-only graph arrays and owns its
+own engine and scratch buffers.
 """
 
-from .batch import SamplingEngine
+from .batch import SamplingEngine, STATUS_NAMES
 from .coverage import CoverageIndex, SetsView
-from .hashing import hash_draw, hash_draw_array
-from .world import BLOCKED, BOOST, LIVE, EdgeStateArray
+from .hashing import hash_draw, hash_draw_array, hash_draw_pairs
+from .lanes import LANE_WIDTH, LanePhase1
+from .world import BLOCKED, BOOST, LIVE, EdgeStateArray, lane_states, lane_uniforms
 
 __all__ = [
     "SamplingEngine",
     "CoverageIndex",
     "SetsView",
     "EdgeStateArray",
+    "LanePhase1",
+    "LANE_WIDTH",
+    "STATUS_NAMES",
     "hash_draw",
     "hash_draw_array",
+    "hash_draw_pairs",
+    "lane_uniforms",
+    "lane_states",
     "LIVE",
     "BOOST",
     "BLOCKED",

@@ -16,24 +16,50 @@ pre-engine pure-Python samplers (same RNG consumption, same results), as
 is PRR sampling when ``world_seed`` pins the world by hashing.  RNG-driven
 PRR/critical sampling draws edge states per frontier slice instead of per
 edge, so for a given generator state it samples a *different but equally
-valid* world — only the distribution is preserved.  Batch forms are
-bit-for-bit identical to looping the single-sample forms, except
-``sample_rr_batch`` whose default throughput mode trades stream parity for
-fewer drawn uniforms (pass ``strict=True`` to restore it); the sampled
-distributions are identical either way.
+valid* world — only the distribution is preserved.
+
+Batch forms run on the lane kernels of :mod:`repro.engine.lanes`:
+``sample_rr_batch`` (default mode) and ``sample_critical_batch`` advance
+up to :data:`~repro.engine.lanes.LANE_WIDTH` roots per frontier step over
+per-lane hashed worlds, and the CSR entry points (``rr_lane_csr``,
+``critical_lane_csr``, ``prr_phase1_lanes``) hand their flat output
+arrays straight to :class:`~repro.engine.coverage.CoverageIndex` /
+:class:`~repro.core.prr.PRRArena` without a per-sample Python round-trip.
+Lane batches draw a different (equally valid) stream than looping the
+single-sample forms — the singles remain the seeded distributional
+oracles, and ``sample_rr_batch(strict=True)`` still reproduces ``count``
+:meth:`SamplingEngine.rr_set` calls bit-for-bit.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import AbstractSet, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .coverage import csr_to_frozensets
+from .hashing import SEED_MULT, edge_hash_base, splitmix_finalize
+from .lanes import (
+    LANE_WIDTH,
+    RR_LANE_WIDTH,
+    LanePhase1,
+    critical_lanes,
+    prr_phase1_lanes,
+    rr_member_lanes,
+)
 from .traversal import first_occurrence, frontier_edge_positions, unique_sorted
 from .world import BLOCKED, BOOST, EdgeStateArray
 
-__all__ = ["SamplingEngine", "PhaseOneResult", "ACTIVATED", "HOPELESS", "BOOSTABLE"]
+__all__ = [
+    "SamplingEngine",
+    "PhaseOneResult",
+    "ACTIVATED",
+    "HOPELESS",
+    "BOOSTABLE",
+    "STATUS_NAMES",
+]
 
 # Root classification of backward PRR / critical-set sampling.  The string
 # values are shared with :mod:`repro.core.prr`, which re-exports them.
@@ -44,6 +70,13 @@ BOOSTABLE = "boostable"
 _INT64_MAX = np.iinfo(np.int64).max
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_BOOL = np.empty(0, dtype=bool)
+
+# Status-name lookup aligned with the lane kernels' int8 codes
+# (0 = activated, 1 = hopeless, 2 = boostable).
+STATUS_NAMES = (ACTIVATED, HOPELESS, BOOSTABLE)
+
+# Guards the per-graph engine-cache slot of :meth:`SamplingEngine.for_graph`.
+_FOR_GRAPH_LOCK = threading.Lock()
 
 
 @dataclass
@@ -72,6 +105,8 @@ class SamplingEngine:
         "graph", "n", "m",
         "_out_indptr", "_out_nodes", "_out_p", "_out_pp", "_out_eid",
         "_in_indptr", "_in_nodes", "_in_p", "_in_pp", "_in_eid",
+        "_in_hash", "_in_thr64", "_lane_visited", "_rr_dense",
+        "_prr_dist", "_prr_proc",
         "_edge_states", "_visit", "_proc", "_dist", "_dist_stamp",
         "_region", "_stamp", "_seeds_key_mask",
     )
@@ -94,6 +129,19 @@ class SamplingEngine:
         self._in_eid = inc.eid
         src, dst, p, pp = graph.edge_arrays()
         self._edge_states = EdgeStateArray(src, dst, p, pp)
+        # Lane-kernel precomputation: the seed-independent hash base of
+        # every in-CSR position (source, head) and the integer Bernoulli
+        # thresholds round(p * 2^64) the RR lanes compare raw hashes to.
+        heads = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self._in_indptr)
+        )
+        self._in_hash = edge_hash_base(self._in_nodes, heads)
+        thr = np.minimum(self._in_p * 2.0**64, np.nextafter(2.0**64, 0))
+        self._in_thr64 = thr.astype(np.uint64)
+        self._lane_visited: Optional[np.ndarray] = None
+        self._rr_dense: Optional[bool] = None  # learned on first lane batch
+        self._prr_dist: Optional[np.ndarray] = None
+        self._prr_proc: Optional[np.ndarray] = None
         self._visit = np.zeros(self.n, dtype=np.int64)
         self._proc = np.zeros(self.n, dtype=np.int64)
         self._dist = np.zeros(self.n, dtype=np.int64)
@@ -107,18 +155,24 @@ class SamplingEngine:
         """The graph's cached engine (graphs are immutable, so one engine —
         and its reusable buffers — serves every caller).
 
-        Engines are NOT thread-safe: the stamp buffers are shared scratch
-        state.  Concurrent sampling over one graph needs one engine per
-        thread (construct with ``SamplingEngine(graph)``); process-based
-        parallelism (:mod:`repro.core.parallel`) is unaffected, as each
-        worker owns its copy."""
+        The cache slot itself is thread-safe (a process-wide lock guards
+        creation, so concurrent ``for_graph`` calls on one graph return
+        the same instance), but the engine it returns is NOT: the stamp
+        buffers are shared scratch state.  Concurrent sampling over one
+        graph needs one engine per thread (construct with
+        ``SamplingEngine(graph)``); process-based parallelism
+        (:mod:`repro.core.parallel`) is unaffected, as each worker owns
+        its copy."""
         engine = getattr(graph, "_engine_cache", None)
         if engine is None:
-            engine = cls(graph)
-            try:
-                graph._engine_cache = engine
-            except AttributeError:  # graph type without the cache slot
-                pass
+            with _FOR_GRAPH_LOCK:
+                engine = getattr(graph, "_engine_cache", None)
+                if engine is None:
+                    engine = cls(graph)
+                    try:
+                        graph._engine_cache = engine
+                    except AttributeError:  # graph type without the cache slot
+                        pass
         return engine
 
     # ------------------------------------------------------------------
@@ -127,6 +181,30 @@ class SamplingEngine:
     def _next_stamp(self) -> int:
         self._stamp += 1
         return self._stamp
+
+    def _lane_plane(self, lanes: int) -> np.ndarray:
+        """Reusable ``(lanes, n)`` visited plane (flattened) for the RR
+        lane kernel.  Borrowers must clear every entry they set before
+        returning — the engine hands the same plane to the next batch."""
+        need = lanes * self.n
+        buf = self._lane_visited
+        if buf is None or buf.size < need:
+            buf = np.zeros(need, dtype=bool)
+            self._lane_visited = buf
+        return buf
+
+    def _prr_planes(self, lanes: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Reusable ``(lanes, n)`` distance (int16, filled with the lane
+        sentinel) and processed (bool) planes for the PRR lane kernel.
+        Borrowers must restore every entry they touch before returning —
+        the fill cost is paid once per engine, not per batch."""
+        need = lanes * self.n
+        dist = self._prr_dist
+        if dist is None or dist.size < need:
+            dist = np.full(need, np.iinfo(np.int16).max, dtype=np.int16)
+            self._prr_dist = dist
+            self._prr_proc = np.zeros(need, dtype=bool)
+        return dist, self._prr_proc
 
     def seeds_mask(self, seeds: AbstractSet[int]) -> np.ndarray:
         key = seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
@@ -210,6 +288,112 @@ class SamplingEngine:
         r = int(rng.integers(self.n)) if root is None else int(root)
         return self._rr_members(rng, r, strict=strict)
 
+    def _draw_lane_seeds(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Per-lane world seeds: ``count`` uniform non-negative int64 draws
+        (hashing treats them as uint64)."""
+        return rng.integers(_INT64_MAX, size=count, dtype=np.int64).astype(
+            np.uint64
+        )
+
+    # Mean members per sample above which lane batching stops paying off:
+    # dense traversals are array-work bound, so the single-sample hashed
+    # loop evaluates them with less key arithmetic.  The choice only
+    # affects speed — sample i is the RR-set of roots[i] in the world
+    # fixed by seeds[i], a pure function both evaluators agree on.
+    RR_DENSE_CUTOFF = 512
+
+    def _rr_members_hashed(self, root: int, world_seed) -> np.ndarray:
+        """One RR-set in the world fixed by ``world_seed`` — the
+        single-sample evaluator of the lane kernel's pure function (same
+        members, same order, no RNG)."""
+        cur = self._next_stamp()
+        visit = self._visit
+        visit[root] = cur
+        frontier = np.array([root], dtype=np.int64)
+        chunks = [frontier]
+        seed = np.uint64(world_seed)
+        indptr = self._in_indptr
+        nodes = self._in_nodes
+        edge_hash = self._in_hash
+        thr = self._in_thr64
+        while frontier.size:
+            pos, _counts = frontier_edge_positions(indptr, frontier)
+            if pos.size == 0:
+                break
+            srcs = nodes.take(pos)
+            unvisited = visit.take(srcs) != cur
+            pos = pos[unvisited]
+            if pos.size == 0:
+                break
+            srcs = srcs[unvisited]
+            with np.errstate(over="ignore"):
+                x = seed * SEED_MULT + edge_hash.take(pos)
+            fresh = srcs[splitmix_finalize(x) < thr.take(pos)]
+            if fresh.size == 0:
+                break
+            frontier = unique_sorted(fresh)
+            visit[frontier] = cur
+            chunks.append(frontier)
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+    def rr_lane_csr(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        roots: Sequence[int] | None = None,
+        lane_width: int = RR_LANE_WIDTH,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``count`` RR-sets via the lane kernel, as a ``(counts, members)``
+        CSR — the shape :meth:`CoverageIndex.extend_csr` ingests directly.
+
+        Roots (uniform unless ``roots`` is given) and per-sample world
+        seeds are drawn from ``rng`` upfront — two generator calls total —
+        after which sample ``i`` is a pure function of ``(roots[i],
+        seeds[i])``: the RR-set of that root in that hashed world.  The
+        lane kernel evaluates ``lane_width`` samples per frontier step;
+        on graphs whose RR-sets come back dense (mean size above
+        :data:`RR_DENSE_CUTOFF`, learned from the first batch and cached
+        per engine) the same samples are evaluated by the single-sample
+        hashed loop instead, which wins once array work dominates call
+        overhead.  The sampled distribution matches :meth:`rr_set`, the
+        seeded distributional oracle.
+        """
+        if count <= 0:
+            return _EMPTY_I64, _EMPTY_I64
+        if roots is None:
+            all_roots = rng.integers(self.n, size=count)
+        else:
+            if len(roots) < count:
+                raise ValueError(
+                    f"need {count} roots, got {len(roots)}"
+                )
+            all_roots = np.asarray(roots, dtype=np.int64)[:count]
+        all_seeds = self._draw_lane_seeds(rng, count)
+        count_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        done = 0
+        while done < count:
+            if self._rr_dense:
+                sizes = np.empty(count - done, dtype=np.int64)
+                for i in range(done, count):
+                    members = self._rr_members_hashed(
+                        int(all_roots[i]), all_seeds[i]
+                    )
+                    sizes[i - done] = members.size
+                    value_parts.append(members)
+                count_parts.append(sizes)
+                break
+            # Probe narrowly before the first wide batch on a fresh graph.
+            b = min(32 if self._rr_dense is None else lane_width, count - done)
+            c, v = rr_member_lanes(
+                self, all_roots[done : done + b], all_seeds[done : done + b]
+            )
+            count_parts.append(c)
+            value_parts.append(v)
+            self._rr_dense = v.size > self.RR_DENSE_CUTOFF * b
+            done += b
+        return np.concatenate(count_parts), np.concatenate(value_parts)
+
     def sample_rr_batch(
         self,
         rng: np.random.Generator,
@@ -217,18 +401,25 @@ class SamplingEngine:
         roots: Sequence[int] | None = None,
         strict: bool = False,
     ) -> List[FrozenSet[int]]:
-        """``count`` RR-sets, looped over the engine's reusable buffers.
+        """``count`` RR-sets in one batch.
 
-        The default throughput mode draws fewer uniforms than the edge-wise
-        sampler (see :meth:`_rr_members`) while sampling from the same
-        distribution; pass ``strict=True`` for batches bit-for-bit equal to
-        ``count`` :meth:`rr_set` calls.
+        The default mode drives the multi-source lane kernel
+        (:func:`repro.engine.lanes.rr_member_lanes`): up to
+        :data:`~repro.engine.lanes.LANE_WIDTH` roots advance per frontier
+        step over per-lane hashed worlds — same distribution as
+        :meth:`rr_set`, a different (equally valid) stream.  Pass
+        ``strict=True`` for batches bit-for-bit equal to ``count``
+        :meth:`rr_set` calls on the same generator.
         """
-        out = []
-        for i in range(count):
-            r = int(rng.integers(self.n)) if roots is None else int(roots[i])
-            out.append(frozenset(self._rr_members(rng, r, strict=strict).tolist()))
-        return out
+        if strict:
+            out = []
+            for i in range(count):
+                r = int(rng.integers(self.n)) if roots is None else int(roots[i])
+                out.append(
+                    frozenset(self._rr_members(rng, r, strict=True).tolist())
+                )
+            return out
+        return csr_to_frozensets(*self.rr_lane_csr(rng, count, roots=roots))
 
     # ------------------------------------------------------------------
     # Forward cascades (boosting IC model)
@@ -499,12 +690,94 @@ class SamplingEngine:
         status, members, explored = self.critical_members(seeds, rng, root=root)
         return status, frozenset(members.tolist()), explored
 
+    def prr_phase1_lanes(
+        self,
+        seeds_mask: np.ndarray,
+        roots: np.ndarray,
+        k: int,
+        world_seeds: np.ndarray,
+    ) -> LanePhase1:
+        """Phase-I exploration for a whole lane batch of roots at once.
+
+        ``world_seeds[i]`` fixes lane ``i``'s world exactly like the
+        ``world_seed`` argument of :meth:`prr_phase1` — the per-lane
+        output is bit-for-bit the solo result for the same seed.
+        """
+        return prr_phase1_lanes(
+            self,
+            seeds_mask,
+            np.asarray(roots, dtype=np.int64),
+            k,
+            np.asarray(world_seeds).astype(np.uint64, copy=False),
+        )
+
+    def critical_lane_csr(
+        self,
+        seeds,
+        rng: np.random.Generator,
+        count: int,
+        roots: Sequence[int] | None = None,
+        lane_width: int = LANE_WIDTH,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``count`` critical-set samples via the lane kernel.
+
+        Returns ``(status_codes, counts, members, explored)``: int8 status
+        codes (index :data:`STATUS_NAMES` for the string form), the
+        critical sets as a lane-grouped ``(counts, members)`` CSR, and the
+        per-sample explored-edge counters.  Distribution matches
+        :meth:`critical_set`; worlds are hashed from per-lane seeds drawn
+        from ``rng``.
+        """
+        if count <= 0:
+            return (
+                np.empty(0, dtype=np.int8), _EMPTY_I64, _EMPTY_I64, _EMPTY_I64,
+            )
+        mask = self.seeds_mask(seeds)
+        status_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        explored_parts: List[np.ndarray] = []
+        done = 0
+        while done < count:
+            b = min(lane_width, count - done)
+            if roots is None:
+                rts = rng.integers(self.n, size=b)
+            else:
+                rts = np.asarray(roots[done : done + b], dtype=np.int64)
+                if rts.size < b:
+                    raise ValueError(f"need {count} roots, got {len(roots)}")
+            seeds_b = self._draw_lane_seeds(rng, b)
+            status, c, v, explored = critical_lanes(self, mask, rts, seeds_b)
+            status_parts.append(status)
+            count_parts.append(c)
+            value_parts.append(v)
+            explored_parts.append(explored)
+            done += b
+        return (
+            np.concatenate(status_parts),
+            np.concatenate(count_parts),
+            np.concatenate(value_parts),
+            np.concatenate(explored_parts),
+        )
+
     def sample_critical_batch(
         self,
         seeds,
         rng: np.random.Generator,
         count: int,
     ) -> List[Tuple[str, FrozenSet[int], int]]:
-        """``count`` critical-set samples, looped over the engine's
-        reusable buffers (no per-item setup beyond the loop itself)."""
-        return [self.critical_set(seeds, rng) for _ in range(count)]
+        """``count`` critical-set samples via the lane kernel.
+
+        Same distribution as ``count`` :meth:`critical_set` calls (the
+        seeded oracle), sampled from per-lane hashed worlds instead of the
+        generator's lazy stream; array-consuming callers should prefer
+        :meth:`critical_lane_csr`, which skips the frozensets.
+        """
+        status, counts, values, explored = self.critical_lane_csr(
+            seeds, rng, count
+        )
+        crits = csr_to_frozensets(counts, values)
+        return [
+            (STATUS_NAMES[status[i]], crits[i], int(explored[i]))
+            for i in range(count)
+        ]

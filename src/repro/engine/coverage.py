@@ -35,10 +35,26 @@ import numpy as np
 
 from .traversal import frontier_edge_positions
 
-__all__ = ["CoverageIndex", "SetsView"]
+__all__ = ["CoverageIndex", "SetsView", "csr_to_frozensets"]
 
 _EMPTY_I32 = np.empty(0, dtype=np.int32)
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def csr_to_frozensets(counts: np.ndarray, values: np.ndarray) -> List[frozenset]:
+    """Materialize a ``(counts, values)`` member CSR as frozensets.
+
+    The inverse convenience of :meth:`CoverageIndex.extend_csr`, for the
+    callers that still speak list-of-frozensets (legacy selection arms,
+    sampler ``sample_batch`` protocols): row ``i`` is
+    ``values[sum(counts[:i]) : sum(counts[:i+1])]``.
+    """
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return [
+        frozenset(values[offsets[i] : offsets[i + 1]].tolist())
+        for i in range(counts.size)
+    ]
 
 
 class CoverageIndex:

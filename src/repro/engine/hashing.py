@@ -15,7 +15,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hash_draw", "hash_draw_array"]
+__all__ = [
+    "hash_draw",
+    "hash_draw_array",
+    "hash_draw_pairs",
+    "edge_hash_base",
+    "splitmix_finalize",
+    "SEED_MULT",
+    "TWO64",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -58,6 +66,62 @@ def hash_draw_array(
     vv = v.astype(np.uint64, copy=False)
     with np.errstate(over="ignore"):
         x = seed * _U_A + (uu + _U_ONE) * _U_B + (vv + _U_ONE) * _U_C
+        x ^= x >> _SH30
+        x *= _U_B
+        x ^= x >> _SH27
+        x *= _U_C
+        x ^= x >> _SH31
+    return x.astype(np.float64) / _TWO64
+
+
+# Multiplier applied to the (per-lane) seed; combine with
+# :func:`edge_hash_base` and :func:`splitmix_finalize` to reproduce
+# :func:`hash_draw` from a precomputed per-edge base.
+SEED_MULT = _U_A
+TWO64 = _TWO64
+
+
+def edge_hash_base(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Seed-independent part of the hash input: ``(u+1)·B + (v+1)·C``.
+
+    ``splitmix_finalize(seed * SEED_MULT + edge_hash_base(u, v))`` equals
+    the pre-division integer of :func:`hash_draw` — mod-2^64 addition is
+    associative, so the per-edge base can be precomputed once per graph
+    and reused by every lane batch.
+    """
+    uu = u.astype(np.uint64, copy=False)
+    vv = v.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        return (uu + _U_ONE) * _U_B + (vv + _U_ONE) * _U_C
+
+
+def splitmix_finalize(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (returns a new array)."""
+    with np.errstate(over="ignore"):
+        x = x ^ (x >> _SH30)
+        x = x * _U_B
+        x ^= x >> _SH27
+        x *= _U_C
+        x ^= x >> _SH31
+    return x
+
+
+def hash_draw_pairs(
+    seeds: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """:func:`hash_draw` with a *per-element* world seed.
+
+    ``seeds`` is a uint64 array aligned with ``u``/``v``; element ``i`` is
+    bit-for-bit equal to ``hash_draw(int(seeds[i]), u[i], v[i])``.  This is
+    the lane primitive: each lane of a multi-source traversal carries its
+    own seed, so one vectorized call draws edge states for many
+    independent worlds at once.
+    """
+    ss = seeds.astype(np.uint64, copy=False)
+    uu = u.astype(np.uint64, copy=False)
+    vv = v.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        x = ss * _U_A + (uu + _U_ONE) * _U_B + (vv + _U_ONE) * _U_C
         x ^= x >> _SH30
         x *= _U_B
         x ^= x >> _SH27

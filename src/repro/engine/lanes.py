@@ -1,0 +1,461 @@
+"""Multi-source lane-parallel traversal kernels.
+
+The single-sample engine paths spend most of their time in per-BFS-level
+numpy call overhead: a sparse RR-set or critical-set traversal touches a
+handful of edges per level, so the ~µs fixed cost of every vectorized op
+dwarfs the actual array work.  The kernels here amortize that cost by
+advancing ``B`` roots ("lanes") per frontier step at once over the shared
+CSR: all per-level operations run on the *union* of the lanes' frontiers,
+flattened into one index space of ``lane * n + node`` keys over stacked
+``(B, n)`` stamp planes.
+
+Independence across lanes comes from per-lane splitmix64 world hashing
+(:func:`repro.engine.world.lane_uniforms`): lane ``b``'s edge states are a
+pure function of ``(lane_seeds[b], u, v)``, i.e. each lane samples the
+deterministic world fixed by its seed.  Two consequences:
+
+* traversal order is free — merging lanes into shared frontier steps
+  cannot change any lane's sample, which is what makes lane batching
+  *exact* rather than approximate;
+* a lane's sample is bit-for-bit the one the single-sample engine draws
+  for the same ``world_seed``, so world-seeded lane PRR sampling is pinned
+  to :func:`repro.core.prr.sample_prr_graph` (``tests/test_lanes.py``),
+  while RNG-driven callers get fresh hashed worlds per sample — a
+  different, equally valid stream with the same distribution as the
+  single-sample RNG paths (the seeded distributional oracles).
+
+The seed-independent part of every edge's hash input is precomputed per
+graph (:attr:`SamplingEngine._in_hash`, via
+:func:`repro.engine.hashing.edge_hash_base`), so a lane draw is one
+gather + multiply-add + finalizer over the frontier slice.  The RR kernel
+additionally compares raw 64-bit hashes against precomputed integer
+thresholds ``round(p · 2^64)`` instead of converting to float — the same
+Bernoulli(p) draw to within 2^-53, taken where no bit-parity contract
+exists; the PRR kernels keep the exact float comparison of
+:func:`~repro.engine.hashing.hash_draw`.
+
+Kernels (each takes the owning :class:`~repro.engine.batch.SamplingEngine`
+for its CSR arrays and scratch buffers):
+
+* :func:`rr_member_lanes` — one RR-set per lane, returned as a per-lane
+  CSR (``counts, members``) ready for
+  :meth:`repro.engine.coverage.CoverageIndex.extend_csr`,
+* :func:`prr_phase1_lanes` — backward PRR exploration (Algorithm 1 phase
+  I, Dial's 0–1 BFS) for ``B`` roots at once, collecting per-lane edge /
+  seed arrays for phase-II compression,
+* :func:`critical_lanes` — critical node sets ``C_R`` (boost-distance-1
+  exploration + one batched live-reachability fixed point across all
+  lanes).
+
+Status codes follow :data:`repro.core.prr.PRRArena.status_names` order:
+0 = activated, 1 = hopeless, 2 = boostable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .hashing import SEED_MULT, TWO64, splitmix_finalize
+from .traversal import frontier_edge_positions, unique_sorted
+
+__all__ = [
+    "LANE_WIDTH",
+    "RR_LANE_WIDTH",
+    "LanePhase1",
+    "rr_member_lanes",
+    "prr_phase1_lanes",
+    "critical_lanes",
+    "CODE_ACTIVATED",
+    "CODE_HOPELESS",
+    "CODE_BOOSTABLE",
+]
+
+# Default number of roots advanced per lane batch.  PRR lanes keep B
+# moderate (their distance planes are int64); RR lanes go wider — the
+# visited plane is one bool per (lane, node) and deeper batches amortize
+# the per-level call overhead further.
+LANE_WIDTH = 64
+RR_LANE_WIDTH = 512
+
+CODE_ACTIVATED = 0
+CODE_HOPELESS = 1
+CODE_BOOSTABLE = 2
+
+_BIG = np.int16(np.iinfo(np.int16).max)  # lane distance sentinel
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _lane_draw_ints(
+    lane_seeds: np.ndarray, e_lane: np.ndarray, edge_hash: np.ndarray, pos: np.ndarray
+) -> np.ndarray:
+    """Raw 64-bit hash per (lane, CSR position) pair.
+
+    ``splitmix_finalize(seed·A + base)`` — bit-for-bit the pre-division
+    integer of ``hash_draw(seed, u, v)`` for the edge at ``pos``.
+    """
+    with np.errstate(over="ignore"):
+        x = lane_seeds[e_lane] * SEED_MULT + edge_hash.take(pos)
+    return splitmix_finalize(x)
+
+
+def _lane_csr(lanes: np.ndarray, num_lanes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(counts, order)`` grouping flat per-lane rows by lane id."""
+    counts = np.bincount(lanes, minlength=num_lanes)
+    order = np.argsort(lanes, kind="stable")
+    return counts, order
+
+
+# ----------------------------------------------------------------------
+# Reverse-reachable sets
+# ----------------------------------------------------------------------
+def rr_member_lanes(
+    engine, roots: np.ndarray, lane_seeds: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One RR-set per lane, all lanes advanced per frontier step.
+
+    Lane ``b`` samples the world fixed by ``lane_seeds[b]``: edge
+    ``u -> v`` is live iff its 64-bit hash falls below ``round(p · 2^64)``.
+    Returns ``(counts, members)`` — lane ``b``'s members are
+    ``members[sum(counts[:b]) : sum(counts[:b+1])]``, sorted per lane.
+
+    Uses the engine's reusable visited plane; touched entries are cleared
+    on exit, so repeated batches cost no fresh O(B·n) allocation.
+    """
+    n = engine.n
+    num = int(roots.size)
+    in_indptr = engine._in_indptr
+    in_nodes = engine._in_nodes
+    edge_hash = engine._in_hash
+    thr = engine._in_thr64
+    lane_seeds = lane_seeds.astype(np.uint64, copy=False)
+    visited = engine._lane_plane(num)
+    lane = np.arange(num, dtype=np.int64)
+    node = roots.astype(np.int64, copy=False)
+    key = lane * n + node
+    visited[key] = True
+    key_chunks = [key]
+    try:
+        while node.size:
+            pos, counts = frontier_edge_positions(in_indptr, node)
+            if pos.size == 0:
+                break
+            e_lane = np.repeat(lane, counts)
+            hit = _lane_draw_ints(lane_seeds, e_lane, edge_hash, pos) < thr.take(pos)
+            if not hit.any():
+                break
+            srcs = in_nodes.take(pos[hit])
+            key = e_lane[hit] * n + srcs
+            key = key[~visited[key]]
+            if key.size == 0:
+                break
+            key = unique_sorted(key)
+            visited[key] = True
+            key_chunks.append(key)
+            lane = key // n
+            node = key - lane * n
+    finally:
+        # Restore the shared plane even on interrupt/OOM — the engine is
+        # cached on the graph, so leaked marks would corrupt every later
+        # sample.
+        for chunk in key_chunks:
+            visited[chunk] = False
+    keys = np.concatenate(key_chunks) if len(key_chunks) > 1 else key_chunks[0]
+    lane_all = keys // n
+    counts, order = _lane_csr(lane_all, num)
+    return counts, (keys - lane_all * n)[order]
+
+
+# ----------------------------------------------------------------------
+# Backward PRR exploration (phase I)
+# ----------------------------------------------------------------------
+@dataclass
+class LanePhase1:
+    """Per-lane raw phase-I output, flattened into lane-grouped CSRs.
+
+    The per-lane analogue of :class:`repro.engine.batch.PhaseOneResult`:
+    lane ``i``'s collected non-blocked edges are
+    ``edge_src[edge_indptr[i]:edge_indptr[i+1]]`` (etc.), its discovered
+    seeds ``seed_nodes[seed_indptr[i]:seed_indptr[i+1]]`` (unique,
+    sorted).  Activated lanes have empty slices — their exploration is
+    discarded exactly like the single-sample early return.
+    """
+
+    roots: np.ndarray
+    activated: np.ndarray
+    edge_indptr: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_boost: np.ndarray
+    seed_indptr: np.ndarray
+    seed_nodes: np.ndarray
+    node_count: np.ndarray
+    explored: np.ndarray
+
+
+def prr_phase1_lanes(
+    engine,
+    seeds_mask: np.ndarray,
+    roots: np.ndarray,
+    k: int,
+    lane_seeds: np.ndarray,
+) -> LanePhase1:
+    """Backward 0–1 BFS from ``B`` roots at once, distance-``> k`` pruned.
+
+    Runs Dial's algorithm in lockstep over all lanes: every distance level
+    ``d`` processes the union of the lanes' level-``d`` frontiers as flat
+    ``lane * n + node`` keys.  Since each lane's world is fixed by its
+    seed, the lockstep schedule yields, per lane, exactly the edge and
+    seed sets (and node counts) of a solo world-seeded
+    :meth:`~repro.engine.batch.SamplingEngine.prr_phase1` run.
+
+    Roots that are seeds come back activated without exploration.  The
+    per-lane ``explored`` edge counters of lanes that activate *during*
+    level 0 may exceed the solo path's (the lockstep frontier finishes its
+    merged step before the activation takes effect) — diagnostics only;
+    every arena-visible output is identical.
+    """
+    if k + 1 >= int(_BIG):
+        raise ValueError("k exceeds the lane kernel's int16 distance range")
+    n = engine.n
+    num = int(roots.size)
+    lane_seeds = lane_seeds.astype(np.uint64, copy=False)
+    roots = roots.astype(np.int64, copy=False)
+    activated = seeds_mask[roots].copy()
+    dist, proc = engine._prr_planes(num)
+    lane_ids = np.arange(num, dtype=np.int64)
+    node_count = np.ones(num, dtype=np.int64)
+    explored = np.zeros(num, dtype=np.int64)
+    el_chunks: list = []
+    es_chunks: list = []
+    ed_chunks: list = []
+    eb_chunks: list = []
+    sl_chunks: list = []
+    sn_chunks: list = []
+
+    init = lane_ids[~activated] * n + roots[~activated]
+    dist[init] = 0
+    touched_chunks: list = [init]  # keys whose planes need restoring
+    buckets: list = [[] for _ in range(k + 2)]
+    if init.size:
+        buckets[0].append(init)
+
+    try:
+        _prr_level_loop(
+            engine, seeds_mask, k, lane_seeds, num, activated, dist, proc,
+            node_count, explored, buckets, touched_chunks,
+            el_chunks, es_chunks, ed_chunks, eb_chunks, sl_chunks, sn_chunks,
+        )
+    finally:
+        # Restore the shared planes even on interrupt/OOM — the engine is
+        # cached on the graph, so stale marks would corrupt later batches.
+        for chunk in touched_chunks:
+            dist[chunk] = _BIG
+            proc[chunk] = False
+
+    if el_chunks:
+        el = np.concatenate(el_chunks)
+        es = np.concatenate(es_chunks)
+        ed = np.concatenate(ed_chunks)
+        eb = np.concatenate(eb_chunks)
+        live_lane = ~activated[el]
+        el, es, ed, eb = el[live_lane], es[live_lane], ed[live_lane], eb[live_lane]
+    else:
+        el = es = ed = _EMPTY_I64
+        eb = np.empty(0, dtype=bool)
+    e_counts, e_order = _lane_csr(el, num)
+    edge_indptr = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(e_counts, out=edge_indptr[1:])
+
+    if sl_chunks:
+        skeys = np.concatenate(
+            [sl * n + sn for sl, sn in zip(sl_chunks, sn_chunks)]
+        )
+        skeys = unique_sorted(skeys[~activated[skeys // n]])
+        s_lane = skeys // n
+        seed_nodes = skeys - s_lane * n
+        s_counts = np.bincount(s_lane, minlength=num)
+    else:
+        seed_nodes = _EMPTY_I64
+        s_counts = np.zeros(num, dtype=np.int64)
+    seed_indptr = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(s_counts, out=seed_indptr[1:])
+
+    return LanePhase1(
+        roots=roots,
+        activated=activated,
+        edge_indptr=edge_indptr,
+        edge_src=es[e_order],
+        edge_dst=ed[e_order],
+        edge_boost=eb[e_order],
+        seed_indptr=seed_indptr,
+        seed_nodes=seed_nodes,
+        node_count=node_count,
+        explored=explored,
+    )
+
+
+def _prr_level_loop(
+    engine, seeds_mask, k, lane_seeds, num, activated, dist, proc,
+    node_count, explored, buckets, touched_chunks,
+    el_chunks, es_chunks, ed_chunks, eb_chunks, sl_chunks, sn_chunks,
+) -> None:
+    """Dial's level loop of :func:`prr_phase1_lanes` (split out so the
+    caller can guarantee plane restoration around it)."""
+    n = engine.n
+    in_indptr = engine._in_indptr
+    in_nodes = engine._in_nodes
+    in_p = engine._in_p
+    in_pp = engine._in_pp
+    edge_hash = engine._in_hash
+    for d in range(k + 1):
+        pending = buckets[d]
+        while pending:
+            f = np.concatenate(pending) if len(pending) > 1 else pending[0]
+            pending.clear()
+            ok = ~proc[f] & (dist[f] == d) & ~activated[f // n]
+            f = f[ok]
+            if f.size == 0:
+                continue
+            f = unique_sorted(f)
+            proc[f] = True
+            lane = f // n
+            node = f - lane * n
+            pos, counts = frontier_edge_positions(in_indptr, node)
+            e_lane = np.repeat(lane, counts)
+            explored += np.bincount(e_lane, minlength=num)
+            if pos.size == 0:
+                continue
+            heads = np.repeat(node, counts)
+            srcs = in_nodes.take(pos)
+            draws = (
+                _lane_draw_ints(lane_seeds, e_lane, edge_hash, pos).astype(
+                    np.float64
+                )
+                / TWO64
+            )
+            live = draws < in_p.take(pos)
+            w = ~live & (draws < in_pp.take(pos))
+            keep = (live | w) if d < k else live
+            if not keep.any():
+                continue
+            e_lane = e_lane[keep]
+            srcs = srcs[keep]
+            heads = heads[keep]
+            wk = w[keep]
+            el_chunks.append(e_lane)
+            es_chunks.append(srcs)
+            ed_chunks.append(heads)
+            eb_chunks.append(wk)
+            is_seed = seeds_mask[srcs]
+            if is_seed.any():
+                if d == 0:
+                    # Live edge from a seed at distance 0: those lanes'
+                    # roots activate without boosting.
+                    act = e_lane[is_seed & ~wk]
+                    if act.size:
+                        activated[np.unique(act)] = True
+                sl_chunks.append(e_lane[is_seed])
+                sn_chunks.append(srcs[is_seed])
+            src_keys = e_lane * n + srcs
+            for boost_step in (False, True):
+                sel = wk if boost_step else ~wk
+                g = src_keys[sel]
+                if g.size == 0:
+                    continue
+                dv = d + 1 if boost_step else d
+                fresh = dist[g] == _BIG
+                if fresh.any():
+                    fresh_keys = np.unique(g[fresh])
+                    node_count += np.bincount(fresh_keys // n, minlength=num)
+                    touched_chunks.append(fresh_keys)
+                np.minimum.at(dist, g, dv)
+                cand = g[(~is_seed[sel]) & (dist[g] == dv) & ~proc[g]]
+                if cand.size:
+                    (buckets[dv] if boost_step else pending).append(cand)
+
+
+# ----------------------------------------------------------------------
+# Critical sets
+# ----------------------------------------------------------------------
+def critical_lanes(
+    engine,
+    seeds_mask: np.ndarray,
+    roots: np.ndarray,
+    lane_seeds: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Critical node sets ``C_R`` for ``B`` roots at once.
+
+    Phase I capped at boost-distance 1, then one live-reachability fixed
+    point grown across *all* boostable lanes simultaneously (the per-lane
+    regions live in disjoint ``lane * n + node`` key ranges, so a single
+    :func:`grow_reachable` pass serves every lane).  Returns
+    ``(status_codes, counts, members, explored)`` with the critical sets
+    as a lane-grouped CSR of sorted unique node ids.
+    """
+    n = engine.n
+    num = int(roots.size)
+    ph = prr_phase1_lanes(engine, seeds_mask, roots, 1, lane_seeds)
+    status = np.full(num, CODE_BOOSTABLE, dtype=np.int8)
+    status[ph.activated] = CODE_ACTIVATED
+    no_seeds = ~ph.activated & (np.diff(ph.seed_indptr) == 0)
+    status[no_seeds] = CODE_HOPELESS
+    boostable = status == CODE_BOOSTABLE
+    counts = np.zeros(num, dtype=np.int64)
+    members = _EMPTY_I64
+    if boostable.any():
+        el = np.repeat(
+            np.arange(num, dtype=np.int64), np.diff(ph.edge_indptr)
+        )
+        use = boostable[el]
+        el = el[use]
+        es = ph.edge_src[use]
+        ed = ph.edge_dst[use]
+        eb = ph.edge_boost[use]
+        # Borrow the engine's visited plane for the live-reachability
+        # region (the RR kernel is never active concurrently), tracking
+        # what we set so the plane can be restored on exit.
+        region = engine._lane_plane(num)
+        s_lane = np.repeat(
+            np.arange(num, dtype=np.int64), np.diff(ph.seed_indptr)
+        )
+        s_use = boostable[s_lane]
+        seed_keys = s_lane[s_use] * n + ph.seed_nodes[s_use]
+        region[seed_keys] = True
+        touched = [seed_keys]
+        try:
+            live = ~eb
+            tails = el[live] * n + es[live]
+            heads = el[live] * n + ed[live]
+            while True:
+                grow = region[tails] & ~region[heads]
+                if not grow.any():
+                    break
+                new = np.unique(heads[grow])
+                region[new] = True
+                touched.append(new)
+            # Defensive (phase I catches live seed->root paths): a root
+            # inside its live region is activated.
+            root_hit = (
+                region[np.arange(num, dtype=np.int64) * n + ph.roots] & boostable
+            )
+            if root_hit.any():
+                status[root_hit] = CODE_ACTIVATED
+                boostable = status == CODE_BOOSTABLE
+            crit = (
+                eb
+                & region[el * n + es]
+                & ~seeds_mask[ed]
+                & boostable[el]
+            )
+        finally:
+            for chunk in touched:  # restore the shared plane
+                region[chunk] = False
+        if crit.any():
+            keys = unique_sorted(el[crit] * n + ed[crit])
+            lane = keys // n
+            counts = np.bincount(lane, minlength=num)
+            members = keys - lane * n
+    return status, counts, members, ph.explored

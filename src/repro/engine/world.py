@@ -23,13 +23,60 @@ from typing import Optional
 
 import numpy as np
 
-from .hashing import hash_draw_array
+from .hashing import hash_draw_array, hash_draw_pairs
 
-__all__ = ["EdgeStateArray", "LIVE", "BOOST", "BLOCKED"]
+__all__ = [
+    "EdgeStateArray",
+    "LIVE",
+    "BOOST",
+    "BLOCKED",
+    "lane_uniforms",
+    "lane_states",
+]
 
 LIVE = 0
 BOOST = 1  # live-upon-boost
 BLOCKED = 2
+
+
+# ----------------------------------------------------------------------
+# Per-lane hashed worlds (the multi-source lane kernels)
+# ----------------------------------------------------------------------
+def lane_uniforms(
+    lane_seeds: np.ndarray, lanes: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Uniforms for ``(lane, edge)`` pairs; lane ``l`` sees the whole world
+    fixed by splitmix64-hashing ``(lane_seeds[l], u, v)``.
+
+    Element ``i`` equals ``hash_draw(int(lane_seeds[lanes[i]]), src[i],
+    dst[i])`` — bit-for-bit the draw the single-sample world-seeded path
+    makes for the same edge, which is what pins lane PRR sampling to
+    :func:`repro.core.prr.sample_prr_graph` with ``world_seed``.  Because
+    the world is a pure function of ``(seed, u, v)``, the draw is
+    independent of traversal order: lanes can merge, split, and reorder
+    their frontiers freely without changing any lane's sample.
+    """
+    return hash_draw_pairs(lane_seeds[lanes], src, dst)
+
+
+def lane_states(
+    lane_seeds: np.ndarray,
+    lanes: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    p: np.ndarray,
+    pp: np.ndarray,
+) -> np.ndarray:
+    """Edge states (LIVE/BOOST/BLOCKED) for ``(lane, edge)`` pairs.
+
+    Same thresholding as :meth:`EdgeStateArray.states`: LIVE below ``p``,
+    BOOST below ``pp``, BLOCKED otherwise, applied to per-lane hashed
+    uniforms.
+    """
+    draws = lane_uniforms(lane_seeds, lanes, src, dst)
+    return np.where(
+        draws < p, LIVE, np.where(draws < pp, BOOST, BLOCKED)
+    ).astype(np.int8)
 
 
 class EdgeStateArray:

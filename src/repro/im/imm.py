@@ -224,13 +224,16 @@ def imm(
     ell: float = 1.0,
     max_samples: int = 2_000_000,
     legacy_selection: bool = False,
+    workers: int | None = None,
 ) -> IMMResult:
     """Classical influence maximization: select ``k`` seeds with IMM.
 
     Returns an :class:`IMMResult`; ``result.estimate`` approximates the
     expected influence spread of the chosen seeds under the IC model.
+    ``workers > 1`` draws the RR-sets on the shared-memory parallel
+    runtime (:mod:`repro.core.parallel`); selection stays in-process.
     """
-    sampler = RRSampler(graph)
+    sampler = RRSampler(graph, workers=workers)
     if legacy_selection:
         samples = imm_sampling(
             sampler, k, epsilon, ell, rng, max_samples=max_samples,

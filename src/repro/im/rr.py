@@ -5,20 +5,27 @@ would reach ``r`` in a sampled deterministic world.  The key identity
 (Borgs et al.) is ``σ(S) = n · E[ I(R ∩ S ≠ ∅) ]``, which reduces influence
 maximization to maximum coverage over sampled RR-sets.
 
-Sampling runs on the shared vectorized engine: the backward BFS draws one
-uniform per in-edge of a whole frontier at a time, bit-for-bit matching the
-edge-wise lazy BFS it replaced, and :meth:`RRSampler.sample_batch` amortizes
-engine setup across hundreds of roots.
+Sampling runs on the shared vectorized engine.  The single-sample path
+(:func:`random_rr_set`) draws one uniform per in-edge of a whole frontier
+at a time, bit-for-bit matching the edge-wise lazy BFS it replaced — the
+seeded oracle.  The batch forms drive the multi-source lane kernel
+(:meth:`SamplingEngine.rr_lane_csr`): up to
+:data:`~repro.engine.lanes.RR_LANE_WIDTH` roots advance per frontier step
+over per-lane hashed worlds, and member arrays flow into the
+:class:`~repro.engine.coverage.CoverageIndex` as one CSR chunk.  With
+``workers > 1`` (fork platforms) the batches dispatch to the persistent
+shared-memory runtime of :mod:`repro.core.parallel` instead, merging the
+workers' CSR buffers chunk-deterministically.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 import numpy as np
 
 from ..engine import SamplingEngine
-from ..engine.coverage import CoverageIndex
+from ..engine.coverage import CoverageIndex, csr_to_frozensets
 from ..graphs.digraph import DiGraph
 
 __all__ = ["random_rr_set", "RRSampler"]
@@ -41,39 +48,59 @@ class RRSampler:
     The IMM sampling phase (:mod:`repro.im.imm`) works with any object that
     has an ``n`` attribute and a ``sample(rng)`` method returning a set of
     candidate nodes; this class provides that interface for classical
-    influence maximization, plus the batched form ``sample_batch(rng, count)``
-    that the sampling phases prefer when present.
+    influence maximization, plus the batched forms the sampling phases
+    prefer.  ``sample_batch`` and ``sample_into`` share one CSR draw per
+    request, so the legacy and vectorized selection paths see identical
+    samples for identical RNG states.
+
+    ``workers > 1`` routes batch requests of at least
+    ``repro.core.parallel.PARALLEL_MIN_SAMPLES`` through the
+    shared-memory parallel runtime.
     """
 
-    def __init__(self, graph: DiGraph) -> None:
+    def __init__(self, graph: DiGraph, workers: Optional[int] = None) -> None:
         self.graph = graph
         self.n = graph.n
         self._engine = SamplingEngine.for_graph(graph)
+        # Lazy import: repro.core pulls in the im package during its own
+        # initialization, so resolving at call level avoids the cycle.
+        from ..core.parallel import resolve_sampler_workers
+
+        self.workers = resolve_sampler_workers(workers)
 
     def sample(self, rng: np.random.Generator) -> FrozenSet[int]:
-        """One RR-set for a uniformly random root."""
+        """One RR-set for a uniformly random root (the seeded oracle)."""
         return self._engine.rr_set(rng)
+
+    def _draw_csr(self, rng: np.random.Generator, count: int):
+        from ..core.parallel import PARALLEL_MIN_SAMPLES, parallel_rr_csr
+
+        if self.workers > 1 and count >= PARALLEL_MIN_SAMPLES:
+            base = int(rng.integers(np.iinfo(np.int64).max))
+            return parallel_rr_csr(self.graph, count, base, self.workers)
+        return self._engine.rr_lane_csr(rng, count)
 
     def sample_batch(
         self, rng: np.random.Generator, count: int
     ) -> List[FrozenSet[int]]:
-        """``count`` RR-sets in the engine's throughput mode.
+        """``count`` RR-sets via the lane kernel.
 
         Deterministic for a given RNG state and drawn from the same
-        distribution as :meth:`sample`, but consumes fewer uniforms (edges
-        into already-reached nodes are skipped before drawing).
+        distribution as :meth:`sample` (a different, equally valid
+        stream: per-sample hashed worlds instead of lazy generator
+        draws).
         """
-        return self._engine.sample_rr_batch(rng, count)
+        return csr_to_frozensets(*self._draw_csr(rng, count))
 
     def sample_into(
         self, rng: np.random.Generator, count: int, index: CoverageIndex
     ) -> None:
         """Append ``count`` RR-sets straight into a coverage index.
 
-        Same RNG consumption and sampled sets as :meth:`sample_batch`, but
-        the engine's member arrays go into the flat CSR without a
-        frozenset round-trip — the form the IMM/SSA sampling phases use.
+        Same RNG consumption and sampled sets as :meth:`sample_batch`,
+        but the lane kernel's member CSR goes into the flat index without
+        a frozenset round-trip — the form the IMM/SSA sampling phases
+        use.
         """
-        engine = self._engine
-        for _ in range(count):
-            index.append_array(engine.rr_members(rng, strict=False))
+        counts, values = self._draw_csr(rng, count)
+        index.extend_csr(counts, values.astype(np.int32, copy=False))

@@ -19,6 +19,14 @@ The pool lives in a :class:`repro.engine.coverage.CoverageIndex`: the
 selection half is a prefix-limited greedy over the flat CSR and the
 validation count is one masked scan — no list slicing, no per-round
 rebuild.  Outputs are identical to the pre-index implementation.
+
+Sampling throughput follows the sampler passed in: every pool extension
+goes through the cheapest form the sampler offers (``sample_into`` →
+``sample_batch`` → ``sample``), so the lane-kernel batches of
+:class:`repro.im.rr.RRSampler` / :class:`repro.core.boost.
+CriticalSetSampler` apply unchanged, and constructing those samplers
+with ``workers > 1`` runs SSA's generation phase on the shared-memory
+parallel runtime with no change here.
 """
 
 from __future__ import annotations
