@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Quickstart: find k users to boost on a synthetic social network.
 
-Walks through the full pipeline of the paper:
+Walks through the full pipeline of the paper on the session API — one
+warm :class:`repro.Session` drives every step:
 
 1. build a network (a scaled-down Digg analogue),
 2. pick influential seeds with IMM (the initial adopters),
@@ -11,9 +12,14 @@ Walks through the full pipeline of the paper:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import estimate_boost, estimate_sigma, imm, load_dataset, prr_boost
+from repro import (
+    BoostQuery,
+    EvalQuery,
+    SamplingBudget,
+    SeedQuery,
+    Session,
+    load_dataset,
+)
 
 SEED = 7
 NUM_SEEDS = 20
@@ -21,30 +27,42 @@ K = 50
 
 
 def main() -> None:
-    rng = np.random.default_rng(SEED)
-
     print("1) Building the digg-like network ...")
     graph = load_dataset("digg-like", seed=SEED)
     print(f"   n = {graph.n}, m = {graph.m}, "
           f"avg influence probability = {graph.average_probability():.3f}")
 
-    print(f"2) Selecting {NUM_SEEDS} influential seeds with IMM ...")
-    seeds = imm(graph, NUM_SEEDS, rng, max_samples=20_000).chosen
-    sigma_empty = estimate_sigma(graph, seeds, set(), rng, runs=2000)
-    print(f"   seeds = {sorted(seeds)[:8]}... "
-          f"expected spread without boosting = {sigma_empty:.1f}")
+    with Session(graph) as session:
+        print(f"2) Selecting {NUM_SEEDS} influential seeds with IMM ...")
+        seeds = session.run(
+            SeedQuery(k=NUM_SEEDS, rng_seed=SEED,
+                      budget=SamplingBudget(max_samples=20_000))
+        ).selected
+        sigma_empty = session.run(
+            EvalQuery(seeds=seeds, metric="sigma", rng_seed=SEED,
+                      budget=SamplingBudget(mc_runs=2000))
+        ).estimates["sigma"]
+        print(f"   seeds = {sorted(seeds)[:8]}... "
+              f"expected spread without boosting = {sigma_empty:.1f}")
 
-    print(f"3) Running PRR-Boost to pick {K} users to boost ...")
-    result = prr_boost(graph, seeds, K, rng, max_samples=10_000)
-    print(f"   sampled {result.num_samples} PRR-graphs "
-          f"({result.stats.boostable} boostable, "
-          f"compression ratio {result.stats.compression_ratio:.0f}x)")
-    print(f"   estimated boost of influence = {result.estimated_boost:.1f}")
+        print(f"3) Running PRR-Boost to pick {K} users to boost ...")
+        boost = session.run(
+            BoostQuery(seeds=seeds, k=K, rng_seed=SEED,
+                       budget=SamplingBudget(max_samples=10_000))
+        )
+        stats = boost.extra["stats"]
+        print(f"   sampled {boost.num_samples} PRR-graphs "
+              f"({stats['boostable']} boostable)")
+        print(f"   estimated boost of influence = "
+              f"{boost.estimates['boost']:.1f}")
 
-    print("4) Evaluating with Monte Carlo simulation ...")
-    boost = estimate_boost(graph, seeds, result.boost_set, rng, runs=2000)
-    print(f"   measured boost = {boost:.1f} "
-          f"(+{100 * boost / sigma_empty:.1f}% over the unboosted spread)")
+        print("4) Evaluating with Monte Carlo simulation ...")
+        delta = session.run(
+            EvalQuery(seeds=seeds, boost=boost.selected, rng_seed=SEED,
+                      budget=SamplingBudget(mc_runs=2000))
+        ).estimates["boost"]
+        print(f"   measured boost = {delta:.1f} "
+              f"(+{100 * delta / sigma_empty:.1f}% over the unboosted spread)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,50 @@
+"""The session-based query API — one warm facade over the whole system.
+
+PRs 1–3 made sampling, selection and parallel generation fast; this
+package makes them *servable*.  Instead of a pile of free functions with
+ad-hoc kwargs and per-call cold starts (engine build, pool spin-up,
+arena allocation), callers open a :class:`Session` on a graph and submit
+typed queries:
+
+* :class:`SamplingBudget` — shared work limits (samples, ε/ℓ, MC runs,
+  workers),
+* :class:`BoostQuery` / :class:`SeedQuery` / :class:`EvalQuery` — the
+  three request shapes, JSON-round-trippable via
+  :func:`query_from_dict`,
+* :class:`QueryResult` — the uniform serializable answer envelope
+  (selected set, named estimates, sample counts, timings, and a
+  reproducibility fingerprint),
+* :func:`register_algorithm` — the string-keyed registry every
+  algorithm (built-in or third-party) dispatches through.
+
+The legacy free functions (``prr_boost``, ``prr_boost_lb``, ``imm``,
+``ssa``, ...) remain available as thin wrappers over a default throwaway
+session, returning their historical result objects bit-for-bit.
+"""
+
+from . import algorithms as _algorithms  # noqa: F401  (registers built-ins)
+from .queries import (
+    BoostQuery,
+    EvalQuery,
+    Query,
+    SamplingBudget,
+    SeedQuery,
+    query_from_dict,
+)
+from .registry import algorithm_names, get_algorithm, register_algorithm
+from .result import QueryResult
+from .session import Session
+
+__all__ = [
+    "Session",
+    "SamplingBudget",
+    "BoostQuery",
+    "SeedQuery",
+    "EvalQuery",
+    "Query",
+    "QueryResult",
+    "query_from_dict",
+    "register_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+]

@@ -1,0 +1,288 @@
+"""Built-in algorithm handlers for the session registry.
+
+Importing :mod:`repro.api` registers every algorithm of the reproduction
+under a short string key:
+
+=================  ==========================================  ==========
+key                implementation                              query
+=================  ==========================================  ==========
+``prr_boost``      :func:`repro.core.boost.prr_boost_core`     BoostQuery
+``prr_boost_lb``   :func:`repro.core.boost.prr_boost_lb_core`  BoostQuery
+``mc_greedy``      :func:`repro.core.mc_greedy.mc_greedy_boost`  BoostQuery
+``degree_global``  :func:`repro.baselines.high_degree_global`  BoostQuery
+``degree_local``   :func:`repro.baselines.high_degree_local`   BoostQuery
+``pagerank``       :func:`repro.baselines.pagerank_baseline`   BoostQuery
+``more_seeds``     :func:`repro.baselines.more_seeds_baseline` BoostQuery
+``imm``            :func:`repro.im.imm.imm_core`               SeedQuery
+``ssa``            :func:`repro.im.ssa.ssa_core`               SeedQuery
+``degree``         :func:`repro.im.seeds.select_seeds`         SeedQuery
+``random``         :func:`repro.im.seeds.select_seeds`         SeedQuery
+``evaluate``       engine Monte-Carlo estimators               EvalQuery
+=================  ==========================================  ==========
+
+Baseline handlers generate their candidate boost sets and, by default,
+Monte-Carlo rank them (shared sampled worlds when there is more than one
+candidate, so ranking is a paired experiment).  ``params={"evaluate":
+False}`` skips the ranking and returns the raw candidate sets in
+``extra["candidate_sets"]`` — the form the experiment harness consumes
+to run its own paired evaluation across *algorithms*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import (
+    high_degree_global,
+    high_degree_local,
+    more_seeds_baseline,
+    pagerank_baseline,
+)
+from ..core.boost import prr_boost_core, prr_boost_lb_core
+from ..core.mc_greedy import mc_greedy_boost
+from ..diffusion.worlds import WorldCollection
+from ..im.imm import imm_core
+from ..im.seeds import select_seeds
+from ..im.ssa import ssa_core
+from .registry import register_algorithm
+from .result import QueryResult
+
+__all__: List[str] = ["rank_candidates"]
+
+
+# ----------------------------------------------------------------------
+# PRR-Boost family
+# ----------------------------------------------------------------------
+def _boost_envelope(query, res) -> QueryResult:
+    extra = {}
+    if res.stats is not None:
+        # CollectionStats is a __slots__ class, not a dataclass.
+        extra["stats"] = {
+            name: getattr(res.stats, name) for name in res.stats.__slots__
+        }
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=list(res.boost_set),
+        estimates={
+            "boost": res.estimated_boost,
+            "mu": res.mu_estimate,
+            "delta": res.delta_estimate,
+        },
+        num_samples=res.num_samples,
+        timings={"select": res.elapsed_seconds},
+        extra=extra,
+        raw=res,
+    )
+
+
+@register_algorithm("prr_boost")
+def _run_prr_boost(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    params = query.param_dict
+    res = prr_boost_core(
+        session.graph, set(query.seeds), query.k, rng,
+        epsilon=budget.epsilon, ell=budget.ell,
+        max_samples=budget.max_samples,
+        selection=params.get("selection", "vectorized"),
+        workers=budget.workers,
+        index=session.scratch_index(), arena=session.scratch_arena(),
+        candidates=session.candidates_for(query.seeds),
+    )
+    return _boost_envelope(query, res)
+
+
+@register_algorithm("prr_boost_lb")
+def _run_prr_boost_lb(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    params = query.param_dict
+    res = prr_boost_lb_core(
+        session.graph, set(query.seeds), query.k, rng,
+        epsilon=budget.epsilon, ell=budget.ell,
+        max_samples=budget.max_samples,
+        selection=params.get("selection", "vectorized"),
+        workers=budget.workers,
+        index=session.scratch_index(),
+        candidates=session.candidates_for(query.seeds),
+    )
+    return _boost_envelope(query, res)
+
+
+@register_algorithm("mc_greedy")
+def _run_mc_greedy(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    chosen = mc_greedy_boost(
+        session.graph, set(query.seeds), query.k, rng,
+        runs=budget.mc_runs,
+        candidates=query.param_dict.get("candidates"),
+    )
+    return QueryResult(
+        algorithm=query.algorithm, selected=list(chosen), raw=chosen
+    )
+
+
+# ----------------------------------------------------------------------
+# Heuristic baselines
+# ----------------------------------------------------------------------
+def rank_candidates(
+    graph, seeds, candidate_sets: Sequence[List[int]], rng, mc_runs: int
+) -> Tuple[List[int], float]:
+    """Monte-Carlo pick of the best candidate boost set.
+
+    The one paired-evaluation protocol of the reproduction (the
+    experiment harness delegates here too): a single candidate is
+    estimated directly with the common-random-number Δ estimator;
+    several candidates share one sampled world collection so the ranking
+    is paired, not at the mercy of independent draws.
+    """
+    from ..diffusion.simulator import estimate_boost
+
+    if len(candidate_sets) == 1:
+        value = estimate_boost(graph, seeds, candidate_sets[0], rng, runs=mc_runs)
+        return list(candidate_sets[0]), float(value)
+    worlds = WorldCollection(graph, list(seeds), rng, runs=mc_runs)
+    ranked = worlds.rank(candidate_sets)
+    best_idx, best_boost = ranked[0]
+    return list(candidate_sets[best_idx]), float(best_boost)
+
+
+def _register_baseline(name: str, generate) -> None:
+    def handler(session, query, rng) -> QueryResult:
+        budget = session.resolve_budget(query)
+        candidate_sets = generate(session.graph, query, rng, budget)
+        extra = {"candidate_sets": [list(c) for c in candidate_sets]}
+        selected: List[int] = []
+        estimates = {}
+        if query.param_dict.get("evaluate", True):
+            selected, boost = rank_candidates(
+                session.graph, set(query.seeds), candidate_sets, rng,
+                budget.mc_runs,
+            )
+            estimates = {"boost": boost}
+        elif candidate_sets:
+            selected = list(candidate_sets[0])
+        return QueryResult(
+            algorithm=query.algorithm,
+            selected=selected,
+            estimates=estimates,
+            extra=extra,
+            raw=candidate_sets,
+        )
+
+    handler.__name__ = f"_run_{name}"
+    register_algorithm(name, handler)
+
+
+_register_baseline(
+    "degree_global",
+    lambda graph, query, rng, budget: high_degree_global(
+        graph, set(query.seeds), query.k
+    ),
+)
+_register_baseline(
+    "degree_local",
+    lambda graph, query, rng, budget: high_degree_local(
+        graph, set(query.seeds), query.k
+    ),
+)
+_register_baseline(
+    "pagerank",
+    lambda graph, query, rng, budget: [
+        pagerank_baseline(graph, set(query.seeds), query.k)
+    ],
+)
+_register_baseline(
+    "more_seeds",
+    lambda graph, query, rng, budget: [
+        more_seeds_baseline(
+            graph, set(query.seeds), query.k, rng,
+            epsilon=budget.epsilon, ell=budget.ell,
+            max_samples=budget.max_samples,
+        )
+    ],
+)
+
+
+# ----------------------------------------------------------------------
+# Seed selection
+# ----------------------------------------------------------------------
+@register_algorithm("imm")
+def _run_imm(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    res = imm_core(
+        session.graph, query.k, rng,
+        epsilon=budget.epsilon, ell=budget.ell,
+        max_samples=budget.max_samples,
+        legacy_selection=query.param_dict.get("legacy_selection", False),
+        workers=budget.workers,
+    )
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=list(res.chosen),
+        estimates={"influence": res.estimate},
+        num_samples=res.theta,
+        extra={"coverage": res.coverage},
+        raw=res,
+    )
+
+
+@register_algorithm("ssa")
+def _run_ssa(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    res = ssa_core(
+        session.graph, query.k, rng,
+        epsilon=budget.epsilon,
+        initial_samples=query.param_dict.get("initial_samples", 256),
+        max_samples=budget.max_samples,
+        workers=budget.workers,
+    )
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=list(res.chosen),
+        estimates={
+            "influence": res.estimate,
+            "selection_estimate": res.selection_estimate,
+        },
+        num_samples=len(res.samples),
+        extra={"rounds": res.rounds},
+        raw=res,
+    )
+
+
+def _register_seed_strategy(name: str) -> None:
+    def handler(session, query, rng) -> QueryResult:
+        budget = session.resolve_budget(query)
+        chosen = select_seeds(
+            session.graph, query.k, name, rng, max_samples=budget.max_samples
+        )
+        return QueryResult(
+            algorithm=query.algorithm, selected=list(chosen), raw=chosen
+        )
+
+    handler.__name__ = f"_run_{name}_seeds"
+    register_algorithm(name, handler)
+
+
+_register_seed_strategy("degree")
+_register_seed_strategy("random")
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@register_algorithm("evaluate")
+def _run_evaluate(session, query, rng) -> QueryResult:
+    budget = session.resolve_budget(query)
+    seeds, boost = set(query.seeds), set(query.boost)
+    if query.metric == "boost":
+        value = session.engine.estimate_boost(seeds, boost, rng, runs=budget.mc_runs)
+    else:
+        value = session.engine.estimate_sigma(seeds, boost, rng, runs=budget.mc_runs)
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=[],
+        estimates={query.metric: float(value)},
+        extra={"mc_runs": budget.mc_runs},
+        raw=float(value),
+    )

@@ -1,0 +1,238 @@
+"""Typed query objects — the request side of the session API.
+
+Every algorithm of the reproduction is asked for through one of three
+immutable query shapes instead of positional-kwarg soup:
+
+* :class:`BoostQuery` — "given seed set ``S``, pick ``k`` nodes to boost"
+  (PRR-Boost, PRR-Boost-LB, MC-greedy, the four heuristic baselines),
+* :class:`SeedQuery` — "pick ``k`` seed nodes" (IMM, SSA, and the cheap
+  degree/random strategies),
+* :class:`EvalQuery` — "Monte-Carlo evaluate ``σ_S(B)`` or ``Δ_S(B)``".
+
+All three share a :class:`SamplingBudget` (sample caps, accuracy knobs,
+Monte-Carlo runs, worker count) and an ``algorithm`` key resolved through
+:mod:`repro.api.registry`.  Queries are frozen dataclasses with
+normalized, hashable fields, so they serialize to/from JSON losslessly
+(:meth:`to_dict` / :func:`query_from_dict`) — the shape the ``repro
+query`` batch subcommand and any future serving layer speak.
+
+``rng_seed`` pins the query's RNG stream for reproducibility; leaving it
+``None`` means the caller supplies a live generator to
+:meth:`repro.api.Session.run` (the legacy free functions do exactly
+that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "SamplingBudget",
+    "BoostQuery",
+    "SeedQuery",
+    "EvalQuery",
+    "Query",
+    "query_from_dict",
+]
+
+
+def _node_tuple(nodes: Optional[Iterable[int]]) -> Tuple[int, ...]:
+    """Normalize a node collection to a sorted tuple of unique ints."""
+    if nodes is None:
+        return ()
+    return tuple(sorted({int(v) for v in nodes}))
+
+
+@dataclass(frozen=True)
+class SamplingBudget:
+    """How much work a query may spend, in one shared shape.
+
+    Attributes
+    ----------
+    max_samples:
+        Cap on sampled sets (PRR-graphs / critical sets / RR-sets).
+    epsilon, ell:
+        Accuracy/confidence parameters of the sampling phases (the
+        paper's experiments use ``ε = 0.5``, ``ℓ = 1``).
+    mc_runs:
+        Monte-Carlo simulations for evaluation queries and for
+        candidate-set ranking inside the baselines.
+    workers:
+        ``> 1`` dispatches sampling to the shared-memory parallel runtime
+        (:mod:`repro.core.parallel`) on fork platforms; ``None``/``1``
+        stays serial.  Fork-less platforms silently fall back to serial.
+    """
+
+    max_samples: int = 200_000
+    epsilon: float = 0.5
+    ell: float = 1.0
+    mc_runs: int = 1000
+    workers: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_samples": int(self.max_samples),
+            "epsilon": float(self.epsilon),
+            "ell": float(self.ell),
+            "mc_runs": int(self.mc_runs),
+            "workers": None if self.workers is None else int(self.workers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamplingBudget":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown budget fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+def _params_tuple(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize the free-form params mapping to a sorted, hashable tuple."""
+    if not params:
+        return ()
+    return tuple(sorted((str(k), params[k]) for k in params))
+
+
+@dataclass(frozen=True)
+class _BaseQuery:
+    """Shared fields + serialization of the three query shapes."""
+
+    algorithm: str = ""
+    budget: Optional[SamplingBudget] = None
+    rng_seed: Optional[int] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    kind = ""  # overridden per subclass; the "type" tag in JSON
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _params_tuple(dict(self.params)))
+        if self.budget is not None and not isinstance(self.budget, SamplingBudget):
+            object.__setattr__(self, "budget", SamplingBudget.from_dict(self.budget))
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": self.kind, "algorithm": self.algorithm}
+        if self.budget is not None:
+            out["budget"] = self.budget.to_dict()
+        if self.rng_seed is not None:
+            out["rng_seed"] = int(self.rng_seed)
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+
+@dataclass(frozen=True)
+class BoostQuery(_BaseQuery):
+    """Pick ``k`` nodes to boost, given the fixed seed set ``S``."""
+
+    seeds: Tuple[int, ...] = ()
+    k: int = 1
+    algorithm: str = "prr_boost"
+
+    kind = "boost"
+
+    def __post_init__(self) -> None:
+        _BaseQuery.__post_init__(self)
+        object.__setattr__(self, "seeds", _node_tuple(self.seeds))
+        object.__setattr__(self, "k", int(self.k))
+        if not self.seeds:
+            raise ValueError("BoostQuery requires a non-empty seed set")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = _BaseQuery.to_dict(self)
+        out["seeds"] = list(self.seeds)
+        out["k"] = self.k
+        return out
+
+
+@dataclass(frozen=True)
+class SeedQuery(_BaseQuery):
+    """Pick ``k`` seed nodes (classical influence maximization)."""
+
+    k: int = 1
+    algorithm: str = "imm"
+
+    kind = "seed"
+
+    def __post_init__(self) -> None:
+        _BaseQuery.__post_init__(self)
+        object.__setattr__(self, "k", int(self.k))
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = _BaseQuery.to_dict(self)
+        out["k"] = self.k
+        return out
+
+
+@dataclass(frozen=True)
+class EvalQuery(_BaseQuery):
+    """Monte-Carlo evaluate a boost set: ``Δ_S(B)`` or ``σ_S(B)``.
+
+    ``metric`` is ``"boost"`` (the common-random-number ``Δ`` estimator)
+    or ``"sigma"`` (the boosted spread itself).
+    """
+
+    seeds: Tuple[int, ...] = ()
+    boost: Tuple[int, ...] = ()
+    metric: str = "boost"
+    algorithm: str = "evaluate"
+
+    kind = "eval"
+
+    def __post_init__(self) -> None:
+        _BaseQuery.__post_init__(self)
+        object.__setattr__(self, "seeds", _node_tuple(self.seeds))
+        object.__setattr__(self, "boost", _node_tuple(self.boost))
+        if not self.seeds:
+            raise ValueError("EvalQuery requires a non-empty seed set")
+        if self.metric not in ("boost", "sigma"):
+            raise ValueError("metric must be 'boost' or 'sigma'")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = _BaseQuery.to_dict(self)
+        out["seeds"] = list(self.seeds)
+        out["boost"] = list(self.boost)
+        out["metric"] = self.metric
+        return out
+
+
+Query = Union[BoostQuery, SeedQuery, EvalQuery]
+
+_KINDS = {"boost": BoostQuery, "seed": SeedQuery, "eval": EvalQuery}
+
+
+def query_from_dict(data: Mapping[str, Any]) -> Query:
+    """Rebuild a query from its :meth:`to_dict` form (the JSON wire shape).
+
+    ``data["type"]`` selects the query class; remaining keys map to the
+    dataclass fields, with ``budget`` given as a nested mapping.  Raises
+    ``ValueError`` on unknown types or fields so batch files fail loudly.
+    """
+    data = dict(data)
+    kind = data.pop("type", None)
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown query type {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    cls = _KINDS[kind]
+    if "budget" in data and data["budget"] is not None:
+        data["budget"] = SamplingBudget.from_dict(data["budget"])
+    if "params" in data and data["params"] is not None:
+        data["params"] = dict(data["params"])
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} query fields: {sorted(unknown)} "
+            f"(expected a subset of {sorted(known)})"
+        )
+    return cls(**data)

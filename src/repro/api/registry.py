@@ -1,0 +1,65 @@
+"""String-keyed algorithm registry for the session API.
+
+Every algorithm reachable through :meth:`repro.api.Session.run` is a
+*handler* registered under a short name.  A handler has the signature::
+
+    handler(session, query, rng) -> QueryResult
+
+where ``session`` grants access to the warm graph/engine/scratch state,
+``query`` is the typed query object, and ``rng`` is the resolved
+generator for this run.  Handlers fill the algorithm-specific envelope
+fields (``selected``/``estimates``/``num_samples``/``extra``/``raw``);
+the session stamps ``timings``/``fingerprint``/``query`` afterwards.
+
+Built-ins are registered by :mod:`repro.api.algorithms` (PRR-Boost,
+PRR-Boost-LB, IMM, SSA, MC-greedy, the four Section-VII baselines, and
+the ``evaluate`` handler behind :class:`~repro.api.queries.EvalQuery`).
+Third-party algorithms plug in with::
+
+    from repro.api import register_algorithm
+
+    @register_algorithm("my_algo")
+    def _run_my_algo(session, query, rng):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["register_algorithm", "get_algorithm", "algorithm_names"]
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_algorithm(name: str, handler: Callable | None = None):
+    """Register ``handler`` under ``name`` (usable as a decorator).
+
+    Re-registering an existing name replaces the handler — deliberate, so
+    applications can shadow a built-in with an instrumented variant.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("algorithm name must be a non-empty string")
+
+    def _register(fn: Callable) -> Callable:
+        _REGISTRY[name] = fn
+        return fn
+
+    if handler is not None:
+        return _register(handler)
+    return _register
+
+
+def get_algorithm(name: str) -> Callable:
+    """The handler registered under ``name`` (KeyError with the catalog)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    """Sorted names of every registered algorithm."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,100 @@
+"""The uniform result envelope returned by every session query.
+
+One shape replaces the ``BoostResult`` / ``IMMResult`` / ``SSAResult`` /
+bare-list zoo at the API boundary: selected nodes, named objective
+estimates, sample counts, timings and a reproducibility fingerprint, all
+JSON-serializable (:meth:`QueryResult.to_dict` / :meth:`to_json`).
+
+The legacy result object stays reachable as :attr:`QueryResult.raw` for
+callers that need algorithm internals (the thin free-function wrappers
+return exactly that), but it is never serialized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["QueryResult"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and containers to plain JSON types."""
+    if hasattr(value, "tolist"):
+        # Covers numpy arrays (-> nested lists) and numpy scalars
+        # (-> Python scalars) alike.
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one :meth:`repro.api.Session.run` call.
+
+    Attributes
+    ----------
+    algorithm:
+        The registry key that produced this result.
+    selected:
+        The chosen node set (boost set, seed set, or empty for pure
+        evaluation queries), sorted where the algorithm sorts.
+    estimates:
+        Named objective estimates (e.g. ``{"boost": ..., "mu": ...,
+        "delta": ...}`` for PRR-Boost, ``{"influence": ...}`` for IMM,
+        ``{"sigma": ...}`` for an eval query).
+    num_samples:
+        Sampled sets drawn (0 for purely simulated/heuristic queries).
+    timings:
+        Wall-clock seconds by stage; ``"total"`` always present.
+    fingerprint:
+        Hex digest binding the query (algorithm + budget + rng_seed), the
+        graph signature and the package version — two runs with equal
+        fingerprints and an explicit ``rng_seed`` return identical
+        results.
+    query:
+        The query's :meth:`to_dict` form (round-trippable).
+    extra:
+        Algorithm-specific JSON-serializable extras (collection stats,
+        candidate sets, SSA rounds, ...).
+    raw:
+        The legacy result object (``BoostResult``/``IMMResult``/...),
+        excluded from serialization.
+    """
+
+    algorithm: str
+    selected: List[int]
+    estimates: Dict[str, float] = field(default_factory=dict)
+    num_samples: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+    fingerprint: str = ""
+    query: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable envelope (everything but :attr:`raw`)."""
+        return {
+            "algorithm": self.algorithm,
+            "selected": [int(v) for v in self.selected],
+            "estimates": {k: float(v) for k, v in self.estimates.items()},
+            "num_samples": int(self.num_samples),
+            "timings": {k: float(v) for k, v in self.timings.items()},
+            "fingerprint": self.fingerprint,
+            "query": _jsonable(self.query),
+            "extra": _jsonable(self.extra),
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def fingerprint_of(payload: Dict[str, Any]) -> str:
+    """Stable hex digest of a JSON-serializable run descriptor."""
+    blob = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]

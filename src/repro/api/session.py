@@ -1,0 +1,280 @@
+"""The session facade: one warm surface over engine, runtime and algorithms.
+
+A :class:`Session` binds a :class:`~repro.graphs.digraph.DiGraph` to all
+the state that is expensive to build and cheap to keep:
+
+* the graph's :class:`~repro.engine.SamplingEngine` (CSR views, per-edge
+  hash bases and Bernoulli thresholds, reusable stamp/lane buffers) —
+  built eagerly at session open, so the first query is as fast as the
+  hundredth,
+* the shared-memory parallel runtime (:mod:`repro.core.parallel`) for
+  queries with ``workers > 1`` — spun up on first use (or pre-warmed by
+  :meth:`run_many`), torn down by :meth:`close`,
+* recycled :class:`~repro.engine.coverage.CoverageIndex` /
+  :class:`~repro.core.prr.PRRArena` scratch for the selection-heavy
+  algorithms, cleared between queries instead of re-allocated.
+
+Queries are typed objects (:mod:`repro.api.queries`) dispatched through
+the string-keyed registry (:mod:`repro.api.registry`); every answer is a
+uniform, JSON-serializable :class:`~repro.api.result.QueryResult`.
+
+Sessions are context managers::
+
+    with Session(graph) as session:
+        seeds = session.run(SeedQuery(k=20, rng_seed=7)).selected
+        boost = session.run(BoostQuery(seeds=seeds, k=50, rng_seed=7))
+        delta = session.run(EvalQuery(seeds=seeds, boost=boost.selected,
+                                      rng_seed=7))
+
+Lifecycle contract: :meth:`close` is idempotent, releases the worker
+pool and its shared-memory segments (when this session's graph owns
+them), and any later :meth:`run` raises ``RuntimeError``.  Sessions are
+not thread-safe — the warm scratch and the engine's stamp buffers are
+shared mutable state; use one session per thread.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine import SamplingEngine
+from ..engine.coverage import CoverageIndex
+from ..graphs.digraph import DiGraph
+from .queries import Query, SamplingBudget
+from .registry import get_algorithm
+from .result import QueryResult, fingerprint_of
+
+__all__ = ["Session"]
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ defines __version__ *after* it
+    # imports this package, so the attribute only exists at query time.
+    from .. import __version__
+
+    return __version__
+
+
+class Session:
+    """A warm query facade bound to one influence graph.
+
+    Parameters
+    ----------
+    graph:
+        The influence graph every query of this session runs against.
+    budget:
+        Session-wide default :class:`SamplingBudget`, used by queries
+        that do not carry their own.
+    manage_runtime:
+        When True (default), :meth:`close` tears down the shared-memory
+        parallel runtime if it is bound to this session's graph.  The
+        legacy free-function wrappers pass False so a throwaway
+        per-call session never kills the warm pool between calls.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        budget: Optional[SamplingBudget] = None,
+        manage_runtime: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.default_budget = budget if budget is not None else SamplingBudget()
+        self._manage_runtime = bool(manage_runtime)
+        self._closed = False
+        self.queries_run = 0
+        # Warm the engine now: CSR views, splitmix64 hash bases, integer
+        # thresholds and scratch planes are built once per graph and every
+        # query (and every other session on the same graph) reuses them.
+        self.engine = SamplingEngine.for_graph(graph)
+        self._scratch_index: Optional[CoverageIndex] = None
+        self._scratch_arena = None  # repro.core.prr.PRRArena, built lazily
+        self._candidates_cache: dict = {}
+        src, dst, p, pp = graph.edge_arrays()
+        self._graph_signature = {
+            "n": int(graph.n),
+            "m": int(graph.m),
+            "p_sum": round(float(p.sum()), 9),
+            "pp_sum": round(float(pp.sum()), 9),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release session state (idempotent).
+
+        Drops the recycled scratch and — for runtime-managing sessions —
+        shuts down the shared-memory worker pool when it is bound to this
+        session's graph, unlinking the published graph segment and any
+        in-flight result segments.  The engine stays cached on the graph
+        (it is plain process-local memory shared by design).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._scratch_index = None
+        self._scratch_arena = None
+        self._candidates_cache.clear()
+        if self._manage_runtime:
+            from ..core.parallel import shutdown_runtime_for
+
+            shutdown_runtime_for(self.graph)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Warm scratch
+    # ------------------------------------------------------------------
+    def scratch_index(self) -> CoverageIndex:
+        """A cleared coverage index, recycled across this session's queries.
+
+        Handlers whose results never alias the index (PRR-Boost's μ arm)
+        use this instead of allocating; handlers that hand sample views to
+        the caller (IMM/SSA's ``samples``) must NOT — they allocate their
+        own so results outlive the next query.
+        """
+        self._check_open()
+        if self._scratch_index is None:
+            self._scratch_index = CoverageIndex(self.graph.n)
+        else:
+            self._scratch_index.clear()
+        return self._scratch_index
+
+    def scratch_arena(self):
+        """A cleared PRR arena, recycled across this session's queries."""
+        self._check_open()
+        from ..core.prr import PRRArena
+
+        if self._scratch_arena is None:
+            self._scratch_arena = PRRArena(self.graph.n)
+        else:
+            self._scratch_arena.clear()
+        return self._scratch_arena
+
+    def candidates_for(self, seeds) -> set:
+        """The non-seed candidate pool for ``seeds``, cached per seed set.
+
+        Serving traffic repeats queries against a handful of seed sets;
+        deriving ``{0..n-1} - seeds`` is O(n) per call, so the warm
+        session memoizes it.  Consumers treat the pool as read-only
+        (mask building and membership tests), so sharing one set object
+        is safe and output-identical.
+        """
+        self._check_open()
+        key = tuple(seeds)
+        pool = self._candidates_cache.get(key)
+        if pool is None:
+            seed_set = set(key)
+            pool = {v for v in range(self.graph.n) if v not in seed_set}
+            if len(self._candidates_cache) >= 16:
+                self._candidates_cache.clear()
+            self._candidates_cache[key] = pool
+        return pool
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def resolve_budget(self, query: Query) -> SamplingBudget:
+        """The budget a query runs under (its own, else the session's)."""
+        return query.budget if query.budget is not None else self.default_budget
+
+    def _effective_workers(self, queries: Sequence[Query]) -> int:
+        from ..core.parallel import resolve_sampler_workers
+
+        best = 1
+        for query in queries:
+            budget = self.resolve_budget(query)
+            best = max(best, resolve_sampler_workers(budget.workers))
+        return best
+
+    def ensure_runtime(self, workers: Optional[int] = None) -> bool:
+        """Pre-warm the shared-memory pool for ``workers`` (fork platforms).
+
+        Returns whether a pool is (now) running for this graph; serial
+        configurations and fork-less platforms return False and stay
+        serial — queries then fall back transparently.
+        """
+        self._check_open()
+        from ..core.parallel import (
+            fork_available,
+            get_runtime,
+            resolve_sampler_workers,
+        )
+
+        effective = resolve_sampler_workers(workers)
+        if effective <= 1 or not fork_available():
+            return False
+        get_runtime(self.graph, effective)
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self, query: Query, rng: Optional[np.random.Generator] = None
+    ) -> QueryResult:
+        """Answer one typed query on the warm state.
+
+        RNG resolution: an explicit ``query.rng_seed`` always wins (the
+        reproducible, serializable form); otherwise the ambient ``rng``
+        is consumed — the legacy free functions pass their caller's live
+        generator through, which is what keeps wrapper results
+        bit-for-bit identical to the pre-session API; with neither, the
+        query runs on fresh OS entropy.
+        """
+        self._check_open()
+        handler = get_algorithm(query.algorithm)
+        if query.rng_seed is not None:
+            rng = np.random.default_rng(query.rng_seed)
+        elif rng is None:
+            rng = np.random.default_rng()
+        start = time.perf_counter()
+        result = handler(self, query, rng)
+        result.timings["total"] = time.perf_counter() - start
+        result.query = query.to_dict()
+        result.fingerprint = fingerprint_of(
+            {
+                "query": result.query,
+                "budget": self.resolve_budget(query).to_dict(),
+                "graph": self._graph_signature,
+                "version": _package_version(),
+            }
+        )
+        self.queries_run += 1
+        return result
+
+    def run_many(
+        self,
+        queries: Iterable[Query],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[QueryResult]:
+        """Answer a batch of queries on shared warm state.
+
+        The worker pool is pre-warmed once for the largest worker count
+        any query in the batch asks for, so the first parallel query does
+        not pay pool startup.  Queries with an explicit ``rng_seed`` run
+        on their own reproducible stream; the rest consume the ambient
+        ``rng`` in batch order (or fresh entropy when none is given).
+        """
+        self._check_open()
+        batch = list(queries)
+        workers = self._effective_workers(batch)
+        if workers > 1:
+            self.ensure_runtime(workers)
+        return [self.run(query, rng=rng) for query in batch]

@@ -7,20 +7,37 @@ Subcommands::
     python -m repro.cli compare  --dataset digg-like --k 25
     python -m repro.cli tree     --nodes 255 --k 8 --epsilon 0.5
     python -m repro.cli budget   --dataset flixster-like --cost-ratio 20
+    python -m repro.cli query    --dataset digg-like --file queries.json --json
 
-Every subcommand accepts ``--seed`` for reproducibility.
+Every subcommand accepts ``--seed`` for reproducibility; ``boost``,
+``compare``, ``budget`` and ``query`` accept ``--workers N`` to run the
+sampling phases on the shared-memory parallel runtime.
+
+The ``query`` subcommand is the batch form of the session API: it reads
+a JSON list of typed queries (the :func:`repro.api.query_from_dict`
+shape), answers all of them in one warm :class:`repro.api.Session`, and
+prints either a summary table or (``--json``) the full
+:class:`~repro.api.QueryResult` envelopes::
+
+    [
+      {"type": "seed",  "algorithm": "imm", "k": 10, "rng_seed": 1},
+      {"type": "boost", "algorithm": "prr_boost", "seeds": [3, 14], "k": 20,
+       "budget": {"max_samples": 5000}},
+      {"type": "eval",  "seeds": [3, 14], "boost": [1, 2], "metric": "boost"}
+    ]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
-from .core import prr_boost, prr_boost_lb
+from .api import BoostQuery, EvalQuery, SamplingBudget, SeedQuery, Session, query_from_dict
 from .datasets import DATASETS, dataset_names, load_dataset
-from .engine import SamplingEngine
 from .experiments import (
     budget_allocation_experiment,
     compare_algorithms,
@@ -29,7 +46,6 @@ from .experiments import (
     make_workload,
     tree_comparison,
 )
-from .im import imm
 
 __all__ = ["main"]
 
@@ -46,21 +62,42 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _cmd_boost(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = load_dataset(args.dataset, seed=args.seed)
-    seeds = imm(graph, args.seeds, rng, max_samples=args.max_samples).chosen
-    algo = prr_boost_lb if args.lb else prr_boost
-    result = algo(graph, seeds, args.k, rng, max_samples=args.max_samples)
-    # Evaluate both estimates on the graph's batch engine: the Monte Carlo
-    # worlds stream through one reusable set of traversal buffers.
-    engine = SamplingEngine.for_graph(graph)
-    boost = engine.estimate_boost(seeds, result.boost_set, rng, runs=args.mc_runs)
-    sigma0 = engine.estimate_sigma(seeds, set(), rng, runs=args.mc_runs)
+    sample_budget = SamplingBudget(
+        max_samples=args.max_samples, workers=args.workers
+    )
+    mc_budget = SamplingBudget(mc_runs=args.mc_runs)
+    # One warm session drives seed selection, boosting and both Monte
+    # Carlo evaluations; close() releases the worker pool (if any).
+    with Session(graph) as session:
+        seeds = session.run(
+            SeedQuery(algorithm="imm", k=args.seeds, budget=sample_budget),
+            rng=rng,
+        ).selected
+        result = session.run(
+            BoostQuery(
+                algorithm="prr_boost_lb" if args.lb else "prr_boost",
+                seeds=seeds,
+                k=args.k,
+                budget=sample_budget,
+            ),
+            rng=rng,
+        )
+        boost = session.run(
+            EvalQuery(seeds=seeds, boost=result.selected, metric="boost",
+                      budget=mc_budget),
+            rng=rng,
+        ).estimates["boost"]
+        sigma0 = session.run(
+            EvalQuery(seeds=seeds, metric="sigma", budget=mc_budget),
+            rng=rng,
+        ).estimates["sigma"]
     print(f"dataset        : {args.dataset} (n={graph.n}, m={graph.m})")
     print(f"seeds (IMM)    : {len(seeds)}")
     print(f"algorithm      : {'PRR-Boost-LB' if args.lb else 'PRR-Boost'}")
-    print(f"boost set      : {result.boost_set}")
+    print(f"boost set      : {result.selected}")
     print(f"spread w/o B   : {sigma0:.1f}")
     print(f"boost (MC)     : {boost:.1f}  (+{100 * boost / sigma0:.1f}%)")
-    print(f"selection time : {result.elapsed_seconds:.2f}s")
+    print(f"selection time : {result.timings['select']:.2f}s")
     return 0
 
 
@@ -68,10 +105,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = load_dataset(args.dataset, seed=args.seed)
     workload = make_workload(
-        args.dataset, graph, args.seeds, args.seed_mode, rng, mc_runs=args.mc_runs
+        args.dataset, graph, args.seeds, args.seed_mode, rng,
+        mc_runs=args.mc_runs, workers=args.workers,
     )
     runs = compare_algorithms(
-        workload, args.k, rng, mc_runs=args.mc_runs, max_samples=args.max_samples
+        workload, args.k, rng, mc_runs=args.mc_runs,
+        max_samples=args.max_samples, workers=args.workers,
     )
     runs.sort(key=lambda r: -r.boost)
     rows = [
@@ -104,6 +143,7 @@ def _cmd_budget(args: argparse.Namespace) -> int:
         rng=rng,
         mc_runs=args.mc_runs,
         max_samples=args.max_samples,
+        workers=args.workers,
     )
     rows = [
         [f"{p.seed_fraction:.0%}", p.num_seeds, p.num_boosts, f"{p.spread:.1f}"]
@@ -111,6 +151,47 @@ def _cmd_budget(args: argparse.Namespace) -> int:
     ]
     print(format_table(["seed budget", "#seeds", "#boosts", "spread"], rows))
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    text = sys.stdin.read() if args.file == "-" else Path(args.file).read_text()
+    data = json.loads(text)
+    if isinstance(data, dict):
+        data = data.get("queries", [data])
+    if not isinstance(data, list):
+        raise SystemExit("query batch must be a JSON list (or {'queries': [...]})")
+    queries = [query_from_dict(entry) for entry in data]
+    graph = load_dataset(args.dataset, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    default_budget = SamplingBudget(
+        max_samples=args.max_samples, mc_runs=args.mc_runs,
+        workers=args.workers,
+    )
+    with Session(graph, budget=default_budget) as session:
+        results = session.run_many(queries, rng=rng)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        rows = []
+        for r in results:
+            estimates = (
+                "  ".join(f"{k}={v:.2f}" for k, v in r.estimates.items()) or "-"
+            )
+            rows.append([
+                r.algorithm, len(r.selected), estimates, r.num_samples,
+                f"{r.timings['total']:.2f}s",
+            ])
+        print(format_table(
+            ["algorithm", "|selected|", "estimates", "samples", "time"], rows
+        ))
+    return 0
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="sampling workers on the shared-memory runtime (default serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_boost.add_argument("--lb", action="store_true", help="use PRR-Boost-LB")
     p_boost.add_argument("--max-samples", type=int, default=10_000)
     p_boost.add_argument("--mc-runs", type=int, default=1000)
+    _add_workers(p_boost)
 
     p_cmp = sub.add_parser("compare", help="compare all six algorithms")
     p_cmp.add_argument("--dataset", choices=dataset_names(), default="digg-like")
@@ -139,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="influential")
     p_cmp.add_argument("--max-samples", type=int, default=4000)
     p_cmp.add_argument("--mc-runs", type=int, default=500)
+    _add_workers(p_cmp)
 
     p_tree = sub.add_parser("tree", help="Greedy-Boost vs DP-Boost on a tree")
     p_tree.add_argument("--nodes", type=int, default=255)
@@ -153,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_budget.add_argument("--cost-ratio", type=int, default=20)
     p_budget.add_argument("--max-samples", type=int, default=4000)
     p_budget.add_argument("--mc-runs", type=int, default=500)
+    _add_workers(p_budget)
+
+    p_query = sub.add_parser(
+        "query", help="answer a JSON batch of typed queries in one session"
+    )
+    p_query.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_query.add_argument(
+        "--file", default="-",
+        help="JSON file holding the query list ('-' reads stdin)",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="print full QueryResult envelopes as JSON (default: summary table)",
+    )
+    p_query.add_argument(
+        "--max-samples", type=int, default=10_000,
+        help="default budget for queries that do not carry one",
+    )
+    p_query.add_argument("--mc-runs", type=int, default=1000)
+    _add_workers(p_query)
 
     return parser
 
@@ -163,6 +266,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "tree": _cmd_tree,
     "budget": _cmd_budget,
+    "query": _cmd_query,
 }
 
 

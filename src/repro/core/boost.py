@@ -51,7 +51,15 @@ from .estimator import (
 from .parallel import PARALLEL_MIN_SAMPLES, resolve_sampler_workers
 from .prr import PRRArena, PRRGraph, sample_prr_lanes
 
-__all__ = ["BoostResult", "prr_boost", "prr_boost_lb", "PRRSampler", "CriticalSetSampler"]
+__all__ = [
+    "BoostResult",
+    "prr_boost",
+    "prr_boost_core",
+    "prr_boost_lb",
+    "prr_boost_lb_core",
+    "PRRSampler",
+    "CriticalSetSampler",
+]
 
 
 class PRRSampler:
@@ -78,12 +86,15 @@ class PRRSampler:
         seeds: Set[int],
         k: int,
         workers: Optional[int] = None,
+        arena: Optional[PRRArena] = None,
     ) -> None:
         self.graph = graph
         self.seeds = frozenset(seeds)
         self.k = k
         self.n = graph.n
-        self.arena = PRRArena(graph.n)
+        # A warm session may hand in a recycled (cleared) arena so repeated
+        # queries skip the allocation; an empty arena behaves identically.
+        self.arena = PRRArena(graph.n) if arena is None else arena
         self.workers = resolve_sampler_workers(workers)
 
     @property
@@ -214,18 +225,19 @@ class BoostResult:
     elapsed_seconds: float = 0.0
 
 
-def _validate(graph: DiGraph, seeds, k: int):
+def _validate(graph: DiGraph, seeds, k: int, candidates=None):
     seed_set = set(int(s) for s in seeds)
     if not seed_set:
         raise ValueError("seed set must be non-empty")
     if k <= 0:
         raise ValueError("k must be positive")
-    candidates = {v for v in range(graph.n) if v not in seed_set}
+    if candidates is None:
+        candidates = {v for v in range(graph.n) if v not in seed_set}
     k = min(k, max(len(candidates), 1))  # budgets beyond the pool are moot
     return seed_set, candidates, k
 
 
-def prr_boost(
+def prr_boost_core(
     graph: DiGraph,
     seeds: Sequence[int] | Set[int],
     k: int,
@@ -235,8 +247,16 @@ def prr_boost(
     max_samples: int = 200_000,
     selection: str = "vectorized",
     workers: int | None = None,
+    index: Optional[CoverageIndex] = None,
+    arena: Optional[PRRArena] = None,
+    candidates: Optional[Set[int]] = None,
 ) -> BoostResult:
     """Run PRR-Boost (Algorithm 2) and return the sandwich solution.
+
+    This is the algorithm body; :func:`prr_boost` is the legacy-shaped
+    entry point (a thin wrapper over a throwaway
+    :class:`repro.api.Session`), and the session API dispatches here
+    directly with its warm scratch state.
 
     Parameters
     ----------
@@ -260,12 +280,20 @@ def prr_boost(
         With ``workers > 1`` (and fork available) the sampling phases
         dispatch to the persistent shared-memory runtime of
         :mod:`repro.core.parallel`; selection stays in-process.
+    index, arena:
+        Optional *empty* scratch containers to run on — a warm
+        :class:`repro.api.Session` passes recycled ones so repeated
+        queries skip allocation; results are identical either way.
+    candidates:
+        Optional precomputed candidate pool (all non-seed nodes) — the
+        session caches it per seed set.  Content must equal the derived
+        pool; it is never mutated.
     """
     start = time.perf_counter()
-    seed_set, candidates, k = _validate(graph, seeds, k)
+    seed_set, candidates, k = _validate(graph, seeds, k, candidates)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
-    sampler = PRRSampler(graph, seed_set, k, workers=workers)
+    sampler = PRRSampler(graph, seed_set, k, workers=workers, arena=arena)
 
     if selection == "legacy":
         critical_sets = imm_sampling(
@@ -284,7 +312,8 @@ def prr_boost(
         num_samples = len(prr_graphs)
         stats = collection_stats(prr_graphs)
     else:
-        index = CoverageIndex(graph.n)
+        if index is None:
+            index = CoverageIndex(graph.n)
         imm_sampling(
             sampler, k, epsilon, ell_prime, rng, candidates=candidates,
             max_samples=max_samples, index=index,
@@ -319,7 +348,7 @@ def prr_boost(
     )
 
 
-def prr_boost_lb(
+def prr_boost_lb_core(
     graph: DiGraph,
     seeds: Sequence[int] | Set[int],
     k: int,
@@ -329,16 +358,20 @@ def prr_boost_lb(
     max_samples: int = 200_000,
     selection: str = "vectorized",
     workers: int | None = None,
+    index: Optional[CoverageIndex] = None,
+    candidates: Optional[Set[int]] = None,
 ) -> BoostResult:
     """Run PRR-Boost-LB: maximize only the lower bound ``μ``.
 
     Same approximation factor as PRR-Boost but faster generation and far
     lower memory, because each sample is just a (typically tiny) critical
     node set.  ``workers > 1`` dispatches sampling to the shared-memory
-    runtime like :func:`prr_boost`.
+    runtime like :func:`prr_boost`; ``index``/``candidates`` are the
+    optional warm-session scratch (see :func:`prr_boost_core`).
+    :func:`prr_boost_lb` is the legacy-shaped wrapper.
     """
     start = time.perf_counter()
-    seed_set, candidates, k = _validate(graph, seeds, k)
+    seed_set, candidates, k = _validate(graph, seeds, k, candidates)
 
     ell_prime = ell * (1.0 + np.log(3.0) / np.log(max(graph.n, 2)))
     sampler = CriticalSetSampler(graph, seed_set, workers=workers)
@@ -352,7 +385,8 @@ def prr_boost_lb(
         )
         num_samples = len(critical_sets)
     else:
-        index = CoverageIndex(graph.n)
+        if index is None:
+            index = CoverageIndex(graph.n)
         imm_sampling(
             sampler, k, epsilon, ell_prime, rng, candidates=candidates,
             max_samples=max_samples, index=index,
@@ -368,4 +402,84 @@ def prr_boost_lb(
         mu_estimate=mu_estimate,
         num_samples=num_samples,
         elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_boost_query(
+    algorithm: str,
+    graph: DiGraph,
+    seeds: Sequence[int] | Set[int],
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float,
+    ell: float,
+    max_samples: int,
+    selection: str,
+    workers: int | None,
+) -> BoostResult:
+    """Route a legacy free-function call through a throwaway session.
+
+    The session API is the single dispatch surface now; the legacy entry
+    points below build the equivalent typed query and run it on a
+    default (throwaway, shared-runtime) :class:`repro.api.Session`, so
+    both paths are one code path and stay bit-for-bit identical.
+    """
+    from ..api import BoostQuery, SamplingBudget, Session
+
+    query = BoostQuery(
+        algorithm=algorithm,
+        seeds=tuple(int(s) for s in seeds),
+        k=k,
+        budget=SamplingBudget(
+            max_samples=max_samples, epsilon=epsilon, ell=ell, workers=workers
+        ),
+        params={"selection": selection},
+    )
+    with Session(graph, manage_runtime=False) as session:
+        return session.run(query, rng=rng).raw
+
+
+def prr_boost(
+    graph: DiGraph,
+    seeds: Sequence[int] | Set[int],
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    max_samples: int = 200_000,
+    selection: str = "vectorized",
+    workers: int | None = None,
+) -> BoostResult:
+    """Run PRR-Boost (Algorithm 2) and return the sandwich solution.
+
+    Thin wrapper over a throwaway :class:`repro.api.Session` — see
+    :func:`prr_boost_core` for the parameters and the algorithm itself.
+    Long-lived callers should hold a session and submit
+    :class:`~repro.api.BoostQuery` objects instead.
+    """
+    return _run_boost_query(
+        "prr_boost", graph, seeds, k, rng,
+        epsilon, ell, max_samples, selection, workers,
+    )
+
+
+def prr_boost_lb(
+    graph: DiGraph,
+    seeds: Sequence[int] | Set[int],
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    max_samples: int = 200_000,
+    selection: str = "vectorized",
+    workers: int | None = None,
+) -> BoostResult:
+    """Run PRR-Boost-LB (lower bound only).
+
+    Thin wrapper over a throwaway :class:`repro.api.Session` — see
+    :func:`prr_boost_lb_core`.
+    """
+    return _run_boost_query(
+        "prr_boost_lb", graph, seeds, k, rng,
+        epsilon, ell, max_samples, selection, workers,
     )

@@ -59,6 +59,8 @@ __all__ = [
     "SharedGraphRuntime",
     "get_runtime",
     "shutdown_runtime",
+    "shutdown_runtime_for",
+    "runtime_is_alive",
     "fork_available",
     "resolve_sampler_workers",
     "PARALLEL_MIN_SAMPLES",
@@ -441,6 +443,26 @@ def shutdown_runtime() -> None:
     if _runtime is not None:
         _runtime.shutdown()
         _runtime = None
+
+
+def shutdown_runtime_for(graph) -> bool:
+    """Tear down the cached runtime iff it is bound to ``graph``.
+
+    The hook :meth:`repro.api.Session.close` uses to release worker
+    processes and shared-memory segments it is responsible for without
+    disturbing a runtime some other graph's caller still owns.  Returns
+    whether a runtime was shut down.
+    """
+    global _runtime
+    if _runtime is not None and _runtime.graph is graph:
+        shutdown_runtime()
+        return True
+    return False
+
+
+def runtime_is_alive(graph) -> bool:
+    """Whether the cached runtime exists, is open, and serves ``graph``."""
+    return _runtime is not None and not _runtime._closed and _runtime.graph is graph
 
 
 atexit.register(shutdown_runtime)

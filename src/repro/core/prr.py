@@ -660,6 +660,16 @@ class PRRArena:
         if n <= 0:
             raise ValueError("n must be positive")
         self.n = int(n)
+        self.clear()
+
+    def clear(self) -> None:
+        """Reset to the empty state (equivalent to a fresh arena over ``n``).
+
+        The one definition of "empty": ``__init__`` delegates here, and
+        warm facades (:class:`repro.api.Session`) call it to recycle one
+        arena across queries — a cleared arena is indistinguishable from
+        a new one to the samplers and estimators.
+        """
         self._roots = np.empty(0, dtype=np.int64)
         self._status = np.empty(0, dtype=np.int8)
         self._root_local = np.empty(0, dtype=np.int64)

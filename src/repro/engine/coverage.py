@@ -83,10 +83,6 @@ class CoverageIndex:
         if n <= 0:
             raise ValueError("n must be positive")
         self.n = int(n)
-        self._chunks: List[np.ndarray] = []
-        self._chunk_counts: List[int] = []  # per-set sizes (plain ints)
-        self._num_sets = 0
-        self._total_members = 0
         self._version = 0
         self._flat_version = -1
         self._flat: Tuple[np.ndarray, np.ndarray, np.ndarray] = (
@@ -99,6 +95,23 @@ class CoverageIndex:
             np.zeros(self.n + 1, dtype=np.int64),
             _EMPTY_I32,
         )
+        self.clear()
+
+    def clear(self) -> None:
+        """Reset to the empty state (equivalent to a fresh index over ``n``).
+
+        The one definition of "empty" (``__init__`` delegates here).
+        Warm facades (:class:`repro.api.Session`) recycle one index across
+        queries instead of re-allocating; a cleared index is
+        indistinguishable from a new one to every kernel — the version
+        bump invalidates the cached consolidated/inverted views — so
+        selection outputs are unaffected by recycling.
+        """
+        self._chunks: List[np.ndarray] = []
+        self._chunk_counts: List[int] = []  # per-set sizes (plain ints)
+        self._num_sets = 0
+        self._total_members = 0
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Appends
@@ -193,9 +206,18 @@ class CoverageIndex:
         if candidates is None:
             return None
         mask = np.zeros(self.n, dtype=bool)
-        ids = np.fromiter(
-            (int(c) for c in candidates if 0 <= int(c) < self.n), dtype=np.int64
-        )
+        if isinstance(candidates, np.ndarray):
+            ids = candidates.astype(np.int64, copy=False)
+        else:
+            try:
+                ids = np.fromiter(
+                    candidates, dtype=np.int64, count=len(candidates)
+                )
+            except (TypeError, ValueError):
+                ids = np.fromiter(
+                    (int(c) for c in candidates), dtype=np.int64
+                )
+        ids = ids[(ids >= 0) & (ids < self.n)]
         mask[ids] = True
         return mask
 

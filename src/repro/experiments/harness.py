@@ -3,27 +3,26 @@
 Each benchmark in ``benchmarks/`` calls one function from this package and
 prints the same rows/series the corresponding paper table or figure
 reports.  Everything is deterministic given the ``seed`` arguments.
+
+The harness runs on the session API: one warm
+:class:`~repro.api.Session` per workload dispatches every algorithm
+through the registry (PRR-Boost and PRR-Boost-LB as boost queries, the
+baselines with ``evaluate=False`` so candidate ranking stays the paired
+shared-world protocol below), which keeps RNG consumption — and thus
+every published number — identical to the pre-session free-function
+path.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
-from ..baselines import (
-    high_degree_global,
-    high_degree_local,
-    more_seeds_baseline,
-    pagerank_baseline,
-)
-from ..core.boost import prr_boost, prr_boost_lb
-from ..diffusion.simulator import estimate_boost, estimate_sigma
-from ..diffusion.worlds import WorldCollection
+from ..api import BoostQuery, EvalQuery, SamplingBudget, SeedQuery, Session
+from ..api.algorithms import rank_candidates
 from ..graphs.digraph import DiGraph
-from ..im.imm import imm
 
 __all__ = [
     "Workload",
@@ -53,6 +52,7 @@ def make_workload(
     rng: np.random.Generator,
     mc_runs: int = 500,
     imm_max_samples: int = 30_000,
+    workers: int | None = None,
 ) -> Workload:
     """Pick seeds (IMM-influential or uniform-random) and measure ``σ_S(∅)``.
 
@@ -60,16 +60,31 @@ def make_workload(
     IMM, or sets of random seeds (the paper uses 500 on the full-size
     graphs; scale down proportionally).  ``imm_max_samples`` caps the RR
     sampling for seed selection — seed quality saturates long before the
-    theoretical θ on these graph sizes.
+    theoretical θ on these graph sizes.  ``workers > 1`` draws the IMM
+    RR-sets on the shared-memory parallel runtime.
     """
-    if seed_mode == "influential":
-        result = imm(graph, num_seeds, rng, max_samples=imm_max_samples)
-        seeds = result.chosen
-    elif seed_mode == "random":
-        seeds = [int(v) for v in rng.choice(graph.n, size=num_seeds, replace=False)]
-    else:
+    if seed_mode not in ("influential", "random"):
         raise ValueError("seed_mode must be 'influential' or 'random'")
-    sigma_empty = estimate_sigma(graph, seeds, set(), rng, runs=mc_runs)
+    with Session(graph, manage_runtime=False) as session:
+        algorithm = "imm" if seed_mode == "influential" else "random"
+        seeds = session.run(
+            SeedQuery(
+                algorithm=algorithm,
+                k=num_seeds,
+                budget=SamplingBudget(
+                    max_samples=imm_max_samples, workers=workers
+                ),
+            ),
+            rng=rng,
+        ).selected
+        sigma_empty = session.run(
+            EvalQuery(
+                seeds=seeds,
+                metric="sigma",
+                budget=SamplingBudget(mc_runs=mc_runs),
+            ),
+            rng=rng,
+        ).estimates["sigma"]
     return Workload(
         name=name,
         graph=graph,
@@ -99,19 +114,25 @@ def _evaluate_candidates(
 ) -> tuple[List[int], float]:
     """Evaluate several boost sets on shared worlds; return the best.
 
-    Shared worlds (see :class:`repro.diffusion.worlds.WorldCollection`) make
-    the comparison a paired experiment, so candidate ordering is not at the
-    mercy of independent Monte Carlo draws.
+    Delegates to :func:`repro.api.algorithms.rank_candidates` — the one
+    paired-evaluation protocol shared with standalone baseline queries.
     """
-    if len(candidate_sets) == 1:
-        value = estimate_boost(
-            workload.graph, workload.seeds, candidate_sets[0], rng, runs=mc_runs
-        )
-        return list(candidate_sets[0]), value
-    worlds = WorldCollection(workload.graph, workload.seeds, rng, runs=mc_runs)
-    ranked = worlds.rank(candidate_sets)
-    best_idx, best_boost = ranked[0]
-    return list(candidate_sets[best_idx]), best_boost
+    return rank_candidates(
+        workload.graph, workload.seeds, candidate_sets, rng, mc_runs
+    )
+
+
+# Paper algorithm name -> (registry key, is_prr_family).  PRR queries get
+# the caller's epsilon; baselines keep their own defaults, exactly as the
+# free-function harness behaved.
+_ALGORITHM_KEYS = {
+    "PRR-Boost": ("prr_boost", True),
+    "PRR-Boost-LB": ("prr_boost_lb", True),
+    "HighDegreeGlobal": ("degree_global", False),
+    "HighDegreeLocal": ("degree_local", False),
+    "PageRank": ("pagerank", False),
+    "MoreSeeds": ("more_seeds", False),
+}
 
 
 def compare_algorithms(
@@ -129,54 +150,56 @@ def compare_algorithms(
     mc_runs: int = 1000,
     epsilon: float = 0.5,
     max_samples: int = 20_000,
+    workers: int | None = None,
 ) -> List[AlgorithmRun]:
     """Run the Figure 5/10 comparison at one value of ``k``.
 
     Every returned boost value comes from the same Monte Carlo evaluator so
     algorithms are compared fairly, as in the paper's protocol (which uses
-    20,000 simulations; pass a larger ``mc_runs`` to tighten).
+    20,000 simulations; pass a larger ``mc_runs`` to tighten).  With
+    ``workers > 1`` the PRR sampling phases run on the shared-memory
+    parallel runtime; selection and evaluation stay in-process.
     """
-    graph, seeds = workload.graph, workload.seeds
+    seeds = workload.seeds
+    prr_budget = SamplingBudget(
+        max_samples=max_samples, epsilon=epsilon, workers=workers
+    )
+    baseline_budget = SamplingBudget(
+        max_samples=max_samples, mc_runs=mc_runs, workers=workers
+    )
     runs: List[AlgorithmRun] = []
-    for algorithm in algorithms:
-        start = time.perf_counter()
-        extra: Dict[str, float] = {}
-        if algorithm == "PRR-Boost":
-            result = prr_boost(
-                graph, seeds, k, rng, epsilon=epsilon, max_samples=max_samples
-            )
-            candidate_sets = [result.boost_set]
-            extra["samples"] = float(result.num_samples)
-        elif algorithm == "PRR-Boost-LB":
-            result = prr_boost_lb(
-                graph, seeds, k, rng, epsilon=epsilon, max_samples=max_samples
-            )
-            candidate_sets = [result.boost_set]
-            extra["samples"] = float(result.num_samples)
-        elif algorithm == "HighDegreeGlobal":
-            candidate_sets = high_degree_global(graph, seeds, k)
-        elif algorithm == "HighDegreeLocal":
-            candidate_sets = high_degree_local(graph, seeds, k)
-        elif algorithm == "PageRank":
-            candidate_sets = [pagerank_baseline(graph, seeds, k)]
-        elif algorithm == "MoreSeeds":
-            candidate_sets = [
-                more_seeds_baseline(graph, seeds, k, rng, max_samples=max_samples)
-            ]
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
-        select_seconds = time.perf_counter() - start
-        boost_set, boost = _evaluate_candidates(workload, candidate_sets, rng, mc_runs)
-        runs.append(
-            AlgorithmRun(
-                algorithm=algorithm,
+    with Session(workload.graph, manage_runtime=False) as session:
+        for algorithm in algorithms:
+            if algorithm not in _ALGORITHM_KEYS:
+                raise ValueError(f"unknown algorithm {algorithm!r}")
+            key, is_prr = _ALGORITHM_KEYS[algorithm]
+            query = BoostQuery(
+                algorithm=key,
+                seeds=seeds,
                 k=k,
-                boost_set=boost_set,
-                boost=boost,
-                seconds=select_seconds,
-                extra=extra,
+                budget=prr_budget if is_prr else baseline_budget,
+                params={} if is_prr else {"evaluate": False},
             )
-        )
+            result = session.run(query, rng=rng)
+            extra: Dict[str, float] = {}
+            if is_prr:
+                candidate_sets: Sequence[List[int]] = [result.selected]
+                extra["samples"] = float(result.num_samples)
+            else:
+                candidate_sets = result.extra["candidate_sets"]
+            boost_set, boost = _evaluate_candidates(
+                workload, candidate_sets, rng, mc_runs
+            )
+            runs.append(
+                AlgorithmRun(
+                    algorithm=algorithm,
+                    k=k,
+                    boost_set=boost_set,
+                    boost=boost,
+                    seconds=result.timings["total"],
+                    extra=extra,
+                )
+            )
     return runs
 
 

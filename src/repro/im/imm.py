@@ -37,7 +37,15 @@ from ..engine.coverage import CoverageIndex
 from .greedy import legacy_greedy_max_coverage
 from .rr import RRSampler
 
-__all__ = ["SetSampler", "IMMResult", "imm_sampling", "imm", "log_binomial"]
+__all__ = [
+    "SetSampler",
+    "IMMResult",
+    "imm_sampling",
+    "imm",
+    "imm_core",
+    "estimate_influence",
+    "log_binomial",
+]
 
 
 class SetSampler(Protocol):
@@ -216,7 +224,7 @@ def imm_sampling(
     return index.sets_view()
 
 
-def imm(
+def imm_core(
     graph,
     k: int,
     rng: np.random.Generator,
@@ -232,6 +240,12 @@ def imm(
     expected influence spread of the chosen seeds under the IC model.
     ``workers > 1`` draws the RR-sets on the shared-memory parallel
     runtime (:mod:`repro.core.parallel`); selection stays in-process.
+
+    This is the algorithm body; :func:`imm` is the legacy-shaped wrapper
+    over a throwaway :class:`repro.api.Session`, and the session API
+    dispatches here.  The coverage index is always private to the call:
+    the returned ``samples`` view stays valid for as long as the caller
+    holds the result, so no warm-session scratch is recycled into it.
     """
     sampler = RRSampler(graph, workers=workers)
     if legacy_selection:
@@ -254,6 +268,36 @@ def imm(
         estimate=estimate,
         theta=len(samples),
     )
+
+
+def imm(
+    graph,
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    max_samples: int = 2_000_000,
+    legacy_selection: bool = False,
+    workers: int | None = None,
+) -> IMMResult:
+    """Classical influence maximization: select ``k`` seeds with IMM.
+
+    Thin wrapper over a throwaway :class:`repro.api.Session` — see
+    :func:`imm_core` for the algorithm.  Long-lived callers should hold
+    a session and submit :class:`~repro.api.SeedQuery` objects instead.
+    """
+    from ..api import SamplingBudget, SeedQuery, Session
+
+    query = SeedQuery(
+        algorithm="imm",
+        k=k,
+        budget=SamplingBudget(
+            max_samples=max_samples, epsilon=epsilon, ell=ell, workers=workers
+        ),
+        params={"legacy_selection": legacy_selection},
+    )
+    with Session(graph, manage_runtime=False) as session:
+        return session.run(query, rng=rng).raw
 
 
 def estimate_influence(

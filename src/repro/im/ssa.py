@@ -39,8 +39,9 @@ import numpy as np
 
 from ..engine.coverage import CoverageIndex
 from .imm import SetSampler, _extend_index
+from .rr import RRSampler
 
-__all__ = ["SSAResult", "ssa_sampling"]
+__all__ = ["SSAResult", "ssa_sampling", "ssa", "ssa_core"]
 
 
 @dataclass
@@ -110,3 +111,55 @@ def ssa_sampling(
                 rounds=rounds,
             )
         size = min(size * 2, max_samples)
+
+
+def ssa_core(
+    graph,
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.5,
+    initial_samples: int = 256,
+    max_samples: int = 200_000,
+    workers: int | None = None,
+) -> SSAResult:
+    """Classical influence maximization with SSA over RR-sets.
+
+    The RR-set sibling of :func:`repro.im.imm.imm_core`: runs the
+    stop-and-stare loop on an :class:`~repro.im.rr.RRSampler` and returns
+    the :class:`SSAResult` (held-out influence estimate included).
+    ``workers > 1`` draws RR-sets on the shared-memory parallel runtime.
+    """
+    sampler = RRSampler(graph, workers=workers)
+    return ssa_sampling(
+        sampler, k, epsilon, rng,
+        initial_samples=initial_samples, max_samples=max_samples,
+    )
+
+
+def ssa(
+    graph,
+    k: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.5,
+    initial_samples: int = 256,
+    max_samples: int = 200_000,
+    workers: int | None = None,
+) -> SSAResult:
+    """Select ``k`` seeds with SSA (Stop-and-Stare) over RR-sets.
+
+    Thin wrapper over a throwaway :class:`repro.api.Session` — see
+    :func:`ssa_core`.  Long-lived callers should hold a session and
+    submit ``SeedQuery(algorithm="ssa", ...)`` instead.
+    """
+    from ..api import SamplingBudget, SeedQuery, Session
+
+    query = SeedQuery(
+        algorithm="ssa",
+        k=k,
+        budget=SamplingBudget(
+            max_samples=max_samples, epsilon=epsilon, workers=workers
+        ),
+        params={"initial_samples": initial_samples},
+    )
+    with Session(graph, manage_runtime=False) as session:
+        return session.run(query, rng=rng).raw

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -28,6 +30,12 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_workers_flags(self):
+        for cmd in ("boost", "compare", "budget", "query"):
+            args = build_parser().parse_args([cmd, "--workers", "2"])
+            assert args.workers == 2
+            assert build_parser().parse_args([cmd]).workers is None
 
 
 class TestExecution:
@@ -105,3 +113,54 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "seed budget" in out
+
+
+class TestQueryCommand:
+    BATCH = [
+        {"type": "seed", "algorithm": "imm", "k": 4, "rng_seed": 1,
+         "budget": {"max_samples": 500}},
+        {"type": "boost", "algorithm": "prr_boost", "seeds": [3, 14], "k": 5,
+         "budget": {"max_samples": 400}, "rng_seed": 2},
+        {"type": "eval", "seeds": [3, 14], "boost": [1, 2],
+         "metric": "boost", "budget": {"mc_runs": 50}, "rng_seed": 3},
+    ]
+
+    def _write_batch(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(self.BATCH))
+        return str(path)
+
+    def test_table_output(self, tmp_path, capsys):
+        code = main(["query", "--file", self._write_batch(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prr_boost" in out
+        assert "evaluate" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        code = main(["query", "--file", self._write_batch(tmp_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["algorithm"] for r in payload] == [
+            "imm", "prr_boost", "evaluate"
+        ]
+        assert len(payload[1]["selected"]) == 5
+        assert payload[0]["query"]["rng_seed"] == 1
+        for envelope in payload:
+            assert envelope["fingerprint"]
+
+    def test_json_reproducible(self, tmp_path, capsys):
+        path = self._write_batch(tmp_path)
+        main(["query", "--file", path, "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["query", "--file", path, "--json"])
+        second = json.loads(capsys.readouterr().out)
+        for a, b in zip(first, second):
+            assert a["selected"] == b["selected"]
+            assert a["estimates"] == b["estimates"]
+
+    def test_rejects_malformed_batch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"type": "mystery"}]))
+        with pytest.raises(ValueError):
+            main(["query", "--file", str(path)])
