@@ -90,7 +90,7 @@ from .trees import sigma as tree_sigma
 # under its implementation name and the registry key it answers to.
 mc_greedy = mc_greedy_boost
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # session API

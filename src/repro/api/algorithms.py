@@ -52,6 +52,22 @@ from .result import QueryResult
 __all__: List[str] = ["rank_candidates"]
 
 
+def _require_ic(query) -> None:
+    """Guard for handlers specialized to the incoming-boost IC model.
+
+    The backward samplers (RR / PRR / critical sets) and the heuristics
+    built on them encode Definition 1's head-boosted semantics; asking
+    them for another model is a contract error, not a silent fallback.
+    ``evaluate`` and ``mc_greedy`` serve every registered model.
+    """
+    if query.model != "ic":
+        raise ValueError(
+            f"algorithm {query.algorithm!r} is specialized to the "
+            f"incoming-boost IC model; got model={query.model!r} "
+            "(use 'evaluate' or 'mc_greedy' for other diffusion models)"
+        )
+
+
 # ----------------------------------------------------------------------
 # PRR-Boost family
 # ----------------------------------------------------------------------
@@ -79,6 +95,7 @@ def _boost_envelope(query, res) -> QueryResult:
 
 @register_algorithm("prr_boost")
 def _run_prr_boost(session, query, rng) -> QueryResult:
+    _require_ic(query)
     budget = session.resolve_budget(query)
     params = query.param_dict
     res = prr_boost_core(
@@ -95,6 +112,7 @@ def _run_prr_boost(session, query, rng) -> QueryResult:
 
 @register_algorithm("prr_boost_lb")
 def _run_prr_boost_lb(session, query, rng) -> QueryResult:
+    _require_ic(query)
     budget = session.resolve_budget(query)
     params = query.param_dict
     res = prr_boost_lb_core(
@@ -111,11 +129,15 @@ def _run_prr_boost_lb(session, query, rng) -> QueryResult:
 
 @register_algorithm("mc_greedy")
 def _run_mc_greedy(session, query, rng) -> QueryResult:
+    # Simulated greedy works under every diffusion model: it only needs
+    # the engine's Δ estimator, which is model-dispatched.  It runs on
+    # the model's graph view (the LT-normalized copy for model="lt").
     budget = session.resolve_budget(query)
     chosen = mc_greedy_boost(
-        session.graph, set(query.seeds), query.k, rng,
+        session.graph_for(query.model), set(query.seeds), query.k, rng,
         runs=budget.mc_runs,
         candidates=query.param_dict.get("candidates"),
+        model=query.model,
     )
     return QueryResult(
         algorithm=query.algorithm, selected=list(chosen), raw=chosen
@@ -149,6 +171,7 @@ def rank_candidates(
 
 def _register_baseline(name: str, generate) -> None:
     def handler(session, query, rng) -> QueryResult:
+        _require_ic(query)
         budget = session.resolve_budget(query)
         candidate_sets = generate(session.graph, query, rng, budget)
         extra = {"candidate_sets": [list(c) for c in candidate_sets]}
@@ -209,6 +232,7 @@ _register_baseline(
 # ----------------------------------------------------------------------
 @register_algorithm("imm")
 def _run_imm(session, query, rng) -> QueryResult:
+    _require_ic(query)
     budget = session.resolve_budget(query)
     res = imm_core(
         session.graph, query.k, rng,
@@ -229,6 +253,7 @@ def _run_imm(session, query, rng) -> QueryResult:
 
 @register_algorithm("ssa")
 def _run_ssa(session, query, rng) -> QueryResult:
+    _require_ic(query)
     budget = session.resolve_budget(query)
     res = ssa_core(
         session.graph, query.k, rng,
@@ -252,6 +277,7 @@ def _run_ssa(session, query, rng) -> QueryResult:
 
 def _register_seed_strategy(name: str) -> None:
     def handler(session, query, rng) -> QueryResult:
+        _require_ic(query)
         budget = session.resolve_budget(query)
         chosen = select_seeds(
             session.graph, query.k, name, rng, max_samples=budget.max_samples
@@ -275,14 +301,21 @@ _register_seed_strategy("random")
 def _run_evaluate(session, query, rng) -> QueryResult:
     budget = session.resolve_budget(query)
     seeds, boost = set(query.seeds), set(query.boost)
+    # Model-dispatched: the warm engine of the query's diffusion model
+    # (the LT-normalized view for model="lt") runs the estimator.
+    engine = session.engine_for(query.model)
     if query.metric == "boost":
-        value = session.engine.estimate_boost(seeds, boost, rng, runs=budget.mc_runs)
+        value = engine.estimate_boost(
+            seeds, boost, rng, runs=budget.mc_runs, model=query.model
+        )
     else:
-        value = session.engine.estimate_sigma(seeds, boost, rng, runs=budget.mc_runs)
+        value = engine.estimate_sigma(
+            seeds, boost, rng, runs=budget.mc_runs, model=query.model
+        )
     return QueryResult(
         algorithm=query.algorithm,
         selected=[],
         estimates={query.metric: float(value)},
-        extra={"mc_runs": budget.mc_runs},
+        extra={"mc_runs": budget.mc_runs, "model": query.model},
         raw=float(value),
     )

@@ -10,8 +10,10 @@ immutable query shapes instead of positional-kwarg soup:
 * :class:`EvalQuery` — "Monte-Carlo evaluate ``σ_S(B)`` or ``Δ_S(B)``".
 
 All three share a :class:`SamplingBudget` (sample caps, accuracy knobs,
-Monte-Carlo runs, worker count) and an ``algorithm`` key resolved through
-:mod:`repro.api.registry`.  Queries are frozen dataclasses with
+Monte-Carlo runs, worker count), an ``algorithm`` key resolved through
+:mod:`repro.api.registry`, and a ``model`` key naming the diffusion
+semantics (incoming-boost IC — the default — outgoing-boost IC, or LT;
+see :mod:`repro.engine.models`).  Queries are frozen dataclasses with
 normalized, hashable fields, so they serialize to/from JSON losslessly
 (:meth:`to_dict` / :func:`query_from_dict`) — the shape the ``repro
 query`` batch subcommand and any future serving layer speak.
@@ -97,19 +99,31 @@ def _params_tuple(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any],
 
 @dataclass(frozen=True)
 class _BaseQuery:
-    """Shared fields + serialization of the three query shapes."""
+    """Shared fields + serialization of the three query shapes.
+
+    ``model`` names the diffusion semantics the query runs under
+    (:mod:`repro.engine.models`): ``"ic"`` — the default incoming-boost
+    IC every algorithm supports — ``"ic_out"`` or ``"lt"``.  Aliases are
+    normalized to the canonical name at construction, and the field is
+    serialized only when it differs from the default so pre-model query
+    JSON (and fingerprints) are unchanged.
+    """
 
     algorithm: str = ""
     budget: Optional[SamplingBudget] = None
     rng_seed: Optional[int] = None
     params: Tuple[Tuple[str, Any], ...] = ()
+    model: Optional[str] = "ic"
 
     kind = ""  # overridden per subclass; the "type" tag in JSON
 
     def __post_init__(self) -> None:
+        from ..engine.models import resolve_model
+
         object.__setattr__(self, "params", _params_tuple(dict(self.params)))
         if self.budget is not None and not isinstance(self.budget, SamplingBudget):
             object.__setattr__(self, "budget", SamplingBudget.from_dict(self.budget))
+        object.__setattr__(self, "model", resolve_model(self.model).name)
 
     @property
     def param_dict(self) -> Dict[str, Any]:
@@ -117,6 +131,8 @@ class _BaseQuery:
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"type": self.kind, "algorithm": self.algorithm}
+        if self.model != "ic":
+            out["model"] = self.model
         if self.budget is not None:
             out["budget"] = self.budget.to_dict()
         if self.rng_seed is not None:

@@ -12,7 +12,13 @@ the state that is expensive to build and cheap to keep:
   :meth:`run_many`), torn down by :meth:`close`,
 * recycled :class:`~repro.engine.coverage.CoverageIndex` /
   :class:`~repro.core.prr.PRRArena` scratch for the selection-heavy
-  algorithms, cleared between queries instead of re-allocated.
+  algorithms, cleared between queries instead of re-allocated,
+* per-diffusion-model graph views (:meth:`Session.graph_for` /
+  :meth:`Session.engine_for`): queries carry a ``model`` key
+  (incoming-boost IC, outgoing-boost IC, or LT — see
+  :mod:`repro.engine.models`), and the session keys its engine cache by
+  model so e.g. the LT-normalized graph and its warm engine are built
+  once and shared by every later LT query.
 
 Queries are typed objects (:mod:`repro.api.queries`) dispatched through
 the string-keyed registry (:mod:`repro.api.registry`); every answer is a
@@ -93,6 +99,12 @@ class Session:
         self._scratch_index: Optional[CoverageIndex] = None
         self._scratch_arena = None  # repro.core.prr.PRRArena, built lazily
         self._candidates_cache: dict = {}
+        # Per-diffusion-model graph views, keyed by canonical model name.
+        # IC-family models run on the session graph itself; the LT model
+        # runs on the weight-normalized copy, built (and its engine
+        # warmed) on first LT query — this is the engine-cache keying
+        # that lets one warm session serve every diffusion semantics.
+        self._model_graphs: dict = {"ic": graph, "ic_out": graph}
         src, dst, p, pp = graph.edge_arrays()
         self._graph_signature = {
             "n": int(graph.n),
@@ -129,6 +141,7 @@ class Session:
         self._scratch_index = None
         self._scratch_arena = None
         self._candidates_cache.clear()
+        self._model_graphs.clear()
         if self._manage_runtime:
             from ..core.parallel import shutdown_runtime_for
 
@@ -166,6 +179,36 @@ class Session:
         else:
             self._scratch_arena.clear()
         return self._scratch_arena
+
+    def graph_for(self, model=None) -> DiGraph:
+        """The graph view queries under ``model`` run on, cached per model.
+
+        IC-family models share the session graph; the LT model gets the
+        weight-normalized copy (each node's incoming base weights scaled
+        to sum ≤ 1), built once on first use.  Accepts a model name,
+        alias, or instance; ``None`` means the default incoming-boost IC.
+        """
+        self._check_open()
+        from ..engine.models import resolve_model
+
+        mdl = resolve_model(model)
+        graph = self._model_graphs.get(mdl.name)
+        if graph is None:
+            graph = mdl.prepare_graph(self.graph)
+            self._model_graphs[mdl.name] = graph
+        return graph
+
+    def engine_for(self, model=None) -> SamplingEngine:
+        """The warm engine serving ``model``'s graph view.
+
+        The default model returns the session engine; other views get
+        (and cache, via the graph's engine slot) their own engine, so a
+        mixed query stream pays each model's warm-up exactly once.
+        """
+        graph = self.graph_for(model)
+        if graph is self.graph:
+            return self.engine
+        return SamplingEngine.for_graph(graph)
 
     def candidates_for(self, seeds) -> set:
         """The non-seed candidate pool for ``seeds``, cached per seed set.

@@ -38,6 +38,7 @@ import numpy as np
 
 from .api import BoostQuery, EvalQuery, SamplingBudget, SeedQuery, Session, query_from_dict
 from .datasets import DATASETS, dataset_names, load_dataset
+from .engine import model_names
 from .experiments import (
     budget_allocation_experiment,
     compare_algorithms,
@@ -160,6 +161,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         data = data.get("queries", [data])
     if not isinstance(data, list):
         raise SystemExit("query batch must be a JSON list (or {'queries': [...]})")
+    if args.model is not None:
+        # --model is the batch default: entries naming their own model win.
+        data = [
+            entry if "model" in entry else {**entry, "model": args.model}
+            for entry in data
+        ]
     queries = [query_from_dict(entry) for entry in data]
     graph = load_dataset(args.dataset, seed=args.seed)
     rng = np.random.default_rng(args.seed)
@@ -178,11 +185,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "  ".join(f"{k}={v:.2f}" for k, v in r.estimates.items()) or "-"
             )
             rows.append([
-                r.algorithm, len(r.selected), estimates, r.num_samples,
+                r.algorithm, (r.query or {}).get("model", "ic"),
+                len(r.selected), estimates, r.num_samples,
                 f"{r.timings['total']:.2f}s",
             ])
         print(format_table(
-            ["algorithm", "|selected|", "estimates", "samples", "time"], rows
+            ["algorithm", "model", "|selected|", "estimates", "samples", "time"],
+            rows,
         ))
     return 0
 
@@ -255,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default budget for queries that do not carry one",
     )
     p_query.add_argument("--mc-runs", type=int, default=1000)
+    p_query.add_argument(
+        "--model", choices=model_names(), default=None,
+        help="default diffusion model for queries that do not name one "
+        "(ic = incoming-boost IC, ic_out = outgoing-boost, lt = linear "
+        "threshold; evaluate/mc_greedy accept all three)",
+    )
     _add_workers(p_query)
 
     return parser

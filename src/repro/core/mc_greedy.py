@@ -28,12 +28,18 @@ def mc_greedy_boost(
     rng: np.random.Generator,
     runs: int = 500,
     candidates: Sequence[int] | None = None,
+    model: str | None = None,
 ) -> List[int]:
     """Greedy k-boosting with simulated marginal gains.
 
     Each round evaluates ``Δ_S(B ∪ {v})`` by ``runs`` common-random-number
     simulations for every remaining candidate — O(k · |candidates| · runs)
     cascades.  Keep graphs small.
+
+    ``model`` selects the diffusion semantics
+    (:mod:`repro.engine.models`); unlike the PRR-based algorithms, which
+    are specialized to the incoming-boost IC model, simulated greedy
+    works under every registered model.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -51,7 +57,8 @@ def mc_greedy_boost(
             if v in chosen:
                 continue
             value = estimate_boost(
-                graph, seed_set, set(chosen) | {v}, rng, runs=runs
+                graph, seed_set, set(chosen) | {v}, rng, runs=runs,
+                model=model,
             )
             gain = value - current
             if gain > best_gain:

@@ -3,6 +3,7 @@
 from .lt import estimate_lt_boost, normalize_lt_weights, simulate_lt_spread
 from .model import BoostingModel
 from .variants import (
+    estimate_boost_outgoing,
     exact_boost_outgoing,
     exact_sigma_outgoing,
     optimal_boost_set,
@@ -28,6 +29,7 @@ __all__ = [
     "simulate_lt_spread",
     "estimate_lt_boost",
     "simulate_spread_outgoing",
+    "estimate_boost_outgoing",
     "exact_sigma_outgoing",
     "exact_boost_outgoing",
     "optimal_boost_set",

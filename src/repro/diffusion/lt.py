@@ -8,13 +8,21 @@ can experiment with it:
 * classical LT: node ``v`` activates when the summed weights of its active
   in-neighbours exceed a uniform threshold ``θ_v ~ U[0, 1]``; edge weights
   ``b_uv`` must satisfy ``Σ_u b_uv ≤ 1``;
-* **boosted LT**: a boosted node scales its incoming weights by a factor
-  ``γ ≥ 1`` (capped so the sum stays ≤ 1), modelling increased
+* **boosted LT**: a boosted node counts its incoming weights at the
+  boosted value ``pp`` (clipped so the sum stays ≤ 1), modelling increased
   receptiveness — the LT analogue of ``p → p'``.
 
 We reuse the graph's base probabilities as LT weights after per-node
 normalization (:func:`normalize_lt_weights`), and reuse ``p'/p`` as the
-boost factor per edge.
+boost per edge.
+
+Everything here is a thin veneer over the engine's pluggable
+diffusion-model layer (:mod:`repro.engine.models`, ``model="lt"``):
+cascades run on the shared frontier CSR traversal, Monte-Carlo
+estimation on the hashed-world cascade lane kernels of
+:mod:`repro.engine.lanes`.  The pre-engine per-node loop survives as
+:func:`repro.engine.reference.reference_simulate_lt_spread` (and its
+world-seeded twin), the seeded oracles the engine kernels are pinned to.
 """
 
 from __future__ import annotations
@@ -23,8 +31,7 @@ from typing import AbstractSet, Sequence
 
 import numpy as np
 
-from ..engine import SamplingEngine
-from ..engine.traversal import frontier_edge_positions
+from ..engine import SamplingEngine, resolve_model
 from ..graphs.digraph import DiGraph
 
 __all__ = ["normalize_lt_weights", "simulate_lt_spread", "estimate_lt_boost"]
@@ -36,16 +43,12 @@ def normalize_lt_weights(graph: DiGraph) -> DiGraph:
     Nodes whose incoming mass already sums below 1 are left untouched;
     heavier nodes are scaled down proportionally.  Boosted probabilities are
     scaled by the same factor, preserving each edge's boost ratio.
+
+    This is exactly the graph view the LT model's
+    :meth:`~repro.engine.models.DiffusionModel.prepare_graph` builds (and
+    sessions cache per model); idempotent, so normalizing twice is safe.
     """
-    src, dst, p, pp = graph.edge_arrays()
-    in_mass = np.zeros(graph.n)
-    np.add.at(in_mass, dst, p)
-    scale = np.ones(graph.n)
-    heavy = in_mass > 1.0
-    scale[heavy] = 1.0 / in_mass[heavy]
-    new_p = p * scale[dst]
-    new_pp = np.minimum(pp * scale[dst], 1.0)
-    return DiGraph(graph.n, src, dst, new_p, new_pp)
+    return resolve_model("lt").prepare_graph(graph)
 
 
 def simulate_lt_spread(
@@ -61,30 +64,13 @@ def simulate_lt_spread(
     crosses its threshold sooner — more easily influenced, never
     self-starting, mirroring Definition 1's spirit.
 
-    The cascade runs on the engine's out-CSR arrays: the only random draw
-    is the threshold vector, after which each level accumulates incoming
+    The cascade runs on the engine's LT model: the only random draw is
+    the threshold vector, after which each level accumulates incoming
     weight for whole frontiers with ``np.add.at``.
     """
-    engine = SamplingEngine.for_graph(graph)
-    thresholds = rng.random(graph.n)
-    weights = engine.thresholds(set(boost))  # pp where head boosted, else p
-    out = graph.out_csr()
-    active = np.zeros(graph.n, dtype=bool)
-    frontier = np.fromiter(set(seeds), dtype=np.int64)
-    active[frontier] = True
-    accumulated = np.zeros(graph.n)
-    while frontier.size:
-        pos, _counts = frontier_edge_positions(out.indptr, frontier)
-        if pos.size == 0:
-            break
-        heads = out.nodes[pos]
-        inactive = ~active[heads]
-        np.add.at(accumulated, heads[inactive], weights[pos[inactive]])
-        touched = np.unique(heads[inactive])
-        crossed = np.minimum(accumulated[touched], 1.0) >= thresholds[touched]
-        frontier = touched[crossed]
-        active[frontier] = True
-    return set(np.flatnonzero(active).tolist())
+    return SamplingEngine.for_graph(graph).simulate(
+        seeds, boost, rng, model="lt"
+    )
 
 
 def estimate_lt_boost(
@@ -96,17 +82,11 @@ def estimate_lt_boost(
 ) -> float:
     """Monte Carlo estimate of the LT boost of influence.
 
-    Uses common thresholds per run (the same ``θ`` vector for the boosted
-    and unboosted cascade), the LT analogue of common random numbers.
+    Runs on the engine's hashed-world cascade lanes with common worlds
+    per run (the same ``θ`` vector for the boosted and unboosted
+    cascade), the LT analogue of common random numbers — the pairing is
+    free because a lane seed fixes the whole threshold vector.
     """
-    if runs <= 0:
-        raise ValueError("runs must be positive")
-    boost_set = set(boost)
-    total = 0.0
-    for _ in range(runs):
-        state = rng.bit_generator.state
-        with_boost = len(simulate_lt_spread(graph, seeds, boost_set, rng))
-        rng.bit_generator.state = state
-        without = len(simulate_lt_spread(graph, seeds, set(), rng))
-        total += with_boost - without
-    return total / runs
+    return SamplingEngine.for_graph(graph).estimate_boost(
+        seeds, boost, rng, runs=runs, model="lt"
+    )

@@ -43,14 +43,20 @@ def simulate_spread(
     seeds: AbstractSet[int] | Sequence[int],
     boost: AbstractSet[int] | Sequence[int],
     rng: np.random.Generator,
+    model: str | None = None,
 ) -> set[int]:
-    """Run one cascade of the boosting model; return the activated node set.
+    """Run one cascade; return the activated node set.
 
-    Implementation note: each edge is examined at most once (when its source
-    first activates), sampling its outcome lazily — equivalent to sampling a
-    whole deterministic world up front.
+    ``model`` selects the diffusion semantics (``"ic"`` — the default
+    incoming-boost IC — ``"ic_out"`` or ``"lt"``, see
+    :mod:`repro.engine.models`).  Implementation note for the IC family:
+    each edge is examined at most once (when its source first activates),
+    sampling its outcome lazily — equivalent to sampling a whole
+    deterministic world up front.
     """
-    return SamplingEngine.for_graph(graph).simulate(seeds, boost, rng)
+    return SamplingEngine.for_graph(graph).simulate(
+        seeds, boost, rng, model=model
+    )
 
 
 def estimate_sigma(
@@ -59,9 +65,12 @@ def estimate_sigma(
     boost: AbstractSet[int] | Sequence[int],
     rng: np.random.Generator,
     runs: int = 1000,
+    model: str | None = None,
 ) -> float:
     """Monte Carlo estimate of the boosted influence spread ``σ_S(B)``."""
-    return SamplingEngine.for_graph(graph).estimate_sigma(seeds, boost, rng, runs)
+    return SamplingEngine.for_graph(graph).estimate_sigma(
+        seeds, boost, rng, runs, model=model
+    )
 
 
 def estimate_boost(
@@ -70,17 +79,21 @@ def estimate_boost(
     boost: AbstractSet[int] | Sequence[int],
     rng: np.random.Generator,
     runs: int = 1000,
+    model: str | None = None,
 ) -> float:
     """Monte Carlo estimate of ``Δ_S(B) = σ_S(B) − σ_S(∅)``.
 
-    Uses common random numbers: each run samples one uniform per edge and
-    evaluates both the boosted and unboosted cascade in the *same* world, so
+    Uses common random numbers: each run evaluates both the boosted and
+    unboosted cascade in the *same* world (one uniform per edge for the
+    default IC; a shared hashed world per run for the other models), so
     the difference estimator has far lower variance than two independent
-    ``estimate_sigma`` calls.  Because ``p' >= p``, the boosted world's live
-    edges are a superset of the base world's, so every per-run difference is
-    non-negative.
+    ``estimate_sigma`` calls.  Because ``p' >= p``, the boosted world's
+    live edges are a superset of the base world's under the IC family, so
+    every per-run difference is non-negative.
     """
-    return SamplingEngine.for_graph(graph).estimate_boost(seeds, boost, rng, runs)
+    return SamplingEngine.for_graph(graph).estimate_boost(
+        seeds, boost, rng, runs, model=model
+    )
 
 
 def exact_sigma(

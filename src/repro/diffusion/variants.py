@@ -7,12 +7,17 @@ Two pieces of Section III the main simulator does not cover:
   influential": a newly-activated *boosted* user ``u`` influences each
   neighbour ``v`` with ``p'_uv`` instead of ``p_uv``.
   :func:`simulate_spread_outgoing` and :func:`exact_sigma_outgoing`
-  implement that variant.
+  implement that variant.  Simulation runs on the engine's pluggable
+  diffusion-model layer (``model="ic_out"``, same frontier traversal and
+  lane kernels as the main model); the pre-engine per-node loop survives
+  as :func:`repro.engine.reference.reference_simulate_spread_outgoing`,
+  the seeded oracle the engine path is pinned to bit-for-bit.
 
 * **Brute-force k-boosting oracle** — NP-hardness permits exhaustive search
   only on tiny instances; :func:`optimal_boost_set` enumerates every boost
-  set of size ≤ k against the exact spread, providing ground truth for
-  algorithm tests.
+  set of size ≤ k against the exact spread of either boost semantics
+  (``model="ic"`` or ``"ic_out"``), providing ground truth for algorithm
+  tests.
 """
 
 from __future__ import annotations
@@ -22,11 +27,13 @@ from typing import AbstractSet, List, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import SamplingEngine
 from ..graphs.digraph import DiGraph
 from .simulator import exact_sigma
 
 __all__ = [
     "simulate_spread_outgoing",
+    "estimate_boost_outgoing",
     "exact_sigma_outgoing",
     "exact_boost_outgoing",
     "optimal_boost_set",
@@ -40,29 +47,32 @@ def simulate_spread_outgoing(
     rng: np.random.Generator,
 ) -> set[int]:
     """One cascade where boosted nodes are more *influential* (not more
-    receptive): edges leaving a boosted node use ``p'``."""
-    boost_set = set(boost)
-    active = set(seeds)
-    frontier = list(active)
-    while frontier:
-        next_frontier: list[int] = []
-        for u in frontier:
-            targets = graph.out_neighbors(u)
-            if targets.size == 0:
-                continue
-            probs = (
-                graph.out_boosted_probs(u)
-                if u in boost_set
-                else graph.out_probs(u)
-            )
-            draws = rng.random(targets.size)
-            for i in range(targets.size):
-                v = int(targets[i])
-                if v not in active and draws[i] < probs[i]:
-                    active.add(v)
-                    next_frontier.append(v)
-        frontier = next_frontier
-    return active
+    receptive): edges leaving a boosted node use ``p'``.
+
+    Runs on the engine's ``ic_out`` model — draw-for-draw the stream the
+    retained pure-Python oracle consumes, so seeded runs agree
+    bit-for-bit.
+    """
+    return SamplingEngine.for_graph(graph).simulate(
+        seeds, boost, rng, model="ic_out"
+    )
+
+
+def estimate_boost_outgoing(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    rng: np.random.Generator,
+    runs: int = 1000,
+) -> float:
+    """Monte Carlo ``Δ_S(B)`` under the outgoing-boost variant.
+
+    Common random numbers come free: each run's hashed world is evaluated
+    under both ``B`` and ``∅`` on the engine's cascade lane kernels.
+    """
+    return SamplingEngine.for_graph(graph).estimate_boost(
+        seeds, boost, rng, runs=runs, model="ic_out"
+    )
 
 
 def exact_sigma_outgoing(
@@ -122,25 +132,36 @@ def optimal_boost_set(
     seeds: AbstractSet[int],
     k: int,
     candidates: Sequence[int] | None = None,
+    model: str = "ic",
 ) -> Tuple[List[int], float]:
     """Exhaustive optimum of the k-boosting problem (test oracle).
 
     Enumerates all boost sets of size ≤ k over the candidates (non-seeds by
-    default) and evaluates each with :func:`exact_sigma` — exponential in
-    both ``m`` and ``k``; keep instances tiny.
+    default) and evaluates each with the exact spread of the requested
+    boost semantics (:func:`exact_sigma` for ``"ic"``,
+    :func:`exact_sigma_outgoing` for ``"ic_out"``) — exponential in both
+    ``m`` and ``k``; keep instances tiny.
     """
+    if model in ("ic", "ic_in", "incoming", None):
+        sigma = exact_sigma
+    elif model in ("ic_out", "outgoing", "ic_outgoing"):
+        sigma = exact_sigma_outgoing
+    else:
+        raise ValueError(
+            f"no exact oracle for model {model!r}; expected 'ic' or 'ic_out'"
+        )
     seed_set = set(seeds)
     pool = (
         [v for v in range(graph.n) if v not in seed_set]
         if candidates is None
         else [v for v in candidates if v not in seed_set]
     )
-    base = exact_sigma(graph, seed_set, set())
+    base = sigma(graph, seed_set, set())
     best_value = 0.0
     best_set: Tuple[int, ...] = ()
     for size in range(1, min(k, len(pool)) + 1):
         for boost in combinations(pool, size):
-            value = exact_sigma(graph, seed_set, set(boost)) - base
+            value = sigma(graph, seed_set, set(boost)) - base
             if value > best_value + 1e-12:
                 best_value = value
                 best_set = boost

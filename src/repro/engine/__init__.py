@@ -16,6 +16,11 @@ exploration — runs on the primitives in this package:
   independent world fixed by its own splitmix64 seed — the single-sample
   paths stay as seeded distributional oracles (bit-for-bit for
   world-seeded PRR lanes),
+* :mod:`repro.engine.models` — the pluggable diffusion-model layer:
+  :class:`DiffusionModel` instances (incoming-boost IC, outgoing-boost
+  IC, boosted LT) resolve per-model edge thresholds and drive the
+  forward-cascade kernels, so every diffusion semantics shares the
+  frontier traversal, world hashing, and lane planes,
 * :mod:`repro.engine.batch` — :class:`SamplingEngine`, the batch API
   (``sample_rr_batch``, ``simulate_batch``, ``sample_critical_batch``,
   ``prr_phase1`` and the lane CSR entry points ``rr_lane_csr`` /
@@ -46,8 +51,22 @@ own engine and scratch buffers.
 from .batch import SamplingEngine, STATUS_NAMES
 from .coverage import CoverageIndex, SetsView
 from .hashing import hash_draw, hash_draw_array, hash_draw_pairs
-from .lanes import LANE_WIDTH, LanePhase1
-from .world import BLOCKED, BOOST, LIVE, EdgeStateArray, lane_states, lane_uniforms
+from .lanes import CASCADE_LANE_WIDTH, LANE_WIDTH, LanePhase1
+from .models import (
+    MODELS,
+    DiffusionModel,
+    model_names,
+    resolve_model,
+)
+from .world import (
+    BLOCKED,
+    BOOST,
+    LIVE,
+    EdgeStateArray,
+    lane_node_thresholds,
+    lane_states,
+    lane_uniforms,
+)
 
 __all__ = [
     "SamplingEngine",
@@ -56,12 +75,18 @@ __all__ = [
     "EdgeStateArray",
     "LanePhase1",
     "LANE_WIDTH",
+    "CASCADE_LANE_WIDTH",
     "STATUS_NAMES",
+    "DiffusionModel",
+    "MODELS",
+    "resolve_model",
+    "model_names",
     "hash_draw",
     "hash_draw_array",
     "hash_draw_pairs",
     "lane_uniforms",
     "lane_states",
+    "lane_node_thresholds",
     "LIVE",
     "BOOST",
     "BLOCKED",

@@ -11,6 +11,14 @@ One engine instance per graph owns
   ``sample_critical_batch``; PRR-graph assembly lives above in
   :mod:`repro.core.prr`, which loops ``prr_phase1`` for its batches).
 
+Forward cascades are parameterized by a pluggable
+:class:`~repro.engine.models.DiffusionModel` (``model=`` on
+``simulate`` / ``simulate_batch`` / ``estimate_sigma`` /
+``estimate_boost`` / ``simulate_hashed`` / ``cascade_lane_csr``):
+incoming-boost IC (the default, and the only semantics the backward
+samplers serve), the outgoing-boost IC variant, and boosted LT all run
+on the same frontier traversal, hashed worlds and lane planes.
+
 RR sets and forward cascades are bit-for-bit compatible with the
 pre-engine pure-Python samplers (same RNG consumption, same results), as
 is PRR sampling when ``world_seed`` pins the world by hashing.  RNG-driven
@@ -40,8 +48,9 @@ from typing import AbstractSet, FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .coverage import csr_to_frozensets
-from .hashing import SEED_MULT, edge_hash_base, splitmix_finalize
+from .hashing import SEED_MULT, edge_hash_base, node_hash_base, splitmix_finalize
 from .lanes import (
+    CASCADE_LANE_WIDTH,
     LANE_WIDTH,
     RR_LANE_WIDTH,
     LanePhase1,
@@ -49,6 +58,7 @@ from .lanes import (
     prr_phase1_lanes,
     rr_member_lanes,
 )
+from .models import DEFAULT_MODEL, resolve_model
 from .traversal import first_occurrence, frontier_edge_positions, unique_sorted
 from .world import BLOCKED, BOOST, EdgeStateArray
 
@@ -104,9 +114,10 @@ class SamplingEngine:
     __slots__ = (
         "graph", "n", "m",
         "_out_indptr", "_out_nodes", "_out_p", "_out_pp", "_out_eid",
+        "_out_src", "_out_hash", "_node_hash",
         "_in_indptr", "_in_nodes", "_in_p", "_in_pp", "_in_eid",
         "_in_hash", "_in_thr64", "_lane_visited", "_rr_dense",
-        "_prr_dist", "_prr_proc",
+        "_prr_dist", "_prr_proc", "_lane_acc",
         "_edge_states", "_visit", "_proc", "_dist", "_dist_stamp",
         "_region", "_stamp", "_seeds_key_mask",
     )
@@ -138,7 +149,17 @@ class SamplingEngine:
         self._in_hash = edge_hash_base(self._in_nodes, heads)
         thr = np.minimum(self._in_p * 2.0**64, np.nextafter(2.0**64, 0))
         self._in_thr64 = thr.astype(np.uint64)
+        # Forward-cascade lane precomputation: the out-CSR row owner of
+        # every position (the edge's tail — the outgoing-boost model keys
+        # its thresholds on it), the hash base of each out position, and
+        # the per-node hash base behind LT's lane thresholds.
+        self._out_src = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self._out_indptr)
+        )
+        self._out_hash = edge_hash_base(self._out_src, self._out_nodes)
+        self._node_hash = node_hash_base(np.arange(self.n, dtype=np.int64))
         self._lane_visited: Optional[np.ndarray] = None
+        self._lane_acc: Optional[np.ndarray] = None
         self._rr_dense: Optional[bool] = None  # learned on first lane batch
         self._prr_dist: Optional[np.ndarray] = None
         self._prr_proc: Optional[np.ndarray] = None
@@ -191,6 +212,17 @@ class SamplingEngine:
         if buf is None or buf.size < need:
             buf = np.zeros(need, dtype=bool)
             self._lane_visited = buf
+        return buf
+
+    def _acc_plane(self, lanes: int) -> np.ndarray:
+        """Reusable ``(lanes, n)`` float64 accumulator plane (flattened,
+        zero-filled) for the LT cascade lanes.  Borrowers must zero every
+        entry they touch before returning."""
+        need = lanes * self.n
+        buf = self._lane_acc
+        if buf is None or buf.size < need:
+            buf = np.zeros(need, dtype=np.float64)
+            self._lane_acc = buf
         return buf
 
     def _prr_planes(self, lanes: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -422,29 +454,42 @@ class SamplingEngine:
         return csr_to_frozensets(*self.rr_lane_csr(rng, count, roots=roots))
 
     # ------------------------------------------------------------------
-    # Forward cascades (boosting IC model)
+    # Forward cascades (pluggable diffusion models)
     # ------------------------------------------------------------------
-    def thresholds(self, boost: AbstractSet[int]) -> np.ndarray:
-        """Per-out-CSR-position activation thresholds for boost set ``B``:
-        ``p'`` where the edge's head is boosted, else ``p``."""
-        if not boost:
-            return self._out_p
-        mask = np.zeros(self.n, dtype=bool)
-        mask[list(boost)] = True
-        return np.where(mask[self._out_nodes], self._out_pp, self._out_p)
+    def thresholds(
+        self, boost: AbstractSet[int], model=None
+    ) -> np.ndarray:
+        """Per-out-CSR-position activation thresholds for boost set ``B``
+        under ``model`` (default: incoming-boost IC — ``p'`` where the
+        edge's head is boosted, else ``p``)."""
+        return resolve_model(model).edge_thresholds(self, boost)
 
     def simulate(
         self,
         seeds,
         boost,
         rng: np.random.Generator,
+        model=None,
     ) -> set:
-        """One cascade of the boosting model; returns the activated set.
+        """One cascade under ``model`` (default incoming-boost IC);
+        returns the activated set.
 
-        Uniforms are drawn per frontier out-edge in frontier order — the
-        same stream the edge-wise simulator consumed.
+        IC draws uniforms per frontier out-edge in frontier order — the
+        same stream the edge-wise simulators consume — and LT draws only
+        its per-node threshold vector, so seeded runs stay bit-for-bit
+        comparable to the retained pure-Python oracles of each model.
         """
-        thr = self.thresholds(set(boost))
+        return resolve_model(model).simulate(self, seeds, boost, rng)
+
+    def _simulate_ic(
+        self,
+        thr: np.ndarray,
+        seeds,
+        rng: np.random.Generator,
+    ) -> set:
+        """Frontier-vectorized IC cascade under effective thresholds
+        ``thr`` (any IC-family model resolves its boost rule into
+        ``thr`` before calling)."""
         cur = self._next_stamp()
         visit = self._visit
         frontier = np.fromiter(set(seeds), dtype=np.int64)
@@ -496,38 +541,137 @@ class SamplingEngine:
         boost,
         rng: np.random.Generator,
         runs: int,
+        model=None,
     ) -> np.ndarray:
-        """Cascade sizes of ``runs`` independent worlds (one uniform per
-        edge per world), under boost set ``boost``."""
-        seed_idx = np.fromiter(set(seeds), dtype=np.int64)
-        thr = self.thresholds(set(boost))
+        """Cascade sizes of ``runs`` independent worlds under ``boost``.
+
+        The default incoming-boost IC draws one uniform per edge per
+        world from ``rng`` (the historical stream); every other model
+        runs the cascade lane kernels over per-run hashed worlds seeded
+        from ``rng`` — same distribution, evaluated
+        :data:`~repro.engine.lanes.CASCADE_LANE_WIDTH` worlds per
+        frontier step.
+        """
+        mdl = resolve_model(model)
+        if mdl is DEFAULT_MODEL:
+            seed_idx = np.fromiter(set(seeds), dtype=np.int64)
+            thr = self.thresholds(set(boost))
+            sizes = np.empty(runs, dtype=np.int64)
+            for i in range(runs):
+                draws = rng.random(self.m)
+                sizes[i] = self.cascade_count(seed_idx, draws < thr)
+            return sizes
+        return self._cascade_sizes_lanes(mdl, seeds, boost, rng, runs)
+
+    def _cascade_sizes_lanes(
+        self,
+        mdl,
+        seeds,
+        boost,
+        rng: np.random.Generator,
+        runs: int,
+        lane_width: int = CASCADE_LANE_WIDTH,
+    ) -> np.ndarray:
+        """Per-run cascade sizes from the lane kernels, worlds hashed
+        from per-run seeds drawn upfront from ``rng``."""
+        run = mdl.cascade_plan(self, seeds, boost)
         sizes = np.empty(runs, dtype=np.int64)
-        for i in range(runs):
-            draws = rng.random(self.m)
-            sizes[i] = self.cascade_count(seed_idx, draws < thr)
+        done = 0
+        while done < runs:
+            b = min(lane_width, runs - done)
+            s, _c, _v = run(self._draw_lane_seeds(rng, b))
+            sizes[done : done + b] = s
+            done += b
         return sizes
 
-    def estimate_sigma(self, seeds, boost, rng, runs: int = 1000) -> float:
+    def simulate_hashed(
+        self, seeds, boost, world_seed: int, model=None
+    ) -> set:
+        """The activated set in the world fixed by ``world_seed`` — the
+        single-sample evaluator of the cascade lane kernels' pure
+        function (no RNG; same members for any lane batch containing
+        this seed)."""
+        return resolve_model(model).simulate_hashed(
+            self, seeds, boost, world_seed
+        )
+
+    def cascade_lane_csr(
+        self,
+        seeds,
+        boost,
+        rng: np.random.Generator,
+        count: int,
+        model=None,
+        lane_width: int = CASCADE_LANE_WIDTH,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``count`` activated sets via the cascade lane kernels, as a
+        ``(counts, members)`` CSR of sorted node ids per sample.
+
+        Sample ``i`` is the cascade of ``model`` in the world fixed by
+        the ``i``-th seed drawn from ``rng`` — a pure function of
+        ``(seeds, boost, world_seed)`` shared with
+        :meth:`simulate_hashed`.
+        """
+        if count <= 0:
+            return _EMPTY_I64, _EMPTY_I64
+        run = resolve_model(model).cascade_plan(self, seeds, boost)
+        count_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        done = 0
+        while done < count:
+            b = min(lane_width, count - done)
+            _s, c, v = run(self._draw_lane_seeds(rng, b), members=True)
+            count_parts.append(c)
+            value_parts.append(v)
+            done += b
+        return np.concatenate(count_parts), np.concatenate(value_parts)
+
+    def estimate_sigma(
+        self, seeds, boost, rng, runs: int = 1000, model=None
+    ) -> float:
         """Monte Carlo ``σ_S(B)`` via :meth:`simulate_batch`."""
         if runs <= 0:
             raise ValueError("runs must be positive")
-        return float(self.simulate_batch(seeds, boost, rng, runs).mean())
+        return float(
+            self.simulate_batch(seeds, boost, rng, runs, model=model).mean()
+        )
 
-    def estimate_boost(self, seeds, boost, rng, runs: int = 1000) -> float:
+    def estimate_boost(
+        self, seeds, boost, rng, runs: int = 1000, model=None
+    ) -> float:
         """Monte Carlo ``Δ_S(B)`` with common random numbers: each world is
         evaluated under both ``B`` and ``∅``, so variance of the paired
-        difference stays small."""
+        difference stays small.
+
+        For the hashed-world models the pairing is free: the same lane
+        seeds fix the same worlds (IC edge draws / LT thresholds), so
+        both arms replay identical randomness by construction.
+        """
         if runs <= 0:
             raise ValueError("runs must be positive")
-        seed_idx = np.fromiter(set(seeds), dtype=np.int64)
-        base_thr = self._out_p
-        boosted_thr = self.thresholds(set(boost))
+        mdl = resolve_model(model)
+        if mdl is DEFAULT_MODEL:
+            seed_idx = np.fromiter(set(seeds), dtype=np.int64)
+            base_thr = self._out_p
+            boosted_thr = self.thresholds(set(boost))
+            total = 0
+            for _ in range(runs):
+                draws = rng.random(self.m)
+                with_boost = self.cascade_count(seed_idx, draws < boosted_thr)
+                without = self.cascade_count(seed_idx, draws < base_thr)
+                total += with_boost - without
+            return total / runs
+        run_boosted = mdl.cascade_plan(self, seeds, boost)
+        run_base = mdl.cascade_plan(self, seeds, frozenset())
         total = 0
-        for _ in range(runs):
-            draws = rng.random(self.m)
-            with_boost = self.cascade_count(seed_idx, draws < boosted_thr)
-            without = self.cascade_count(seed_idx, draws < base_thr)
-            total += with_boost - without
+        done = 0
+        while done < runs:
+            b = min(CASCADE_LANE_WIDTH, runs - done)
+            lane_seeds = self._draw_lane_seeds(rng, b)
+            with_b, _c, _v = run_boosted(lane_seeds)
+            base, _c, _v = run_base(lane_seeds)
+            total += int((with_b - base).sum())
+            done += b
         return total / runs
 
     # ------------------------------------------------------------------

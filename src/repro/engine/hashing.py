@@ -20,6 +20,7 @@ __all__ = [
     "hash_draw_array",
     "hash_draw_pairs",
     "edge_hash_base",
+    "node_hash_base",
     "splitmix_finalize",
     "SEED_MULT",
     "TWO64",
@@ -93,6 +94,18 @@ def edge_hash_base(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     vv = v.astype(np.uint64, copy=False)
     with np.errstate(over="ignore"):
         return (uu + _U_ONE) * _U_B + (vv + _U_ONE) * _U_C
+
+
+def node_hash_base(nodes: np.ndarray) -> np.ndarray:
+    """Seed-independent hash base of a *node* draw: ``edge_hash_base(v, v)``.
+
+    Per-node uniforms (the LT model's activation thresholds ``θ_v``) are
+    defined as the diagonal of the edge hash — ``hash_draw(seed, v, v)``
+    — so node draws share the splitmix64 pipeline, the precomputed-base
+    trick, and the per-lane seeding of edge draws without a second hash
+    family.
+    """
+    return edge_hash_base(nodes, nodes)
 
 
 def splitmix_finalize(x: np.ndarray) -> np.ndarray:

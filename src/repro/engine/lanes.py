@@ -45,7 +45,14 @@ for its CSR arrays and scratch buffers):
   seed arrays for phase-II compression,
 * :func:`critical_lanes` — critical node sets ``C_R`` (boost-distance-1
   exploration + one batched live-reachability fixed point across all
-  lanes).
+  lanes),
+* :func:`ic_cascade_lanes` / :func:`lt_cascade_lanes` — forward cascades
+  of the pluggable diffusion models (:mod:`repro.engine.models`): every
+  lane runs the same seed set through its own hashed world (IC edge
+  draws against model-resolved thresholds; LT per-node thresholds
+  ``hash_draw(seed, v, v)`` with float-exact weight accumulation), which
+  is what lets the outgoing-boost and LT variants ride the same planes
+  as the paper's model.
 
 Status codes follow :data:`repro.core.prr.PRRArena.status_names` order:
 0 = activated, 1 = hopeless, 2 = boostable.
@@ -64,10 +71,13 @@ from .traversal import frontier_edge_positions, unique_sorted
 __all__ = [
     "LANE_WIDTH",
     "RR_LANE_WIDTH",
+    "CASCADE_LANE_WIDTH",
     "LanePhase1",
     "rr_member_lanes",
     "prr_phase1_lanes",
     "critical_lanes",
+    "ic_cascade_lanes",
+    "lt_cascade_lanes",
     "CODE_ACTIVATED",
     "CODE_HOPELESS",
     "CODE_BOOSTABLE",
@@ -76,9 +86,12 @@ __all__ = [
 # Default number of roots advanced per lane batch.  PRR lanes keep B
 # moderate (their distance planes are int64); RR lanes go wider — the
 # visited plane is one bool per (lane, node) and deeper batches amortize
-# the per-level call overhead further.
+# the per-level call overhead further.  Forward cascades start every lane
+# from the same (possibly large) seed set, so their frontiers are wide
+# from level 0 and a moderate width amortizes enough.
 LANE_WIDTH = 64
 RR_LANE_WIDTH = 512
+CASCADE_LANE_WIDTH = 64
 
 CODE_ACTIVATED = 0
 CODE_HOPELESS = 1
@@ -459,3 +472,162 @@ def critical_lanes(
             counts = np.bincount(lane, minlength=num)
             members = keys - lane * n
     return status, counts, members, ph.explored
+
+
+# ----------------------------------------------------------------------
+# Forward cascades (the pluggable diffusion-model layer)
+# ----------------------------------------------------------------------
+def _cascade_members(key_chunks, n, num, members):
+    """``(sizes, counts, values)`` from the visited-key chunks of a
+    cascade kernel; the member CSR is skipped when ``members`` is False
+    (the estimator paths only consume sizes)."""
+    keys = np.concatenate(key_chunks) if len(key_chunks) > 1 else key_chunks[0]
+    sizes = np.bincount(keys // n, minlength=num)
+    if not members:
+        return sizes, sizes, None
+    # Keys are lane * n + node, so one flat sort yields the lane-grouped
+    # CSR with members node-ascending inside each lane.
+    keys = np.sort(keys)
+    return sizes, sizes, keys - (keys // n) * n
+
+
+def ic_cascade_lanes(
+    engine,
+    seed_idx: np.ndarray,
+    thr: np.ndarray,
+    lane_seeds: np.ndarray,
+    members: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One IC cascade per lane, all lanes advanced per frontier step.
+
+    Lane ``b`` runs the Independent Cascade in the world fixed by
+    ``lane_seeds[b]``: out-edge ``u -> v`` fires iff
+    ``hash_draw(lane_seeds[b], u, v) < thr[pos]``, where ``thr`` is the
+    per-out-CSR-position effective probability of the diffusion model
+    under the active boost set (incoming-boost: ``p'`` where the head is
+    boosted; outgoing-boost: ``p'`` where the tail is boosted).  Every
+    lane starts from the same ``seed_idx`` (sorted node ids).
+
+    Returns ``(sizes, counts, values)``: per-lane activated-set sizes
+    (seeds included), and — when ``members`` is True — the activated
+    sets as a lane-grouped CSR of sorted node ids (``counts`` equals
+    ``sizes``; ``values`` is None otherwise).  Lane ``b``'s activated
+    set is a pure function of ``(seed_idx, thr, lane_seeds[b])`` — the
+    single-sample hashed evaluator and any lane batch agree bit-for-bit.
+    """
+    n = engine.n
+    num = int(lane_seeds.size)
+    out_indptr = engine._out_indptr
+    out_nodes = engine._out_nodes
+    edge_hash = engine._out_hash
+    lane_seeds = lane_seeds.astype(np.uint64, copy=False)
+    visited = engine._lane_plane(num)
+    lane = np.repeat(np.arange(num, dtype=np.int64), seed_idx.size)
+    node = np.tile(seed_idx, num)
+    key = lane * n + node
+    visited[key] = True
+    key_chunks = [key]
+    try:
+        while node.size:
+            pos, counts = frontier_edge_positions(out_indptr, node)
+            if pos.size == 0:
+                break
+            e_lane = np.repeat(lane, counts)
+            draws = (
+                _lane_draw_ints(lane_seeds, e_lane, edge_hash, pos).astype(
+                    np.float64
+                )
+                / TWO64
+            )
+            hit = draws < thr.take(pos)
+            if not hit.any():
+                break
+            heads = out_nodes.take(pos[hit])
+            key = e_lane[hit] * n + heads
+            key = key[~visited[key]]
+            if key.size == 0:
+                break
+            key = unique_sorted(key)
+            visited[key] = True
+            key_chunks.append(key)
+            lane = key // n
+            node = key - lane * n
+    finally:
+        # Restore the shared plane even on interrupt/OOM — the engine is
+        # cached on the graph, so leaked marks would corrupt later batches.
+        for chunk in key_chunks:
+            visited[chunk] = False
+    return _cascade_members(key_chunks, n, num, members)
+
+
+def lt_cascade_lanes(
+    engine,
+    seed_idx: np.ndarray,
+    weights: np.ndarray,
+    lane_seeds: np.ndarray,
+    members: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One boosted-LT cascade per lane over per-lane hashed thresholds.
+
+    Lane ``b``'s world is the threshold vector
+    ``θ_v = hash_draw(lane_seeds[b], v, v)``
+    (:func:`repro.engine.world.lane_node_thresholds`); ``weights`` is the
+    per-out-CSR-position incoming weight under the active boost set
+    (``pp`` where the head is boosted, else ``p``).  Each level
+    accumulates the frontier's outgoing weight into inactive heads — in
+    frontier-node-ascending × CSR order per lane, the same order the
+    sorted-frontier solo evaluator uses, so the float accumulation is
+    bit-for-bit reproducible — then activates every touched node whose
+    clipped mass reaches its threshold.
+
+    Same return shape as :func:`ic_cascade_lanes`.
+    """
+    n = engine.n
+    num = int(lane_seeds.size)
+    out_indptr = engine._out_indptr
+    out_nodes = engine._out_nodes
+    node_hash = engine._node_hash
+    lane_seeds = lane_seeds.astype(np.uint64, copy=False)
+    active = engine._lane_plane(num)
+    acc = engine._acc_plane(num)
+    lane = np.repeat(np.arange(num, dtype=np.int64), seed_idx.size)
+    node = np.tile(seed_idx, num)
+    key = lane * n + node
+    active[key] = True
+    key_chunks = [key]
+    acc_chunks: list = []
+    try:
+        while node.size:
+            pos, counts = frontier_edge_positions(out_indptr, node)
+            if pos.size == 0:
+                break
+            e_lane = np.repeat(lane, counts)
+            key = e_lane * n + out_nodes.take(pos)
+            inactive = ~active[key]
+            key = key[inactive]
+            if key.size == 0:
+                break
+            # Accumulate BEFORE deduping: np.add.at applies in element
+            # order, so per (lane, head) the contributions arrive in
+            # frontier order × CSR order — the solo evaluator's order.
+            np.add.at(acc, key, weights.take(pos[inactive]))
+            acc_chunks.append(key)
+            touched = unique_sorted(key.copy())
+            t_lane = touched // n
+            t_node = touched - t_lane * n
+            with np.errstate(over="ignore"):
+                x = lane_seeds[t_lane] * SEED_MULT + node_hash.take(t_node)
+            theta = splitmix_finalize(x).astype(np.float64) / TWO64
+            key = touched[np.minimum(acc[touched], 1.0) >= theta]
+            if key.size == 0:
+                break
+            active[key] = True
+            key_chunks.append(key)
+            lane = key // n
+            node = key - lane * n
+    finally:
+        for chunk in key_chunks:
+            active[chunk] = False
+        for chunk in acc_chunks:
+            acc[chunk] = 0.0
+    return _cascade_members(key_chunks, n, num, members)

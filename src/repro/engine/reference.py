@@ -26,9 +26,11 @@ from .hashing import hash_draw
 __all__ = [
     "reference_rr_set",
     "reference_simulate_spread",
+    "reference_simulate_spread_outgoing",
     "reference_sample_prr_graph",
     "reference_sample_critical_set",
     "reference_simulate_lt_spread",
+    "reference_simulate_lt_spread_hashed",
 ]
 
 _INF = float("inf")
@@ -67,9 +69,16 @@ def reference_simulate_spread(
     graph: DiGraph,
     seeds: AbstractSet[int] | Sequence[int],
     boost: AbstractSet[int] | Sequence[int],
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
+    world_seed: Optional[int] = None,
 ) -> set[int]:
-    """Edge-wise forward cascade of the boosting model (pre-engine)."""
+    """Edge-wise forward cascade of the boosting model (pre-engine).
+
+    With ``world_seed`` the per-edge uniform is ``hash_draw(world_seed,
+    u, v)`` instead of an RNG draw — the deterministic world the engine's
+    cascade lane kernels sample, which is what pins them to this loop
+    bit-for-bit.
+    """
     boost_set = set(boost)
     active = set(seeds)
     frontier = list(active)
@@ -81,13 +90,61 @@ def reference_simulate_spread(
                 continue
             base = graph.out_probs(u)
             boosted = graph.out_boosted_probs(u)
-            draws = rng.random(targets.size)
+            if world_seed is None:
+                draws = rng.random(targets.size)
+            else:
+                draws = [
+                    hash_draw(world_seed, u, int(v)) for v in targets
+                ]
             for i in range(targets.size):
                 v = int(targets[i])
                 if v in active:
                     continue
                 threshold = boosted[i] if v in boost_set else base[i]
                 if draws[i] < threshold:
+                    active.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return active
+
+
+def reference_simulate_spread_outgoing(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+    world_seed: Optional[int] = None,
+) -> set[int]:
+    """Edge-wise cascade of the outgoing-boost variant (pre-engine):
+    edges leaving a boosted node use ``p'``.
+
+    Same two draw sources as :func:`reference_simulate_spread`; the
+    hashed form is the oracle the engine's ``model="ic_out"`` lane
+    kernels are pinned against.
+    """
+    boost_set = set(boost)
+    active = set(seeds)
+    frontier = list(active)
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            targets = graph.out_neighbors(u)
+            if targets.size == 0:
+                continue
+            probs = (
+                graph.out_boosted_probs(u)
+                if u in boost_set
+                else graph.out_probs(u)
+            )
+            if world_seed is None:
+                draws = rng.random(targets.size)
+            else:
+                draws = [
+                    hash_draw(world_seed, u, int(v)) for v in targets
+                ]
+            for i in range(targets.size):
+                v = int(targets[i])
+                if v not in active and draws[i] < probs[i]:
                     active.add(v)
                     next_frontier.append(v)
         frontier = next_frontier
@@ -430,4 +487,43 @@ def reference_simulate_lt_spread(
                 active.add(v)
                 next_frontier.append(v)
         frontier = next_frontier
+    return active
+
+
+def reference_simulate_lt_spread_hashed(
+    graph: DiGraph,
+    seeds: AbstractSet[int] | Sequence[int],
+    boost: AbstractSet[int] | Sequence[int],
+    world_seed: int,
+) -> set[int]:
+    """Edge-wise boosted-LT cascade in the world fixed by ``world_seed``.
+
+    The LT world is the per-node threshold vector ``θ_v =
+    hash_draw(world_seed, v, v)``.  Frontiers are processed in ascending
+    node order so the floating-point weight accumulation per head runs
+    tail-ascending — the exact order of the engine's LT lane kernel,
+    which this loop pins bit-for-bit.
+    """
+    boost_set = set(boost)
+    active = set(seeds)
+    accumulated = np.zeros(graph.n)
+    frontier = sorted(active)
+    while frontier:
+        touched: set[int] = set()
+        for u in frontier:
+            targets = graph.out_neighbors(u)
+            base = graph.out_probs(u)
+            boosted = graph.out_boosted_probs(u)
+            for i in range(targets.size):
+                v = int(targets[i])
+                if v in active:
+                    continue
+                weight = boosted[i] if v in boost_set else base[i]
+                accumulated[v] += weight
+                touched.add(v)
+        frontier = []
+        for v in sorted(touched):
+            if min(accumulated[v], 1.0) >= hash_draw(world_seed, v, v):
+                active.add(v)
+                frontier.append(v)
     return active

@@ -32,6 +32,7 @@ __all__ = [
     "BLOCKED",
     "lane_uniforms",
     "lane_states",
+    "lane_node_thresholds",
 ]
 
 LIVE = 0
@@ -77,6 +78,21 @@ def lane_states(
     return np.where(
         draws < p, LIVE, np.where(draws < pp, BOOST, BLOCKED)
     ).astype(np.int8)
+
+
+def lane_node_thresholds(
+    lane_seeds: np.ndarray, lanes: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Per-lane *node* uniforms: lane ``l``'s draw for node ``v`` is
+    ``hash_draw(lane_seeds[l], v, v)``.
+
+    This is the LT model's world: a fixed threshold ``θ_v`` per node,
+    hashed exactly like edge states so one lane seed pins a whole LT
+    world (traversal-order independent, re-examinable under any boost
+    set).  The lane kernels reproduce these draws from the precomputed
+    per-node base; this function is the spec they are pinned against.
+    """
+    return hash_draw_pairs(lane_seeds[lanes], nodes, nodes)
 
 
 class EdgeStateArray:

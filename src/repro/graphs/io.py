@@ -6,12 +6,20 @@ Format (whitespace separated, ``#`` comments allowed)::
     u v p pp
 
 The header line is required so isolated trailing nodes survive round-trips.
+
+Reading is vectorized: comment lines are parsed in one cheap scan (only
+they can carry the header), the data rows go through ``np.loadtxt``'s C
+reader in a single call, and only malformed files fall back to the
+per-line Python parse for its precise error messages.
 """
 
 from __future__ import annotations
 
+import io
 import os
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from .digraph import DiGraph
 
@@ -26,32 +34,76 @@ def write_edge_list(graph: DiGraph, path: str | os.PathLike) -> None:
             handle.write(f"{u} {v} {p:.12g} {pp:.12g}\n")
 
 
-def read_edge_list(path: str | os.PathLike) -> DiGraph:
-    """Read a graph previously written by :func:`write_edge_list`."""
-    n = None
+def _parse_edges_slow(text: str) -> Tuple[List[int], List[int], List[float], List[float]]:
+    """Per-line parse of the data rows (the pre-vectorization reader),
+    kept for its exact malformed-line diagnostics.
+
+    Strips inline ``#`` comments like ``np.loadtxt`` does, so a file is
+    accepted or rejected identically by both parse paths."""
     src: List[int] = []
     dst: List[int] = []
     p: List[float] = []
     pp: List[float] = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed edge line: {line!r}")
+        src.append(int(parts[0]))
+        dst.append(int(parts[1]))
+        p.append(float(parts[2]))
+        pp.append(float(parts[3]))
+    return src, dst, p, pp
+
+
+def read_edge_list(path: str | os.PathLike) -> DiGraph:
+    """Read a graph previously written by :func:`write_edge_list`."""
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) >= 2 and parts[0] == "n":
-                    n = int(parts[1])
-                continue
-            parts = line.split()
-            if len(parts) != 4:
-                raise ValueError(f"malformed edge line: {line!r}")
-            src.append(int(parts[0]))
-            dst.append(int(parts[1]))
-            p.append(float(parts[2]))
-            pp.append(float(parts[3]))
+        text = handle.read()
+    n = None
+    has_data = False
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) >= 2 and parts[0] == "n":
+                n = int(parts[1])
+        elif line:
+            has_data = True
+    data: np.ndarray | None
+    if not has_data:
+        data = np.empty((0, 4))
+    else:
+        try:
+            data = np.loadtxt(
+                io.StringIO(text), dtype=np.float64, comments="#", ndmin=2
+            )
+        except ValueError:
+            # Ragged rows (or non-numeric tokens): re-parse line by line
+            # so the error names the offending line.
+            data = None
+    if data is None:
+        src, dst, p, pp = _parse_edges_slow(text)
+        m = len(src)
+    elif data.size == 0:
+        src = dst = p = pp = []  # type: ignore[assignment]
+        m = 0
+    else:
+        if data.shape[1] != 4:
+            raise ValueError(
+                f"malformed edge list: expected 4 columns, got {data.shape[1]}"
+            )
+        if not np.all(data[:, :2] == np.floor(data[:, :2])):
+            raise ValueError("malformed edge list: non-integer node id")
+        src = data[:, 0].astype(np.int64)
+        dst = data[:, 1].astype(np.int64)
+        p = data[:, 2]
+        pp = data[:, 3]
+        m = int(data.shape[0])
     if n is None:
-        n = max(max(src, default=-1), max(dst, default=-1)) + 1
-        if n <= 0:
+        if m == 0:
             raise ValueError("edge list has no header and no edges")
+        n = int(max(np.max(src), np.max(dst))) + 1
     return DiGraph(n, src, dst, p, pp)

@@ -40,6 +40,24 @@ class TestRoundTrip:
         assert g2.n == 3
         assert g2.m == 0
 
+    def test_roundtrip_50k_edges_exact(self, tmp_path):
+        """The np.loadtxt fast path round-trips a ~50k-edge graph with
+        every edge and probability intact (%.12g written floats re-read
+        bit-close)."""
+        rng = np.random.default_rng(11)
+        g = learned_like(preferential_attachment(10_000, 5, rng), rng, 0.1)
+        assert g.m > 49_000
+        path = tmp_path / "big.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert (g2.n, g2.m) == (g.n, g.m)
+        s1, d1, p1, pp1 = g.edge_arrays()
+        s2, d2, p2, pp2 = g2.edge_arrays()
+        assert np.array_equal(s1, s2)
+        assert np.array_equal(d1, d2)
+        np.testing.assert_allclose(p1, p2, rtol=1e-11, atol=0)
+        np.testing.assert_allclose(pp1, pp2, rtol=1e-11, atol=0)
+
 
 class TestParsing:
     def test_comments_and_blank_lines(self, tmp_path):
@@ -57,6 +75,20 @@ class TestParsing:
     def test_malformed_line_raises(self, tmp_path):
         path = tmp_path / "graph.txt"
         path.write_text("0 1 0.5\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_ragged_rows_raise(self, tmp_path):
+        # One good row plus a short one: np.loadtxt refuses the ragged
+        # block and the per-line fallback names the bad line.
+        path = tmp_path / "graph.txt"
+        path.write_text("# n 3\n0 1 0.5 0.6\n1 2 0.5\n")
+        with pytest.raises(ValueError, match="malformed edge line"):
+            read_edge_list(path)
+
+    def test_fractional_node_id_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# n 3\n0.5 1 0.5 0.6\n")
         with pytest.raises(ValueError):
             read_edge_list(path)
 
