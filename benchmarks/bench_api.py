@@ -28,9 +28,13 @@ Results land in ``BENCH_api.json``.  Run with::
     PYTHONPATH=src python benchmarks/bench_api.py [--smoke]
 
 ``--smoke`` shrinks the graph and repeat counts, skips the JSON write,
-still asserts parity, and fails on a warm-vs-cold aggregate speedup
-below 1.15x (a loose gate — the 1-CPU CI container is noisy; the full
-run's committed numbers are the reference).
+still asserts parity, and enforces the CI regression gate: the measured
+interactive-mix speedup must be at least 70% of the committed
+``smoke_baseline`` ratio (and at least the absolute 1.15x floor — the
+1-CPU CI container is noisy).  A failing gate re-measures once before
+declaring a regression, matching ``bench_lanes``/``bench_models``.  The
+full run records its own smoke-config measurement as ``smoke_baseline``
+in ``BENCH_api.json`` for future gates to compare against.
 """
 
 from __future__ import annotations
@@ -280,20 +284,63 @@ def run(smoke: bool = False) -> dict:
     return results
 
 
-def main() -> None:
+def check_smoke_regression(results) -> int:
+    """Gate the measured interactive-mix speedup against the committed
+    ``smoke_baseline`` (>= 70% of it, never below break-even)."""
+    if not RESULT_PATH.exists():
+        print("no committed BENCH_api.json baseline; skipping gate")
+        return 0
+    baseline = json.loads(RESULT_PATH.read_text()).get("smoke_baseline")
+    if not baseline:
+        print("committed BENCH_api.json has no smoke_baseline; skipping gate")
+        return 0
+    measured = results["interactive_mix"]["speedup"]
+    reference = baseline["interactive_mix"]
+    floor = max(1.0, 0.7 * reference)
+    status = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"  gate interactive_mix: measured {measured:.2f}x, baseline "
+        f"{reference:.2f}x, floor {floor:.2f}x -> {status}"
+    )
+    if measured < floor:
+        print("SMOKE REGRESSION (> 30% below baseline): interactive_mix")
+        return 1
+    return 0
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny workload for CI: asserts parity + a loose speedup floor, "
-             "skips the JSON write",
+        help="tiny workload for CI: asserts parity, gates the speedup "
+             "against the committed smoke_baseline, skips the JSON write",
     )
     args = parser.parse_args()
     results = run(smoke=args.smoke)
-    if not args.smoke:
-        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-        print(f"wrote {RESULT_PATH}")
+    if args.smoke:
+        status = check_smoke_regression(results)
+        if status:
+            # One retry before failing CI: on shared runners a noisy
+            # neighbour can sink a whole measurement round; a genuine
+            # regression fails both rounds.
+            print("gate failed; re-measuring once before declaring a regression")
+            retry = run(smoke=True)
+            better = retry["interactive_mix"]["speedup"]
+            if better > results["interactive_mix"]["speedup"]:
+                results = retry
+            status = check_smoke_regression(results)
+        return status
+    # The smoke-config measurement on this machine becomes the committed
+    # baseline the CI gate compares against.
+    smoke_results = run(smoke=True)
+    results["smoke_baseline"] = {
+        "interactive_mix": smoke_results["interactive_mix"]["speedup"]
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

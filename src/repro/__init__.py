@@ -42,13 +42,17 @@ historical result objects unchanged.
 """
 
 from .api import (
+    AdmissionPolicy,
+    AdmissionRejected,
     BoostQuery,
     EvalQuery,
     QueryResult,
+    ResultCache,
     SamplingBudget,
     SeedQuery,
     Session,
     algorithm_names,
+    estimate_cost,
     query_from_dict,
     register_algorithm,
 )
@@ -103,6 +107,11 @@ __all__ = [
     "query_from_dict",
     "register_algorithm",
     "algorithm_names",
+    # serving tier
+    "ResultCache",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "estimate_cost",
     # graphs + model
     "DiGraph",
     "GraphBuilder",

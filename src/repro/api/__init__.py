@@ -17,12 +17,28 @@ typed queries:
 * :func:`register_algorithm` — the string-keyed registry every
   algorithm (built-in or third-party) dispatches through.
 
+On top of the session sits the serving tier: a fingerprint-keyed
+:class:`ResultCache` (graph-version-invalidated envelope memoization),
+an :class:`AdmissionPolicy` pricing queries before sampling
+(:exc:`AdmissionRejected` / structured rejection envelopes), the
+overlapped :meth:`Session.run_many` pipelining independent seeded
+queries over the shared-memory runtime, and the :func:`serve_ndjson` /
+:func:`serve_http` front ends behind ``repro serve``.
+
 The legacy free functions (``prr_boost``, ``prr_boost_lb``, ``imm``,
 ``ssa``, ...) remain available as thin wrappers over a default throwaway
 session, returning their historical result objects bit-for-bit.
 """
 
 from . import algorithms as _algorithms  # noqa: F401  (registers built-ins)
+from .admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionRejected,
+    QueryCost,
+    estimate_cost,
+)
+from .cache import ResultCache
 from .queries import (
     BoostQuery,
     EvalQuery,
@@ -33,6 +49,7 @@ from .queries import (
 )
 from .registry import algorithm_names, get_algorithm, register_algorithm
 from .result import QueryResult
+from .serve import serve_http, serve_ndjson
 from .session import Session
 
 __all__ = [
@@ -47,4 +64,12 @@ __all__ = [
     "register_algorithm",
     "get_algorithm",
     "algorithm_names",
+    "ResultCache",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "QueryCost",
+    "estimate_cost",
+    "serve_ndjson",
+    "serve_http",
 ]

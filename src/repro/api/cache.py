@@ -1,0 +1,134 @@
+"""Fingerprint-keyed result cache for the serving tier.
+
+Interactive traffic repeats itself: the same boost/seed/eval queries are
+issued again and again against a slowly-changing graph.  A
+:class:`ResultCache` makes the repeat near-free by memoizing whole
+:class:`~repro.api.result.QueryResult` envelopes, keyed on
+
+``(query fingerprint, graph version, model, rng_seed, effective workers)``
+
+* the **fingerprint** already binds algorithm, parameters, budget
+  (minus the ``workers`` execution hint), diffusion model, RNG seed and
+  the graph's probability signature, so it is the semantic identity of
+  the query,
+* the **graph version** (:attr:`repro.graphs.DiGraph.version`) is the
+  invalidation signal: any in-place probability update bumps it and
+  every cached entry for the old graph silently becomes unreachable,
+* the **effective worker count** is in the key (but *not* the
+  fingerprint) because the samplers draw a different — equally valid —
+  stream through the chunked parallel path than through the serial one;
+  caching across worker counts would return a result the uncached run
+  could not reproduce.
+
+Only queries with an explicit ``rng_seed`` are cacheable: without one
+the query consumes ambient entropy and two runs are *supposed* to
+differ.  Entries are bounded LRU; hits move an entry to the back, and
+inserting past ``capacity`` evicts the front.  Hit/miss/eviction
+counters are exposed for the serving front end's ``/stats``.
+
+The cache stores (and returns) the original ``QueryResult`` object —
+envelope-identical to the uncached run by construction, including its
+recorded timings.  Treat results as read-only, which every consumer of
+the session API already does.  Thread-safe: the overlapped ``run_many``
+lanes and the HTTP front end share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from .result import QueryResult
+
+__all__ = ["ResultCache"]
+
+CacheKey = Tuple[str, int, str, int, int]
+
+
+class ResultCache:
+    """Bounded LRU cache of :class:`QueryResult` envelopes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached envelopes; the least recently used is
+        evicted on overflow.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, QueryResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        fingerprint: str, graph_version: int, query, workers: int
+    ) -> Optional[CacheKey]:
+        """The cache key of a stamped query, or ``None`` if uncacheable.
+
+        ``None`` means the query carries no ``rng_seed`` — its answer is
+        entropy-dependent and must be recomputed every time.
+        """
+        if query.rng_seed is None:
+            return None
+        return (
+            fingerprint,
+            int(graph_version),
+            query.model,
+            int(query.rng_seed),
+            int(workers),
+        )
+
+    def get(self, key: Optional[CacheKey]) -> Optional[QueryResult]:
+        """The cached envelope under ``key`` (bumped to most-recent), or
+        ``None`` on a miss.  ``key=None`` (uncacheable) counts as a miss
+        of its own kind and is not tallied."""
+        if key is None:
+            return None
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: Optional[CacheKey], result: QueryResult) -> None:
+        """Insert ``result`` under ``key`` (no-op for uncacheable keys)."""
+        if key is None:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable counters for the serving front end."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

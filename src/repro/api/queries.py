@@ -16,7 +16,9 @@ semantics (incoming-boost IC — the default — outgoing-boost IC, or LT;
 see :mod:`repro.engine.models`).  Queries are frozen dataclasses with
 normalized, hashable fields, so they serialize to/from JSON losslessly
 (:meth:`to_dict` / :func:`query_from_dict`) — the shape the ``repro
-query`` batch subcommand and any future serving layer speak.
+query`` batch subcommand and the serving front ends (``repro serve``,
+:mod:`repro.api.serve`) speak.  :meth:`canonical_dict` is the
+budget-stripped form the serving tier fingerprints.
 
 ``rng_seed`` pins the query's RNG stream for reproducibility; leaving it
 ``None`` means the caller supplies a live generator to
@@ -139,6 +141,20 @@ class _BaseQuery:
             out["rng_seed"] = int(self.rng_seed)
         if self.params:
             out["params"] = dict(self.params)
+        return out
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The query's semantic identity — :meth:`to_dict` minus the
+        embedded budget.
+
+        The serving tier fingerprints queries against the *resolved*
+        budget (session default overlaid with the query's own), so the
+        embedded copy is redundant there and would make "explicit budget
+        equal to the session default" and "no budget" fingerprint
+        differently.
+        """
+        out = self.to_dict()
+        out.pop("budget", None)
         return out
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
 __all__ = ["QueryResult"]
@@ -92,6 +92,30 @@ class QueryResult:
 
     def to_json(self, **kwargs: Any) -> str:
         return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryResult":
+        """Rebuild an envelope from its :meth:`to_dict` wire form.
+
+        The inverse the serving clients need: an NDJSON / HTTP response
+        line round-trips back into a :class:`QueryResult` (``raw`` is
+        gone — it never crosses the wire).  Unknown keys are rejected so
+        malformed payloads fail loudly.
+        """
+        known = {f.name for f in fields(cls)} - {"raw"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown result fields: {sorted(unknown)}")
+        return cls(
+            algorithm=str(data.get("algorithm", "")),
+            selected=[int(v) for v in data.get("selected", ())],
+            estimates={k: float(v) for k, v in data.get("estimates", {}).items()},
+            num_samples=int(data.get("num_samples", 0)),
+            timings={k: float(v) for k, v in data.get("timings", {}).items()},
+            fingerprint=str(data.get("fingerprint", "")),
+            query=dict(data.get("query", {})),
+            extra=dict(data.get("extra", {})),
+        )
 
 
 def fingerprint_of(payload: Dict[str, Any]) -> str:

@@ -1,0 +1,218 @@
+"""Batch serving front ends over a warm :class:`~repro.api.Session`.
+
+Two thin transports expose the serving tier (result cache, admission,
+overlapped ``run_many``) without any dependency beyond the stdlib:
+
+* :func:`serve_ndjson` — newline-delimited JSON over arbitrary streams
+  (stdin/stdout in the CLI).  Each input line is either one query object
+  (the :meth:`~repro.api.queries._BaseQuery.to_dict` wire shape) or an
+  array of them; each query produces exactly one NDJSON output line, in
+  input order.  Arrays run through the overlapped ``run_many``, so a
+  client that batches its independent seeded queries gets the pipelined
+  path for free.
+* :func:`serve_http` — a ``http.server``-based endpoint::
+
+      POST /query    body = query object or array -> result / array
+      GET  /stats    session + cache + serve counters
+      GET  /healthz  liveness probe
+
+  Requests are handled on server threads; query execution is serialized
+  per request through a session lock (the session's *internal* overlap
+  lanes still pipeline each batch), which keeps the shared warm scratch
+  single-writer without a second queueing layer.
+
+Error contract (both transports): malformed input yields
+``{"error": "bad_request", "detail": ...}``, an admission rejection
+yields the policy's structured envelope
+(``{"error": "admission_rejected", "admission": {...}, "query": {...}}``)
+— the stream/server keeps going either way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, IO, List, Optional
+
+from .admission import AdmissionRejected
+from .queries import query_from_dict
+from .session import Session
+
+__all__ = ["serve_ndjson", "serve_http", "ServeStats"]
+
+
+class ServeStats:
+    """Thread-safe request counters shared by the front ends."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.results = 0
+        self.rejected = 0
+        self.errors = 0
+
+    def count(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def to_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "results": self.results,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            }
+
+
+def _bad_request(detail: str) -> Dict[str, Any]:
+    return {"error": "bad_request", "detail": detail}
+
+
+def _answer(session: Session, payload: Any, stats: ServeStats) -> List[Dict[str, Any]]:
+    """Run one decoded request payload; one envelope dict per query.
+
+    A dict payload is a single query; a list payload is a batch handed to
+    the overlapped ``run_many``.  Admission rejections come back as their
+    structured envelopes in-position (never as exceptions), so a batch
+    with one over-budget member still answers the rest.
+    """
+    batch = payload if isinstance(payload, list) else [payload]
+    if not batch:
+        return []
+    queries = []
+    for entry in batch:
+        if not isinstance(entry, dict):
+            stats.count("errors")
+            return [_bad_request("each query must be a JSON object")]
+        try:
+            queries.append(query_from_dict(entry))
+        except (ValueError, TypeError) as exc:
+            stats.count("errors")
+            return [_bad_request(str(exc))]
+    try:
+        results = session.run_many(queries, on_reject="envelope")
+    except AdmissionRejected as exc:  # defensive; run_many envelopes these
+        stats.count("rejected")
+        return [exc.envelope]
+    out = []
+    for result in results:
+        envelope = result.to_dict()
+        if envelope.get("extra", {}).get("error") == "admission_rejected":
+            stats.count("rejected")
+        else:
+            stats.count("results")
+        out.append(envelope)
+    return out
+
+
+def serve_ndjson(
+    session: Session,
+    in_stream: IO[str],
+    out_stream: IO[str],
+) -> Dict[str, Any]:
+    """Answer NDJSON queries from ``in_stream`` on ``out_stream``.
+
+    Blocks until the input stream is exhausted; returns the final serve
+    stats (also what ``repro serve`` prints to stderr on exit).  Output
+    is flushed per input line, so a pipe-connected client sees each
+    answer as soon as its line completes.
+    """
+    stats = ServeStats()
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        stats.count("requests")
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            stats.count("errors")
+            envelopes = [_bad_request(f"invalid JSON: {exc}")]
+        else:
+            envelopes = _answer(session, payload, stats)
+        for envelope in envelopes:
+            out_stream.write(json.dumps(envelope) + "\n")
+        out_stream.flush()
+    summary = dict(session.stats())
+    summary["serve"] = stats.to_dict()
+    return summary
+
+
+def serve_http(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    *,
+    poll_interval: float = 0.5,
+    ready: Optional[threading.Event] = None,
+    stop: Optional[threading.Event] = None,
+) -> Dict[str, Any]:
+    """Serve the HTTP endpoint until interrupted (or ``stop`` is set).
+
+    ``ready``/``stop`` exist for embedding (tests, background threads):
+    ``ready`` is set once the socket is bound — read the bound port from
+    ``ready.port`` when ``port=0`` asked for an ephemeral one.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    stats = ServeStats()
+    session_lock = threading.Lock()
+
+    class Handler(BaseHTTPRequestHandler):
+        # Quiet by default: serving stderr is for the exit summary.
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def _send(self, code: int, payload: Any) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path == "/healthz":
+                self._send(200, {"ok": True})
+            elif self.path == "/stats":
+                summary = dict(session.stats())
+                summary["serve"] = stats.to_dict()
+                self._send(200, summary)
+            else:
+                self._send(404, _bad_request(f"unknown path {self.path!r}"))
+
+        def do_POST(self) -> None:  # noqa: N802
+            if self.path != "/query":
+                self._send(404, _bad_request(f"unknown path {self.path!r}"))
+                return
+            stats.count("requests")
+            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                payload = json.loads(self.rfile.read(length) or b"null")
+            except json.JSONDecodeError as exc:
+                stats.count("errors")
+                self._send(400, _bad_request(f"invalid JSON: {exc}"))
+                return
+            with session_lock:
+                envelopes = _answer(session, payload, stats)
+            failed = any(e.get("error") == "bad_request" for e in envelopes)
+            body = envelopes if isinstance(payload, list) else envelopes[0]
+            self._send(400 if failed else 200, body)
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    server.timeout = poll_interval
+    try:
+        if ready is not None:
+            ready.port = server.server_address[1]  # type: ignore[attr-defined]
+            ready.set()
+        while stop is None or not stop.is_set():
+            server.handle_request()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    summary = dict(session.stats())
+    summary["serve"] = stats.to_dict()
+    return summary

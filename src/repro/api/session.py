@@ -20,35 +20,65 @@ the state that is expensive to build and cheap to keep:
   model so e.g. the LT-normalized graph and its warm engine are built
   once and shared by every later LT query.
 
+On top of that sits the serving tier:
+
+* an optional :class:`~repro.api.cache.ResultCache` memoizes whole
+  result envelopes for seeded queries, invalidated automatically when
+  the graph's :attr:`~repro.graphs.DiGraph.version` moves (the
+  session's graph signature, engine binding and per-model graph views
+  refresh on the same signal),
+* an optional :class:`~repro.api.admission.AdmissionPolicy` prices each
+  query *before* sampling and rejects (or queues) over-budget work,
+* :meth:`run_many` **overlaps** independent seeded queries: each runs in
+  a session-owned lane thread through a :class:`_SessionLane` view
+  (thread-local engine and scratch via the thread-keyed
+  :meth:`SamplingEngine.for_graph`), and their sampling chunks interleave
+  on the one shared-memory worker pool through the runtime's
+  tag-multiplexed ``submit``/``gather`` — one query's selection phase
+  runs while the others' samples are still being drawn.  Results are
+  bit-identical to the serial path because every seeded query's
+  collection is a pure function of ``(count, rng_seed)``.
+
 Queries are typed objects (:mod:`repro.api.queries`) dispatched through
 the string-keyed registry (:mod:`repro.api.registry`); every answer is a
 uniform, JSON-serializable :class:`~repro.api.result.QueryResult`.
 
 Sessions are context managers::
 
-    with Session(graph) as session:
+    with Session(graph, cache=ResultCache()) as session:
         seeds = session.run(SeedQuery(k=20, rng_seed=7)).selected
         boost = session.run(BoostQuery(seeds=seeds, k=50, rng_seed=7))
         delta = session.run(EvalQuery(seeds=seeds, boost=boost.selected,
                                       rng_seed=7))
 
-Lifecycle contract: :meth:`close` is idempotent, releases the worker
-pool and its shared-memory segments (when this session's graph owns
-them), and any later :meth:`run` raises ``RuntimeError``.  Sessions are
-not thread-safe — the warm scratch and the engine's stamp buffers are
-shared mutable state; use one session per thread.
+Lifecycle contract: :meth:`close` is idempotent, releases the lane pool
+and the worker pool with its shared-memory segments (when this session's
+graph owns them), and any later :meth:`run` raises ``RuntimeError``.
+Direct :meth:`run` calls remain single-threaded per session — the warm
+scratch is shared mutable state; concurrency belongs to :meth:`run_many`
+(overlap lanes) and the serving front end built on it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Iterable, List, Optional, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..engine import SamplingEngine
 from ..engine.coverage import CoverageIndex
 from ..graphs.digraph import DiGraph
+from .admission import (
+    QUEUE,
+    REJECT,
+    AdmissionPolicy,
+    AdmissionRejected,
+    rejection_result,
+)
+from .cache import ResultCache
 from .queries import Query, SamplingBudget
 from .registry import get_algorithm
 from .result import QueryResult, fingerprint_of
@@ -62,6 +92,62 @@ def _package_version() -> str:
     from .. import __version__
 
     return __version__
+
+
+class _SessionLane:
+    """A thread-facing view of a :class:`Session` for overlap lanes.
+
+    Handlers receive this instead of the session itself when a query runs
+    on a lane thread.  Reads delegate to the base session (graph, budget
+    resolution, the locked per-model graph and candidate caches); the
+    *mutable scratch* — engine stamp buffers, coverage index, PRR arena —
+    resolves to thread-local instances instead, because those are the
+    parts two concurrent queries must never share.  The engine comes from
+    the thread-keyed :meth:`SamplingEngine.for_graph`, the same call every
+    sampler makes internally, so handler-level and sampler-level accesses
+    agree on one engine per (thread, graph).
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: "Session") -> None:
+        self._base = base
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+    @property
+    def graph(self) -> DiGraph:
+        return self._base.graph
+
+    @property
+    def engine(self) -> SamplingEngine:
+        return SamplingEngine.for_graph(self._base.graph)
+
+    def engine_for(self, model=None) -> SamplingEngine:
+        return SamplingEngine.for_graph(self._base.graph_for(model))
+
+    def scratch_index(self) -> CoverageIndex:
+        tls = self._base._lane_tls
+        index = getattr(tls, "index", None)
+        if index is None:
+            index = CoverageIndex(self._base.graph.n)
+            tls.index = index
+        else:
+            index.clear()
+        return index
+
+    def scratch_arena(self):
+        from ..core.prr import PRRArena
+
+        tls = self._base._lane_tls
+        arena = getattr(tls, "arena", None)
+        if arena is None:
+            arena = PRRArena(self._base.graph.n)
+            tls.arena = arena
+        else:
+            arena.clear()
+        return arena
 
 
 class Session:
@@ -79,6 +165,20 @@ class Session:
         parallel runtime if it is bound to this session's graph.  The
         legacy free-function wrappers pass False so a throwaway
         per-call session never kills the warm pool between calls.
+    cache:
+        Optional :class:`ResultCache`.  Seeded queries whose fingerprint,
+        graph version, model, seed and effective worker count match a
+        previous run return the cached envelope without sampling.
+    admission:
+        Optional :class:`AdmissionPolicy`.  Every query is priced before
+        it runs; rejection raises :exc:`AdmissionRejected` (or yields a
+        rejection envelope in :meth:`run_many` with
+        ``on_reject="envelope"``), and "queue"-classed queries run after
+        the admitted wave of their batch.
+    overlap_lanes:
+        Lane threads :meth:`run_many` may use to overlap independent
+        seeded queries (the pool is created lazily on the first
+        overlapped batch).
     """
 
     def __init__(
@@ -86,16 +186,28 @@ class Session:
         graph: DiGraph,
         budget: Optional[SamplingBudget] = None,
         manage_runtime: bool = True,
+        cache: Optional[ResultCache] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        overlap_lanes: int = 4,
     ) -> None:
         self.graph = graph
         self.default_budget = budget if budget is not None else SamplingBudget()
         self._manage_runtime = bool(manage_runtime)
+        self.cache = cache
+        self.admission = admission
+        self.overlap_lanes = max(1, int(overlap_lanes))
         self._closed = False
         self.queries_run = 0
+        self._stats_lock = threading.Lock()
+        # Guards the version-keyed state (signature, model-graph views)
+        # and the lazily-created caches the lane threads share.
+        self._state_lock = threading.RLock()
+        self._lane_pool: Optional[ThreadPoolExecutor] = None
+        self._lane_tls = threading.local()
         # Warm the engine now: CSR views, splitmix64 hash bases, integer
         # thresholds and scratch planes are built once per graph and every
         # query (and every other session on the same graph) reuses them.
-        self.engine = SamplingEngine.for_graph(graph)
+        SamplingEngine.for_graph(graph)
         self._scratch_index: Optional[CoverageIndex] = None
         self._scratch_arena = None  # repro.core.prr.PRRArena, built lazily
         self._candidates_cache: dict = {}
@@ -105,13 +217,9 @@ class Session:
         # warmed) on first LT query — this is the engine-cache keying
         # that lets one warm session serve every diffusion semantics.
         self._model_graphs: dict = {"ic": graph, "ic_out": graph}
-        src, dst, p, pp = graph.edge_arrays()
-        self._graph_signature = {
-            "n": int(graph.n),
-            "m": int(graph.m),
-            "p_sum": round(float(p.sum()), 9),
-            "pp_sum": round(float(pp.sum()), 9),
-        }
+        self._graph_signature: Dict[str, float] = {}
+        self._signature_version = -1
+        self._signature()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,15 +237,19 @@ class Session:
     def close(self) -> None:
         """Release session state (idempotent).
 
-        Drops the recycled scratch and — for runtime-managing sessions —
-        shuts down the shared-memory worker pool when it is bound to this
-        session's graph, unlinking the published graph segment and any
-        in-flight result segments.  The engine stays cached on the graph
-        (it is plain process-local memory shared by design).
+        Drops the recycled scratch, joins the overlap lane pool, and —
+        for runtime-managing sessions — shuts down the shared-memory
+        worker pool when it is bound to this session's graph, unlinking
+        the published graph segment and any in-flight result segments.
+        The engine stays cached on the graph (it is plain process-local
+        memory shared by design).
         """
         if self._closed:
             return
         self._closed = True
+        pool, self._lane_pool = self._lane_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         self._scratch_index = None
         self._scratch_arena = None
         self._candidates_cache.clear()
@@ -150,6 +262,66 @@ class Session:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Warm state, keyed by the graph version
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> SamplingEngine:
+        """The warm engine for the session graph (rebuilt transparently
+        when the graph's probabilities are updated in place)."""
+        return SamplingEngine.for_graph(self.graph)
+
+    def _signature(self) -> Dict[str, float]:
+        """The fingerprint's graph component, refreshed on version bumps.
+
+        A probability update (:meth:`DiGraph.update_probabilities`) bumps
+        the graph version; the next query recomputes the probability
+        sums and drops the per-model graph views built from the old
+        arrays, so fingerprints and LT-normalized copies always describe
+        the graph a query actually ran on.  The version itself is *not*
+        part of the signature — equal graphs give equal fingerprints
+        across fresh processes — it is the cache key's invalidation
+        field instead.
+        """
+        version = getattr(self.graph, "version", 0)
+        with self._state_lock:
+            if self._signature_version != version:
+                src, dst, p, pp = self.graph.edge_arrays()
+                self._graph_signature = {
+                    "n": int(self.graph.n),
+                    "m": int(self.graph.m),
+                    "p_sum": round(float(p.sum()), 9),
+                    "pp_sum": round(float(pp.sum()), 9),
+                }
+                self._model_graphs = {"ic": self.graph, "ic_out": self.graph}
+                self._signature_version = version
+            return self._graph_signature
+
+    def fingerprint_for(self, query: Query) -> str:
+        """The reproducibility fingerprint a query will be stamped with.
+
+        Binds the query dict, its resolved budget *minus the ``workers``
+        execution hint*, the graph signature and the package version.
+        Workers are excluded deliberately: the chunked parallel path and
+        the serial path draw different (equally valid) streams, so the
+        worker count is an execution detail tracked by the result cache's
+        key, not part of the query's semantic identity — fingerprints
+        are stable across worker counts, fresh sessions, and cache
+        on/off.
+        """
+        budget = self.resolve_budget(query).to_dict()
+        budget.pop("workers", None)
+        return fingerprint_of(
+            {
+                # canonical_dict drops the query's embedded budget — the
+                # resolved one above is the binding copy.
+                "query": query.canonical_dict(),
+                "budget": budget,
+                "graph": self._signature(),
+                "version": _package_version(),
+            }
+        )
 
     # ------------------------------------------------------------------
     # Warm scratch
@@ -192,11 +364,13 @@ class Session:
         from ..engine.models import resolve_model
 
         mdl = resolve_model(model)
-        graph = self._model_graphs.get(mdl.name)
-        if graph is None:
-            graph = mdl.prepare_graph(self.graph)
-            self._model_graphs[mdl.name] = graph
-        return graph
+        self._signature()  # drop stale model views after a graph mutation
+        with self._state_lock:
+            graph = self._model_graphs.get(mdl.name)
+            if graph is None:
+                graph = mdl.prepare_graph(self.graph)
+                self._model_graphs[mdl.name] = graph
+            return graph
 
     def engine_for(self, model=None) -> SamplingEngine:
         """The warm engine serving ``model``'s graph view.
@@ -205,10 +379,7 @@ class Session:
         (and cache, via the graph's engine slot) their own engine, so a
         mixed query stream pays each model's warm-up exactly once.
         """
-        graph = self.graph_for(model)
-        if graph is self.graph:
-            return self.engine
-        return SamplingEngine.for_graph(graph)
+        return SamplingEngine.for_graph(self.graph_for(model))
 
     def candidates_for(self, seeds) -> set:
         """The non-seed candidate pool for ``seeds``, cached per seed set.
@@ -221,14 +392,15 @@ class Session:
         """
         self._check_open()
         key = tuple(seeds)
-        pool = self._candidates_cache.get(key)
-        if pool is None:
-            seed_set = set(key)
-            pool = {v for v in range(self.graph.n) if v not in seed_set}
-            if len(self._candidates_cache) >= 16:
-                self._candidates_cache.clear()
-            self._candidates_cache[key] = pool
-        return pool
+        with self._state_lock:
+            pool = self._candidates_cache.get(key)
+            if pool is None:
+                seed_set = set(key)
+                pool = {v for v in range(self.graph.n) if v not in seed_set}
+                if len(self._candidates_cache) >= 16:
+                    self._candidates_cache.clear()
+                self._candidates_cache[key] = pool
+            return pool
 
     # ------------------------------------------------------------------
     # Runtime
@@ -269,6 +441,55 @@ class Session:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _cache_key(self, query: Query):
+        """The result-cache key for ``query`` (None when uncacheable)."""
+        if self.cache is None or query.rng_seed is None:
+            return None
+        from ..core.parallel import resolve_sampler_workers
+
+        workers = resolve_sampler_workers(self.resolve_budget(query).workers)
+        return ResultCache.key_for(
+            self.fingerprint_for(query),
+            getattr(self.graph, "version", 0),
+            query,
+            workers,
+        )
+
+    def _run_admitted(
+        self,
+        query: Query,
+        rng: Optional[np.random.Generator] = None,
+        exec_session=None,
+    ) -> QueryResult:
+        """Cache-check, execute and stamp one already-admitted query.
+
+        ``exec_session`` is the object handlers see — the session itself
+        on the serial path, a :class:`_SessionLane` on lane threads.
+        """
+        key = self._cache_key(query)
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                with self._stats_lock:
+                    self.queries_run += 1
+                return hit
+        handler = get_algorithm(query.algorithm)
+        if query.rng_seed is not None:
+            rng = np.random.default_rng(query.rng_seed)
+        elif rng is None:
+            rng = np.random.default_rng()
+        target = self if exec_session is None else exec_session
+        start = time.perf_counter()
+        result = handler(target, query, rng)
+        result.timings["total"] = time.perf_counter() - start
+        result.query = query.to_dict()
+        result.fingerprint = self.fingerprint_for(query)
+        with self._stats_lock:
+            self.queries_run += 1
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
+
     def run(
         self, query: Query, rng: Optional[np.random.Generator] = None
     ) -> QueryResult:
@@ -280,44 +501,152 @@ class Session:
         generator through, which is what keeps wrapper results
         bit-for-bit identical to the pre-session API; with neither, the
         query runs on fresh OS entropy.
+
+        With an admission policy installed, a rejected query raises
+        :exc:`AdmissionRejected` before any sampling; "queue"-classed
+        queries simply run (there is no batch to defer them behind).
         """
         self._check_open()
-        handler = get_algorithm(query.algorithm)
-        if query.rng_seed is not None:
-            rng = np.random.default_rng(query.rng_seed)
-        elif rng is None:
-            rng = np.random.default_rng()
-        start = time.perf_counter()
-        result = handler(self, query, rng)
-        result.timings["total"] = time.perf_counter() - start
-        result.query = query.to_dict()
-        result.fingerprint = fingerprint_of(
-            {
-                "query": result.query,
-                "budget": self.resolve_budget(query).to_dict(),
-                "graph": self._graph_signature,
-                "version": _package_version(),
-            }
-        )
-        self.queries_run += 1
-        return result
+        if self.admission is not None:
+            decision = self.admission.decide(self, query)
+            if decision.action == REJECT:
+                raise AdmissionRejected(query, decision)
+        return self._run_admitted(query, rng=rng)
 
-    def run_many(
+    def _lane_run(self, query: Query) -> QueryResult:
+        return self._run_admitted(query, exec_session=_SessionLane(self))
+
+    def _lanes(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._lane_pool is None:
+                self._lane_pool = ThreadPoolExecutor(
+                    max_workers=self.overlap_lanes,
+                    thread_name_prefix="repro-lane",
+                )
+            return self._lane_pool
+
+    def run_iter(
         self,
         queries: Iterable[Query],
         rng: Optional[np.random.Generator] = None,
-    ) -> List[QueryResult]:
-        """Answer a batch of queries on shared warm state.
+    ) -> Iterator[QueryResult]:
+        """Yield each query's result as soon as it completes, in order.
 
-        The worker pool is pre-warmed once for the largest worker count
-        any query in the batch asks for, so the first parallel query does
-        not pay pool startup.  Queries with an explicit ``rng_seed`` run
-        on their own reproducible stream; the rest consume the ambient
-        ``rng`` in batch order (or fresh entropy when none is given).
+        The streaming form of :meth:`run_many` (serial execution, same
+        RNG semantics, pool pre-warmed once) — what ``repro query
+        --json`` uses to emit NDJSON per result instead of buffering the
+        batch.
         """
         self._check_open()
         batch = list(queries)
         workers = self._effective_workers(batch)
         if workers > 1:
             self.ensure_runtime(workers)
-        return [self.run(query, rng=rng) for query in batch]
+        for query in batch:
+            yield self.run(query, rng=rng)
+
+    def run_many(
+        self,
+        queries: Iterable[Query],
+        rng: Optional[np.random.Generator] = None,
+        overlap: object = "auto",
+        on_reject: str = "raise",
+    ) -> List[QueryResult]:
+        """Answer a batch of queries on shared warm state, overlapped.
+
+        The worker pool is pre-warmed once for the largest worker count
+        any query in the batch asks for, so the first parallel query does
+        not pay pool startup.
+
+        **Overlap** (``overlap="auto"``, the default): queries with an
+        explicit ``rng_seed`` are independent — each runs on its own
+        reproducible stream — so the batch pipelines them onto the lane
+        pool: every lane samples through its thread-local engine, chunked
+        sampling from all lanes interleaves on the one shared-memory
+        worker pool (tag-multiplexed), and one query's selection phase
+        overlaps the others' sampling.  Results are identical to the
+        serial path, in input order.  Identical cacheable queries in one
+        batch are computed once and share the envelope.  ``overlap=False``
+        forces the serial path.
+
+        Queries *without* a seed always run serially, consuming the
+        ambient ``rng`` in batch order (or fresh entropy when none is
+        given) — exactly the pre-overlap semantics, since seeded queries
+        never touch the ambient stream.
+
+        **Admission** (when a policy is installed): rejected queries
+        raise by default; ``on_reject="envelope"`` slots a structured
+        rejection envelope into their position instead.  "Queue"-classed
+        queries run last, after every admitted query has finished.
+        """
+        self._check_open()
+        if on_reject not in ("raise", "envelope"):
+            raise ValueError("on_reject must be 'raise' or 'envelope'")
+        batch = list(queries)
+        if not batch:
+            return []
+        workers = self._effective_workers(batch)
+        if workers > 1:
+            self.ensure_runtime(workers)
+
+        results: List[Optional[QueryResult]] = [None] * len(batch)
+        admitted: List[int] = []
+        deferred: List[int] = []
+        for i, query in enumerate(batch):
+            get_algorithm(query.algorithm)  # unknown algorithms fail the batch up front
+            if self.admission is None:
+                admitted.append(i)
+                continue
+            decision = self.admission.decide(self, query)
+            if decision.action == REJECT:
+                if on_reject == "raise":
+                    raise AdmissionRejected(query, decision)
+                results[i] = rejection_result(query, decision)
+            elif decision.action == QUEUE:
+                deferred.append(i)
+            else:
+                admitted.append(i)
+
+        lane_idx = [i for i in admitted if batch[i].rng_seed is not None]
+        if not overlap or len(lane_idx) < 2:
+            lane_idx = []
+        serial_idx = [i for i in admitted if i not in set(lane_idx)]
+
+        if lane_idx:
+            pool = self._lanes()
+            shared: Dict[tuple, Future] = {}
+            pending: List[tuple] = []
+            for i in lane_idx:
+                key = self._cache_key(batch[i])
+                future = shared.get(key) if key is not None else None
+                if future is None:
+                    future = pool.submit(self._lane_run, batch[i])
+                    if key is not None:
+                        shared[key] = future
+                pending.append((i, future))
+            for i, future in pending:
+                results[i] = future.result()
+        for i in serial_idx:
+            results[i] = self._run_admitted(batch[i], rng=rng)
+        for i in deferred:
+            results[i] = self._run_admitted(batch[i], rng=rng)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable session counters for the serving front end."""
+        out: Dict[str, object] = {
+            "queries_run": self.queries_run,
+            "graph": {
+                "n": int(self.graph.n),
+                "m": int(self.graph.m),
+                "version": int(getattr(self.graph, "version", 0)),
+            },
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        if self.admission is not None:
+            out["admission"] = self.admission.to_dict()
+        return out

@@ -8,16 +8,20 @@ Subcommands::
     python -m repro.cli tree     --nodes 255 --k 8 --epsilon 0.5
     python -m repro.cli budget   --dataset flixster-like --cost-ratio 20
     python -m repro.cli query    --dataset digg-like --file queries.json --json
+    python -m repro.cli serve    --dataset digg-like --cache-size 512
+    python -m repro.cli serve    --dataset digg-like --http 8321
 
 Every subcommand accepts ``--seed`` for reproducibility; ``boost``,
-``compare``, ``budget`` and ``query`` accept ``--workers N`` to run the
-sampling phases on the shared-memory parallel runtime.
+``compare``, ``budget``, ``query`` and ``serve`` accept ``--workers N``
+to run the sampling phases on the shared-memory parallel runtime.
 
 The ``query`` subcommand is the batch form of the session API: it reads
 a JSON list of typed queries (the :func:`repro.api.query_from_dict`
 shape), answers all of them in one warm :class:`repro.api.Session`, and
 prints either a summary table or (``--json``) the full
-:class:`~repro.api.QueryResult` envelopes::
+:class:`~repro.api.QueryResult` envelopes as NDJSON — one line per
+query, written as each completes, so a pipe-connected consumer streams
+answers instead of waiting for the whole batch::
 
     [
       {"type": "seed",  "algorithm": "imm", "k": 10, "rng_seed": 1},
@@ -25,6 +29,15 @@ prints either a summary table or (``--json``) the full
        "budget": {"max_samples": 5000}},
       {"type": "eval",  "seeds": [3, 14], "boost": [1, 2], "metric": "boost"}
     ]
+
+The ``serve`` subcommand keeps one warm session alive behind a front
+end (:mod:`repro.api.serve`): by default NDJSON over stdin/stdout (each
+input line is a query object or an array batch; arrays run through the
+overlapped ``run_many``), or ``--http PORT`` for the stdlib HTTP
+endpoint (``POST /query``, ``GET /stats``, ``GET /healthz``).  The
+result cache is on by default (``--no-cache`` disables it) and
+``--reject-units`` / ``--queue-units`` / ``--cap-samples`` /
+``--cap-mc-runs`` install an admission policy.
 """
 
 from __future__ import annotations
@@ -175,24 +188,67 @@ def _cmd_query(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     with Session(graph, budget=default_budget) as session:
+        if args.json:
+            # NDJSON: one envelope per line, flushed as each query
+            # completes, so downstream consumers stream instead of
+            # waiting for the whole batch.
+            for result in session.run_iter(queries, rng=rng):
+                print(json.dumps(result.to_dict()), flush=True)
+            return 0
         results = session.run_many(queries, rng=rng)
-    if args.json:
-        print(json.dumps([r.to_dict() for r in results], indent=2))
-    else:
-        rows = []
-        for r in results:
-            estimates = (
-                "  ".join(f"{k}={v:.2f}" for k, v in r.estimates.items()) or "-"
+    rows = []
+    for r in results:
+        estimates = (
+            "  ".join(f"{k}={v:.2f}" for k, v in r.estimates.items()) or "-"
+        )
+        rows.append([
+            r.algorithm, (r.query or {}).get("model", "ic"),
+            len(r.selected), estimates, r.num_samples,
+            f"{r.timings['total']:.2f}s",
+        ])
+    print(format_table(
+        ["algorithm", "model", "|selected|", "estimates", "samples", "time"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import AdmissionPolicy, ResultCache, serve_http, serve_ndjson
+
+    graph = load_dataset(args.dataset, seed=args.seed)
+    default_budget = SamplingBudget(
+        max_samples=args.max_samples, mc_runs=args.mc_runs,
+        workers=args.workers,
+    )
+    cache = None if args.no_cache else ResultCache(capacity=args.cache_size)
+    admission = None
+    if any(
+        value is not None
+        for value in (args.reject_units, args.queue_units,
+                      args.cap_samples, args.cap_mc_runs)
+    ):
+        admission = AdmissionPolicy(
+            reject_units=args.reject_units,
+            queue_units=args.queue_units,
+            max_samples=args.cap_samples,
+            max_mc_runs=args.cap_mc_runs,
+        )
+    with Session(
+        graph, budget=default_budget, cache=cache, admission=admission
+    ) as session:
+        if args.workers is not None and args.workers > 1:
+            session.ensure_runtime(args.workers)
+        if args.http is not None:
+            print(
+                f"serving {args.dataset} (n={graph.n}, m={graph.m}) on "
+                f"http://{args.host}:{args.http} — POST /query, GET /stats",
+                file=sys.stderr,
             )
-            rows.append([
-                r.algorithm, (r.query or {}).get("model", "ic"),
-                len(r.selected), estimates, r.num_samples,
-                f"{r.timings['total']:.2f}s",
-            ])
-        print(format_table(
-            ["algorithm", "model", "|selected|", "estimates", "samples", "time"],
-            rows,
-        ))
+            summary = serve_http(session, args.host, args.http)
+        else:
+            summary = serve_ndjson(session, sys.stdin, sys.stdout)
+    print(json.dumps(summary), file=sys.stderr)
     return 0
 
 
@@ -272,6 +328,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers(p_query)
 
+    p_serve = sub.add_parser(
+        "serve", help="keep one warm session serving NDJSON (stdin) or HTTP"
+    )
+    p_serve.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the stdlib HTTP endpoint on PORT instead of stdin NDJSON",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity in envelopes (LRU)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the fingerprint-keyed result cache",
+    )
+    p_serve.add_argument(
+        "--reject-units", type=float, default=None,
+        help="admission: reject queries estimated above this many work units",
+    )
+    p_serve.add_argument(
+        "--queue-units", type=float, default=None,
+        help="admission: run queries above this estimate after the admitted wave",
+    )
+    p_serve.add_argument(
+        "--cap-samples", type=int, default=None,
+        help="admission: hard cap on budget.max_samples",
+    )
+    p_serve.add_argument(
+        "--cap-mc-runs", type=int, default=None,
+        help="admission: hard cap on budget.mc_runs",
+    )
+    p_serve.add_argument(
+        "--max-samples", type=int, default=10_000,
+        help="default budget for queries that do not carry one",
+    )
+    p_serve.add_argument("--mc-runs", type=int, default=1000)
+    _add_workers(p_serve)
+
     return parser
 
 
@@ -282,6 +378,7 @@ _COMMANDS = {
     "tree": _cmd_tree,
     "budget": _cmd_budget,
     "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 

@@ -16,6 +16,12 @@ repeated use:
   steals the next chunk the moment it finishes, so cheap chunks
   (activated/hopeless roots) never leave a worker idling behind a static
   partition.
+* **Tag-multiplexed submissions** — every dispatch gets a runtime-unique
+  tag and a collector thread demultiplexes results per tag
+  (:meth:`SharedGraphRuntime.submit` / :meth:`~SharedGraphRuntime.gather`),
+  so concurrent callers — the serving tier's overlapped ``run_many``
+  lanes — pipeline independent queries' sampling chunks onto one pool
+  instead of taking turns.
 * **Raw-buffer results** — workers sample with the lane kernels and ship
   flat arrays back (:class:`~repro.core.prr.PRRArena` payloads, critical
   or RR CSRs).  Large results travel through a per-result shared-memory
@@ -41,6 +47,7 @@ import atexit
 import math
 import multiprocessing as mp
 import os
+import threading
 import time
 from multiprocessing import shared_memory
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -303,16 +310,34 @@ class SharedGraphRuntime:
     """A persistent worker pool bound to one graph's shared arrays.
 
     Construction publishes the graph once and forks ``workers``
-    long-lived processes; :meth:`run` streams chunk tasks through the
-    shared queue and returns results in task order.  Reused across calls
-    via :func:`get_runtime`; :meth:`shutdown` (or interpreter exit)
-    releases processes and shared memory.
+    long-lived processes.  Work is **tag-multiplexed**: every submission
+    (:meth:`submit`) gets a runtime-unique tag, its chunk tasks carry
+    ``(tag, chunk_id)`` ids on the one shared task queue, and a collector
+    thread demultiplexes the result queue back into per-tag stashes.
+    That is what lets several queries' sampling phases share the worker
+    pool *concurrently* — the serving tier's overlapped ``run_many``
+    submits every query's chunks up front (each from its own lane
+    thread) and each lane blocks only on :meth:`gather` of its own tag,
+    running its selection phase the moment its samples are complete
+    while other queries' chunks still occupy the workers.
+
+    :meth:`run` is the one-shot form (submit + gather) used by the
+    per-collection entry points below; it is safe to call from multiple
+    threads at once.  Reused across calls via :func:`get_runtime`;
+    :meth:`shutdown` (or interpreter exit) releases processes and shared
+    memory.
+
+    Determinism is untouched by the multiplexing: chunking stays a pure
+    function of ``count`` and each chunk's RNG seed of its chunk id, so
+    a collection depends only on ``(count, master_seed)`` no matter how
+    many tags interleaved on the pool.
     """
 
     def __init__(self, graph: DiGraph, workers: int) -> None:
         if not fork_available():
             raise RuntimeError("SharedGraphRuntime requires the fork start method")
         self.graph = graph
+        self.graph_version = getattr(graph, "version", 0)
         self.workers = int(workers)
         self._ctx = mp.get_context("fork")
         self._shm, table = _publish_arrays(_graph_arrays(graph))
@@ -332,51 +357,131 @@ class SharedGraphRuntime:
         for proc in self._procs:
             proc.start()
         self._closed = False
+        # Tag-multiplexing state, all guarded by the condition's lock.
+        self._cv = threading.Condition()
+        self._next_tag = 0
+        self._pending: Dict[int, set] = {}      # tag -> outstanding cids
+        self._order: Dict[int, List[int]] = {}  # tag -> submission cid order
+        self._stash: Dict[int, Dict[int, List[np.ndarray]]] = {}
+        self._failure: Optional[str] = None
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="runtime-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Tagged submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self, kind: str, jobs: Sequence[Tuple[int, int, int]], params: tuple
+    ) -> int:
+        """Enqueue ``jobs`` (``(chunk_id, seed, size)``) under a fresh tag.
+
+        Non-blocking: returns the tag immediately; workers start pulling
+        the chunks as soon as they go idle.  Thread-safe.
+        """
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("runtime is shut down")
+            if self._failure is not None:
+                raise RuntimeError(self._failure)
+            tag = self._next_tag
+            self._next_tag += 1
+            self._pending[tag] = {cid for cid, _seed, _size in jobs}
+            self._order[tag] = [cid for cid, _seed, _size in jobs]
+            self._stash[tag] = {}
+        for cid, seed, size in jobs:
+            self._tasks.put(((tag, cid), kind, seed, size, params))
+        return tag
+
+    def gather(self, tag: int) -> List[List[np.ndarray]]:
+        """Block until every chunk of ``tag`` has arrived; return their
+        results in submission order.  Thread-safe; each tag may be
+        gathered exactly once.  A worker failure tears the runtime down
+        before raising (in-flight chunks of *every* tag are lost with the
+        pool)."""
+        failure = None
+        with self._cv:
+            while True:
+                if self._failure is not None:
+                    failure = self._failure
+                    break
+                pending = self._pending.get(tag)
+                if pending is None:
+                    raise KeyError(f"unknown or already-gathered tag {tag}")
+                if not pending:
+                    del self._pending[tag]
+                    order = self._order.pop(tag)
+                    chunks = self._stash.pop(tag)
+                    return [chunks[cid] for cid in order]
+                self._cv.wait(timeout=0.5)
+        self.shutdown()
+        raise RuntimeError(failure)
 
     def run(
         self, kind: str, jobs: Sequence[Tuple[int, int, int]], params: tuple
     ) -> List[List[np.ndarray]]:
-        """Execute ``jobs`` (``(chunk_id, seed, size)``) and return their
-        results ordered by chunk id.
+        """Execute ``jobs`` and return their results in submission order
+        (one-shot :meth:`submit` + :meth:`gather`)."""
+        return self.gather(self.submit(kind, jobs, params))
 
-        A failed or stalled run tears the runtime down before raising:
-        task ids restart at 0 every run, so in-flight results of an
-        abandoned run must never survive to be mistaken for the next
-        run's chunks (:func:`get_runtime` builds a fresh pool on demand).
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Drain the result queue into the per-tag stashes (single reader).
+
+        Runs until shutdown.  Sets :attr:`_failure` — waking every
+        gatherer — on a failed task or a dead worker with work
+        outstanding; result payloads are copied out of (and their
+        segments unlinked from) shared memory here, so abandoned tags
+        never leak segments.
         """
-        if self._closed:
-            raise RuntimeError("runtime is shut down")
-        for cid, seed, size in jobs:
-            self._tasks.put((cid, kind, seed, size, params))
-        out: Dict[int, List[np.ndarray]] = {}
-        try:
-            for _ in jobs:
-                while True:
-                    try:
-                        task_id, ok, msg = self._results.get(timeout=60)
-                        break
-                    except Exception:
-                        # No timeout on healthy-but-slow chunks: only a
-                        # dead worker (whose task is lost) means a result
-                        # may never arrive.
-                        alive = sum(p.is_alive() for p in self._procs)
-                        if alive < self.workers:
-                            raise RuntimeError(
-                                f"parallel runtime lost workers "
-                                f"({alive}/{self.workers} alive)"
-                            )
-                if not ok:
-                    raise RuntimeError(f"worker task {task_id} failed: {msg}")
-                out[task_id] = _receive_result(msg)
-        except BaseException:
-            self.shutdown()
-            raise
-        return [out[cid] for cid, _seed, _size in jobs]
+        while not self._closed:
+            try:
+                (tag, cid), ok, msg = self._results.get(timeout=0.5)
+            except Exception:
+                with self._cv:
+                    if self._failure is not None or not self._pending:
+                        continue
+                    alive = sum(p.is_alive() for p in self._procs)
+                    if alive < self.workers:
+                        self._failure = (
+                            f"parallel runtime lost workers "
+                            f"({alive}/{self.workers} alive)"
+                        )
+                        self._cv.notify_all()
+                continue
+            if not ok:
+                with self._cv:
+                    self._failure = f"worker task ({tag}, {cid}) failed: {msg}"
+                    self._cv.notify_all()
+                continue
+            try:
+                arrays = _receive_result(msg)
+            except Exception as exc:  # pragma: no cover - defensive
+                with self._cv:
+                    self._failure = f"result unpack failed: {exc!r}"
+                    self._cv.notify_all()
+                continue
+            with self._cv:
+                if tag in self._pending:
+                    self._stash[tag][cid] = arrays
+                    self._pending[tag].discard(cid)
+                    if not self._pending[tag]:
+                        self._cv.notify_all()
+                # else: tag abandoned (gather raised) — arrays dropped,
+                # segment already unlinked by _receive_result.
 
     def shutdown(self) -> None:
         if self._closed:
             return
         self._closed = True
+        with self._cv:
+            if self._failure is None:
+                self._failure = "runtime is shut down"
+            self._cv.notify_all()
+        self._collector.join(timeout=5)
         for _ in self._procs:
             try:
                 self._tasks.put(None)
@@ -413,28 +518,35 @@ class SharedGraphRuntime:
 
 
 _runtime: Optional[SharedGraphRuntime] = None
+_RUNTIME_LOCK = threading.Lock()
 
 
 def get_runtime(graph: DiGraph, workers: int) -> SharedGraphRuntime:
     """The cached runtime for ``graph`` (created/replaced on demand).
 
     One runtime is kept alive at a time — repeated calls with the same
-    graph and a compatible worker count reuse the warm pool, which is
-    what makes multi-round algorithms (IMM doubling, repeated boosts)
-    pay pool startup once per graph instead of once per call.
+    graph (at its current :attr:`~repro.graphs.DiGraph.version`) and a
+    compatible worker count reuse the warm pool, which is what makes
+    multi-round algorithms (IMM doubling, repeated boosts) pay pool
+    startup once per graph instead of once per call.  A version bump
+    (in-place probability update) retires the pool: its published
+    segment holds the pre-mutation arrays.  Thread-safe — overlap lanes
+    race here on first parallel dispatch.
     """
     global _runtime
-    if (
-        _runtime is not None
-        and not _runtime._closed
-        and _runtime.graph is graph
-        and _runtime.workers >= workers
-    ):
+    with _RUNTIME_LOCK:
+        if (
+            _runtime is not None
+            and not _runtime._closed
+            and _runtime.graph is graph
+            and _runtime.graph_version == getattr(graph, "version", 0)
+            and _runtime.workers >= workers
+        ):
+            return _runtime
+        if _runtime is not None:
+            _runtime.shutdown()
+        _runtime = SharedGraphRuntime(graph, workers)
         return _runtime
-    if _runtime is not None:
-        _runtime.shutdown()
-    _runtime = SharedGraphRuntime(graph, workers)
-    return _runtime
 
 
 def shutdown_runtime() -> None:

@@ -38,14 +38,16 @@ deliberately not imported here so production code never pays for it.
 
 Concurrency contract
 --------------------
-:meth:`SamplingEngine.for_graph` is thread-safe: a process-wide lock
-guards the per-graph cache slot, so concurrent callers always receive the
-same engine instance.  The engine *itself* is not thread-safe — its stamp
-buffers are shared mutable scratch — so concurrent sampling over one
-graph needs one private engine per thread (``SamplingEngine(graph)``).
-Process-based parallelism (:mod:`repro.core.parallel`) is unaffected:
-every worker attaches to the shared read-only graph arrays and owns its
-own engine and scratch buffers.
+:meth:`SamplingEngine.for_graph` is thread-safe *and thread-keyed*: the
+main thread gets the per-graph cached engine (one instance process-wide,
+creation guarded by a lock), while every other thread gets — and keeps
+across calls — a private thread-local engine for the graph.  The engine
+*itself* is never thread-safe (its stamp buffers are shared mutable
+scratch), so this keying is what lets the serving tier's overlap lanes
+sample concurrently over one graph through the ordinary sampler entry
+points.  Process-based parallelism (:mod:`repro.core.parallel`) is
+unaffected: every worker attaches to the shared read-only graph arrays
+and owns its own engine and scratch buffers.
 """
 
 from .batch import SamplingEngine, STATUS_NAMES

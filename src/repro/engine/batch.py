@@ -88,6 +88,16 @@ STATUS_NAMES = (ACTIVATED, HOPELESS, BOOSTABLE)
 # Guards the per-graph engine-cache slot of :meth:`SamplingEngine.for_graph`.
 _FOR_GRAPH_LOCK = threading.Lock()
 
+# Per-thread engine cache for non-main threads (id(graph) -> (engine,
+# version)): the overlapped serving path runs several queries' sampling
+# phases on session lane threads, and the engine's stamp buffers are
+# shared mutable scratch — so every lane thread gets (and keeps, across
+# batches) a private engine per graph.  Holding the engine keeps its
+# graph alive, so the id key cannot be reused while the entry is live;
+# the identity check below guards the eviction race anyway.
+_THREAD_ENGINES = threading.local()
+_THREAD_ENGINE_CAP = 8
+
 
 @dataclass
 class PhaseOneResult:
@@ -173,27 +183,51 @@ class SamplingEngine:
 
     @classmethod
     def for_graph(cls, graph) -> "SamplingEngine":
-        """The graph's cached engine (graphs are immutable, so one engine —
-        and its reusable buffers — serves every caller).
+        """The calling thread's cached engine for ``graph``.
 
-        The cache slot itself is thread-safe (a process-wide lock guards
-        creation, so concurrent ``for_graph`` calls on one graph return
-        the same instance), but the engine it returns is NOT: the stamp
-        buffers are shared scratch state.  Concurrent sampling over one
-        graph needs one engine per thread (construct with
-        ``SamplingEngine(graph)``); process-based parallelism
-        (:mod:`repro.core.parallel`) is unaffected, as each worker owns
-        its copy."""
-        engine = getattr(graph, "_engine_cache", None)
-        if engine is None:
-            with _FOR_GRAPH_LOCK:
-                engine = getattr(graph, "_engine_cache", None)
-                if engine is None:
-                    engine = cls(graph)
-                    try:
-                        graph._engine_cache = engine
-                    except AttributeError:  # graph type without the cache slot
-                        pass
+        The engine's stamp buffers are shared mutable scratch, so one
+        engine must never be driven by two threads at once.  ``for_graph``
+        therefore keys its cache per thread:
+
+        * the **main thread** uses the graph's ``_engine_cache`` slot (one
+          engine per graph process-wide, exactly the pre-serving
+          behaviour; a process-wide lock guards creation),
+        * **other threads** — the session's overlap lanes — each keep a
+          private thread-local engine per graph, built on first use and
+          reused across batches, so a persistent lane pool pays each
+          graph's engine warm-up once per lane.
+
+        :meth:`repro.graphs.DiGraph.update_probabilities` clears the slot
+        cache directly and bumps :attr:`~repro.graphs.DiGraph.version`;
+        thread-local entries compare the version and rebuild.
+        Process-based parallelism (:mod:`repro.core.parallel`) is
+        unaffected: each forked worker is single-threaded and owns its
+        copy."""
+        if threading.current_thread() is threading.main_thread():
+            engine = getattr(graph, "_engine_cache", None)
+            if engine is None:
+                with _FOR_GRAPH_LOCK:
+                    engine = getattr(graph, "_engine_cache", None)
+                    if engine is None:
+                        engine = cls(graph)
+                        try:
+                            graph._engine_cache = engine
+                        except AttributeError:  # graph without the cache slot
+                            pass
+            return engine
+        cache = getattr(_THREAD_ENGINES, "cache", None)
+        if cache is None:
+            cache = _THREAD_ENGINES.cache = {}
+        version = getattr(graph, "version", 0)
+        entry = cache.get(id(graph))
+        if entry is not None:
+            engine, built_version = entry
+            if engine.graph is graph and built_version == version:
+                return engine
+        engine = cls(graph)
+        if len(cache) >= _THREAD_ENGINE_CAP:
+            cache.pop(next(iter(cache)))
+        cache[id(graph)] = (engine, version)
         return engine
 
     # ------------------------------------------------------------------

@@ -8,9 +8,14 @@ with two probabilities per edge:
 * ``pp`` — the boosted probability ``p'`` used when the edge's head is boosted
   (Definition 1 of the paper), with ``pp >= p``.
 
-All node ids are dense integers ``0..n-1``.  Instances are immutable once
+All node ids are dense integers ``0..n-1``.  Topology is immutable once
 built; use :class:`GraphBuilder` or :func:`DiGraph.from_edges` to construct
-them.
+graphs.  The one sanctioned mutation is
+:meth:`DiGraph.update_probabilities`, which replaces the edge
+probabilities in place (same topology) and bumps the graph's
+:attr:`~DiGraph.version` counter — the invalidation signal the serving
+tier's result cache, the cached sampling engine, and the shared-memory
+runtime key on.
 """
 
 from __future__ import annotations
@@ -74,6 +79,7 @@ class DiGraph:
         "_dst",
         "_p",
         "_pp",
+        "_version",
         "_engine_cache",
     )
 
@@ -109,6 +115,7 @@ class DiGraph:
         self._dst = dst
         self._p = prob
         self._pp = boosted
+        self._version = 0
 
         order = np.argsort(src, kind="stable")
         self._out_indptr = np.zeros(n + 1, dtype=np.int64)
@@ -143,6 +150,8 @@ class DiGraph:
     def __setstate__(self, state) -> None:
         for name, value in state.items():
             setattr(self, name, value)
+        if not hasattr(self, "_version"):  # pickles from pre-version builds
+            self._version = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -233,6 +242,60 @@ class DiGraph:
         if self.m == 0:
             return 0.0
         return float(self._p.mean())
+
+    # ------------------------------------------------------------------
+    # Versioning and in-place mutation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter, 0 at construction.
+
+        Bumped by every sanctioned mutation
+        (:meth:`update_probabilities`), never by derived-copy
+        transformations (those return fresh graphs at version 0).  Any
+        state derived from the graph's arrays — the cached
+        :class:`~repro.engine.SamplingEngine`, the shared-memory
+        runtime's published segment, the serving tier's result cache —
+        keys on ``(graph identity, version)`` and treats a bump as full
+        invalidation.
+        """
+        return self._version
+
+    def update_probabilities(
+        self, p: Sequence[float], pp: Sequence[float] | None = None
+    ) -> int:
+        """Replace the edge probabilities in place (topology unchanged).
+
+        The serving-tier mutation path: an interactive platform's graph
+        changes slowly — edge weights are re-learned, topology is not —
+        so this swaps in fresh ``p``/``pp`` arrays (insertion order, same
+        validation as the constructor), bumps :attr:`version`, and drops
+        the cached sampling engine.  Old engines, CSR views, and
+        published runtime segments keep their previous arrays — stale but
+        internally consistent; consumers notice via the version bump.
+        Returns the new version.
+        """
+        prob = np.asarray(p, dtype=np.float64)
+        boosted = prob.copy() if pp is None else np.asarray(pp, dtype=np.float64)
+        if prob.shape != (self.m,) or boosted.shape != (self.m,):
+            raise ValueError(f"expected {self.m} probabilities per array")
+        if np.any((prob < 0.0) | (prob > 1.0)):
+            raise ValueError("base probabilities must lie in [0, 1]")
+        if np.any((boosted < 0.0) | (boosted > 1.0)):
+            raise ValueError("boosted probabilities must lie in [0, 1]")
+        if np.any(boosted < prob - 1e-12):
+            raise ValueError("boosted probability p' must be >= p on every edge")
+        self._p = prob
+        self._pp = boosted
+        # Fresh CSR-aligned arrays (not in-place writes): anything holding
+        # the old views keeps a consistent pre-mutation snapshot.
+        self._out_p = prob[self._out_eid]
+        self._out_pp = boosted[self._out_eid]
+        self._in_p = prob[self._in_eid]
+        self._in_pp = boosted[self._in_eid]
+        self._version += 1
+        self._engine_cache = None
+        return self._version
 
     # ------------------------------------------------------------------
     # Transformations

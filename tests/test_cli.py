@@ -137,10 +137,15 @@ class TestQueryCommand:
         assert "prr_boost" in out
         assert "evaluate" in out
 
+    @staticmethod
+    def _parse_ndjson(text):
+        # --json streams one envelope per line (NDJSON), in batch order.
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
     def test_json_output(self, tmp_path, capsys):
         code = main(["query", "--file", self._write_batch(tmp_path), "--json"])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = self._parse_ndjson(capsys.readouterr().out)
         assert [r["algorithm"] for r in payload] == [
             "imm", "prr_boost", "evaluate"
         ]
@@ -152,9 +157,9 @@ class TestQueryCommand:
     def test_json_reproducible(self, tmp_path, capsys):
         path = self._write_batch(tmp_path)
         main(["query", "--file", path, "--json"])
-        first = json.loads(capsys.readouterr().out)
+        first = self._parse_ndjson(capsys.readouterr().out)
         main(["query", "--file", path, "--json"])
-        second = json.loads(capsys.readouterr().out)
+        second = self._parse_ndjson(capsys.readouterr().out)
         for a, b in zip(first, second):
             assert a["selected"] == b["selected"]
             assert a["estimates"] == b["estimates"]

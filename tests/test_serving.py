@@ -1,0 +1,460 @@
+"""Tests for the pipelined serving tier.
+
+Covers the contracts the tier promises:
+
+* **fingerprint stability** — identical across fresh sessions, worker
+  counts, and cache on/off; sensitive to the graph's probabilities,
+* **result cache** — hits return the same envelope, LRU bounds hold,
+  a graph mutation (``update_probabilities``) invalidates,
+* **admission** — cost model ordering, reject/queue/caps,
+  structured rejection envelopes,
+* **overlapped run_many** — results bit-identical to the serial path,
+  in input order, with non-seeded queries still consuming the ambient
+  RNG in batch order,
+* **serve front ends** — NDJSON line protocol and the HTTP endpoint.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdmissionPolicy,
+    AdmissionRejected,
+    BoostQuery,
+    EvalQuery,
+    ResultCache,
+    SamplingBudget,
+    SeedQuery,
+    Session,
+    estimate_cost,
+    serve_http,
+    serve_ndjson,
+)
+from repro.graphs import learned_like, preferential_attachment
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(17)
+    return learned_like(preferential_attachment(150, 3, rng), rng, 0.2)
+
+
+def fresh_graph(seed=17, n=150):
+    rng = np.random.default_rng(seed)
+    return learned_like(preferential_attachment(n, 3, rng), rng, 0.2)
+
+
+BUDGET = SamplingBudget(max_samples=600, mc_runs=100)
+QUERY = BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=7)
+
+
+def envelope_sans_timings(result):
+    data = result.to_dict()
+    data.pop("timings")
+    return data
+
+
+class TestFingerprintStability:
+    def test_identical_across_fresh_sessions(self, graph):
+        with Session(graph, budget=BUDGET) as a:
+            fa = a.run(QUERY).fingerprint
+        with Session(graph, budget=BUDGET) as b:
+            fb = b.run(QUERY).fingerprint
+        assert fa == fb
+
+    def test_identical_across_equal_graph_builds(self):
+        with Session(fresh_graph(), budget=BUDGET) as a:
+            fa = a.run(QUERY).fingerprint
+        with Session(fresh_graph(), budget=BUDGET) as b:
+            fb = b.run(QUERY).fingerprint
+        assert fa == fb
+
+    def test_identical_across_worker_counts(self, graph):
+        base = SamplingBudget(max_samples=600, mc_runs=100)
+        with Session(graph, budget=base) as session:
+            plain = session.fingerprint_for(QUERY)
+            for workers in (1, 2, 4):
+                budget = SamplingBudget(
+                    max_samples=600, mc_runs=100, workers=workers
+                )
+                q = BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=7, budget=budget)
+                assert session.fingerprint_for(q) == plain
+
+    def test_identical_with_and_without_cache(self, graph):
+        with Session(graph, budget=BUDGET) as plain:
+            f_plain = plain.run(QUERY).fingerprint
+        with Session(graph, budget=BUDGET, cache=ResultCache()) as cached:
+            f_miss = cached.run(QUERY).fingerprint
+            f_hit = cached.run(QUERY).fingerprint
+        assert f_plain == f_miss == f_hit
+
+    def test_sensitive_to_probabilities(self):
+        graph = fresh_graph()
+        with Session(graph, budget=BUDGET) as session:
+            before = session.run(QUERY).fingerprint
+            _, _, p, pp = graph.edge_arrays()
+            graph.update_probabilities(p * 0.5, pp)
+            after = session.run(QUERY).fingerprint
+        assert before != after
+
+    def test_distinct_seeds_distinct_fingerprints(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            f7 = session.run(QUERY).fingerprint
+            f8 = session.run(
+                BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=8)
+            ).fingerprint
+        assert f7 != f8
+
+
+class TestResultCache:
+    def test_hit_returns_same_envelope(self, graph):
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            first = session.run(QUERY)
+            second = session.run(QUERY)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_and_uncached_envelopes_identical(self, graph):
+        with Session(graph, budget=BUDGET) as plain:
+            reference = envelope_sans_timings(plain.run(QUERY))
+        with Session(graph, budget=BUDGET, cache=ResultCache()) as cached:
+            miss = envelope_sans_timings(cached.run(QUERY))
+            hit = envelope_sans_timings(cached.run(QUERY))
+        assert reference == miss == hit
+
+    def test_unseeded_queries_never_cached(self, graph):
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            rng = np.random.default_rng(3)
+            session.run(SeedQuery(algorithm="degree", k=3), rng=rng)
+            session.run(SeedQuery(algorithm="degree", k=3), rng=rng)
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_mutation_invalidates(self):
+        graph = fresh_graph()
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            session.run(QUERY)
+            _, _, p, pp = graph.edge_arrays()
+            graph.update_probabilities(p * 0.5, pp)
+            session.run(QUERY)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_lru_bound_and_evictions(self, graph):
+        cache = ResultCache(capacity=2)
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            for seed in (1, 2, 3):
+                session.run(SeedQuery(algorithm="degree", k=2, rng_seed=seed))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        stats = cache.stats()
+        assert stats["size"] == 2 and stats["capacity"] == 2
+
+    def test_worker_count_separates_entries(self, graph):
+        # Serial and chunked sampling draw different streams, so results
+        # must never be served across worker counts.
+        k1 = ResultCache.key_for("fp", 0, QUERY, workers=1)
+        k2 = ResultCache.key_for("fp", 0, QUERY, workers=2)
+        assert k1 != k2
+
+    def test_clear_keeps_counters(self, graph):
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            session.run(QUERY)
+            session.run(QUERY)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+
+
+class TestAdmission:
+    def test_cost_ordering(self, graph):
+        small = SamplingBudget(max_samples=100, mc_runs=10)
+        big = SamplingBudget(max_samples=10_000, mc_runs=10)
+        with Session(graph) as session:
+            c_small = estimate_cost(
+                session, BoostQuery(seeds=[1], k=2, budget=small)
+            )
+            c_big = estimate_cost(
+                session, BoostQuery(seeds=[1], k=2, budget=big)
+            )
+            c_eval = estimate_cost(
+                session,
+                EvalQuery(seeds=[1], boost=[2],
+                          budget=SamplingBudget(mc_runs=10_000)),
+            )
+        assert c_small.units < c_big.units
+        assert c_eval.units > c_small.units
+        assert c_small.to_dict()["units"] > 0
+
+    def test_reject_raises_with_envelope(self, graph):
+        policy = AdmissionPolicy(max_samples=10)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            with pytest.raises(AdmissionRejected) as info:
+                session.run(QUERY)
+        envelope = info.value.envelope
+        assert envelope["error"] == "admission_rejected"
+        assert envelope["admission"]["action"] == "reject"
+        assert envelope["admission"]["cost"]["units"] > 0
+        assert envelope["query"]["rng_seed"] == 7
+
+    def test_reject_units_threshold(self, graph):
+        policy = AdmissionPolicy(reject_units=1.0)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            with pytest.raises(AdmissionRejected):
+                session.run(QUERY)
+
+    def test_run_many_envelope_mode_keeps_positions(self, graph):
+        policy = AdmissionPolicy(max_samples=1000)
+        heavy = BoostQuery(
+            seeds=[1], k=2, rng_seed=1,
+            budget=SamplingBudget(max_samples=50_000),
+        )
+        light = SeedQuery(algorithm="degree", k=2, rng_seed=2)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            results = session.run_many(
+                [heavy, light], on_reject="envelope"
+            )
+        assert results[0].extra["error"] == "admission_rejected"
+        assert results[1].selected
+
+    def test_queued_queries_still_run(self, graph):
+        policy = AdmissionPolicy(queue_units=1.0)  # everything queues
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            decision = policy.decide(session, QUERY)
+            assert decision.action == "queue" and decision.admitted
+            results = session.run_many([QUERY])
+        assert results[0].selected
+
+    def test_mc_runs_cap(self, graph):
+        policy = AdmissionPolicy(max_mc_runs=10)
+        query = EvalQuery(seeds=[1], boost=[2], rng_seed=1)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            with pytest.raises(AdmissionRejected):
+                session.run(query)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(reject_units=10.0, queue_units=20.0)
+
+    def test_calibrated_converts_seconds(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            policy = AdmissionPolicy.calibrated(
+                session, reject_seconds=10.0, queue_seconds=1.0
+            )
+        assert policy.reject_units > policy.queue_units > 0
+
+
+class TestOverlappedRunMany:
+    QUERIES = [
+        BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=s) for s in range(4)
+    ] + [
+        SeedQuery(algorithm="imm", k=3, rng_seed=11),
+        EvalQuery(seeds=[1, 2], boost=[4], rng_seed=5),
+    ]
+
+    def test_matches_serial_path(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            serial = session.run_many(self.QUERIES, overlap=False)
+        with Session(graph, budget=BUDGET) as session:
+            overlapped = session.run_many(self.QUERIES)
+        for a, b in zip(serial, overlapped):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_matches_serial_path_with_workers(self, graph):
+        budget = SamplingBudget(max_samples=600, mc_runs=100, workers=2)
+        queries = [
+            BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=s, budget=budget)
+            for s in range(3)
+        ]
+        with Session(graph) as session:
+            serial = session.run_many(queries, overlap=False)
+        with Session(graph) as session:
+            overlapped = session.run_many(queries)
+        for a, b in zip(serial, overlapped):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_ambient_rng_order_preserved(self, graph):
+        # Non-seeded queries consume the ambient stream in batch order
+        # whether or not seeded queries overlap around them.
+        mixed = [
+            BoostQuery(seeds=[1, 2], k=3, rng_seed=1),
+            SeedQuery(algorithm="degree", k=3),
+            BoostQuery(seeds=[1, 2], k=3, rng_seed=2),
+            SeedQuery(algorithm="degree", k=4),
+        ]
+        with Session(graph, budget=BUDGET) as session:
+            serial = session.run_many(
+                mixed, rng=np.random.default_rng(9), overlap=False
+            )
+        with Session(graph, budget=BUDGET) as session:
+            overlapped = session.run_many(
+                mixed, rng=np.random.default_rng(9)
+            )
+        for a, b in zip(serial, overlapped):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_duplicate_queries_share_computation(self, graph):
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            results = session.run_many([QUERY, QUERY, QUERY])
+        assert results[0] is results[1] is results[2]
+        assert cache.misses == 1
+
+    def test_empty_batch(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            assert session.run_many([]) == []
+
+    def test_bad_on_reject_value(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            with pytest.raises(ValueError):
+                session.run_many([QUERY], on_reject="nope")
+
+    def test_run_iter_streams_in_order(self, graph):
+        with Session(graph, budget=BUDGET) as session:
+            reference = session.run_many(self.QUERIES[:3], overlap=False)
+        with Session(graph, budget=BUDGET) as session:
+            streamed = list(session.run_iter(self.QUERIES[:3]))
+        for a, b in zip(reference, streamed):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+
+class TestWireShapes:
+    """The client-side halves of the wire protocol round-trip."""
+
+    def test_result_round_trips_from_dict(self, graph):
+        from repro.api import QueryResult
+
+        with Session(graph, budget=BUDGET) as session:
+            result = session.run(QUERY)
+        wire = json.loads(result.to_json())
+        back = QueryResult.from_dict(wire)
+        assert back.to_dict() == result.to_dict()
+        assert back.raw is None
+
+    def test_result_from_dict_rejects_unknown_fields(self):
+        from repro.api import QueryResult
+
+        with pytest.raises(ValueError, match="unknown result fields"):
+            QueryResult.from_dict({"algorithm": "imm", "raw": 1, "bogus": 2})
+
+    def test_canonical_dict_drops_only_budget(self):
+        with_budget = BoostQuery(seeds=[1, 2], k=3, rng_seed=5, budget=BUDGET)
+        without = BoostQuery(seeds=[1, 2], k=3, rng_seed=5)
+        assert "budget" in with_budget.to_dict()
+        assert with_budget.canonical_dict() == without.canonical_dict()
+        assert with_budget.canonical_dict() == without.to_dict()
+
+
+class TestServeNDJSON:
+    def test_line_protocol(self, graph):
+        lines = [
+            json.dumps({"type": "seed", "algorithm": "degree", "k": 3,
+                        "rng_seed": 1}),
+            json.dumps([
+                {"type": "seed", "algorithm": "degree", "k": 2, "rng_seed": 2},
+                {"type": "seed", "algorithm": "degree", "k": 2, "rng_seed": 3},
+            ]),
+            "not json",
+            json.dumps({"type": "mystery"}),
+        ]
+        out = io.StringIO()
+        with Session(graph, budget=BUDGET, cache=ResultCache()) as session:
+            summary = serve_ndjson(
+                session, io.StringIO("\n".join(lines) + "\n"), out
+            )
+        answers = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert len(answers) == 5  # 1 + 2 (batch) + 2 errors
+        assert answers[0]["selected"] and answers[1]["selected"]
+        assert answers[3]["error"] == "bad_request"
+        assert answers[4]["error"] == "bad_request"
+        assert summary["serve"]["requests"] == 4
+        assert summary["serve"]["errors"] == 2
+        assert summary["cache"]["misses"] >= 1
+
+    def test_rejection_envelope_keeps_stream_alive(self, graph):
+        policy = AdmissionPolicy(max_samples=10)
+        lines = [
+            json.dumps({"type": "boost", "algorithm": "prr_boost",
+                        "seeds": [1, 2], "k": 3, "rng_seed": 1}),
+            json.dumps({"type": "seed", "algorithm": "degree", "k": 2,
+                        "rng_seed": 2,
+                        "budget": {"max_samples": 10, "mc_runs": 20}}),
+        ]
+        out = io.StringIO()
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            summary = serve_ndjson(
+                session, io.StringIO("\n".join(lines) + "\n"), out
+            )
+        answers = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert answers[0]["extra"]["error"] == "admission_rejected"
+        assert answers[1]["selected"]
+        assert summary["serve"]["rejected"] == 1
+        assert summary["serve"]["results"] == 1
+
+
+class TestServeHTTP:
+    @pytest.fixture()
+    def server(self, graph):
+        ready, stop = threading.Event(), threading.Event()
+        session = Session(graph, budget=BUDGET, cache=ResultCache())
+        thread = threading.Thread(
+            target=serve_http,
+            args=(session,),
+            kwargs=dict(port=0, ready=ready, stop=stop),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10), "server did not come up"
+        yield f"http://127.0.0.1:{ready.port}"
+        stop.set()
+        thread.join(10)
+        session.close()
+
+    @staticmethod
+    def _post(url, payload):
+        request = urllib.request.Request(
+            url + "/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_healthz(self, server):
+        with urllib.request.urlopen(server + "/healthz", timeout=30) as resp:
+            assert json.loads(resp.read()) == {"ok": True}
+
+    def test_query_and_stats(self, server):
+        single = self._post(
+            server, {"type": "seed", "algorithm": "degree", "k": 3,
+                     "rng_seed": 1}
+        )
+        assert single["selected"] and single["fingerprint"]
+        batch = self._post(server, [
+            {"type": "seed", "algorithm": "degree", "k": 3, "rng_seed": 1},
+            {"type": "seed", "algorithm": "degree", "k": 2, "rng_seed": 2},
+        ])
+        assert isinstance(batch, list) and len(batch) == 2
+        assert batch[0]["fingerprint"] == single["fingerprint"]
+        with urllib.request.urlopen(server + "/stats", timeout=30) as resp:
+            stats = json.loads(resp.read())
+        assert stats["serve"]["requests"] == 2
+        assert stats["cache"]["hits"] >= 1
+
+    def test_malformed_body_is_400(self, server):
+        request = urllib.request.Request(server + "/query", data=b"{broken")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(server + "/nope", timeout=30)
+        assert info.value.code == 404
