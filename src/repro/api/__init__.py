@@ -48,7 +48,18 @@ from .queries import (
     query_from_dict,
 )
 from .registry import algorithm_names, get_algorithm, register_algorithm
-from .result import QueryResult
+from .result import (
+    ERROR_DEGRADED,
+    ERROR_FAILED,
+    ERROR_REJECTED,
+    ERROR_TIMEOUT,
+    QueryResult,
+    QueryTimeout,
+    degraded_result,
+    error_result,
+    failure_result,
+    timeout_result,
+)
 from .serve import serve_http, serve_ndjson
 from .session import Session
 
@@ -72,4 +83,13 @@ __all__ = [
     "estimate_cost",
     "serve_ndjson",
     "serve_http",
+    "QueryTimeout",
+    "ERROR_REJECTED",
+    "ERROR_TIMEOUT",
+    "ERROR_FAILED",
+    "ERROR_DEGRADED",
+    "error_result",
+    "timeout_result",
+    "failure_result",
+    "degraded_result",
 ]

@@ -33,6 +33,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from .result import ERROR_REJECTED
+
 __all__ = [
     "QueryCost",
     "AdmissionDecision",
@@ -178,7 +180,7 @@ class AdmissionRejected(RuntimeError):
     @property
     def envelope(self) -> Dict[str, Any]:
         return {
-            "error": "admission_rejected",
+            "error": ERROR_REJECTED,
             "admission": self.decision.to_dict(),
             "query": self.query.to_dict(),
         }
@@ -193,17 +195,9 @@ def rejection_result(query, decision: AdmissionDecision):
     structured decision; ``selected`` is empty and no fingerprint is
     stamped (nothing ran).
     """
-    from .result import QueryResult
+    from .result import error_result
 
-    return QueryResult(
-        algorithm=query.algorithm,
-        selected=[],
-        query=query.to_dict(),
-        extra={
-            "error": "admission_rejected",
-            "admission": decision.to_dict(),
-        },
-    )
+    return error_result(query, ERROR_REJECTED, admission=decision.to_dict())
 
 
 class AdmissionPolicy:
@@ -316,6 +310,23 @@ class AdmissionPolicy:
                     f"queue threshold {self.queue_units:.0f}"
                 ),
                 limit=self.queue_units,
+            )
+        # Runtime health gate: a degraded runtime (worker pool lost,
+        # serial fallback only) still serves correct results, but at
+        # serial throughput — admitting the full interactive wave would
+        # stack up convoys.  Queue what would have been admitted so work
+        # drains one-at-a-time behind the admitted wave.
+        health = None
+        health_of = getattr(session, "runtime_health", None)
+        if callable(health_of):
+            health = health_of()
+        if health is not None and getattr(health, "degraded", False):
+            return AdmissionDecision(
+                QUEUE, cost,
+                reason=(
+                    "runtime degraded (worker pool lost): queued behind "
+                    "the admitted wave at serial throughput"
+                ),
             )
         return AdmissionDecision(ADMIT, cost)
 

@@ -116,6 +116,12 @@ class _BaseQuery:
     rng_seed: Optional[int] = None
     params: Tuple[Tuple[str, Any], ...] = ()
     model: Optional[str] = "ic"
+    # Wall-clock budget for this query in milliseconds; ``None`` means no
+    # deadline.  An *execution hint*, not semantics: it is excluded from
+    # the canonical identity (fingerprints, result-cache keys) because a
+    # deadline changes when an answer is abandoned, never what the answer
+    # would be.
+    deadline_ms: Optional[int] = None
 
     kind = ""  # overridden per subclass; the "type" tag in JSON
 
@@ -126,6 +132,11 @@ class _BaseQuery:
         if self.budget is not None and not isinstance(self.budget, SamplingBudget):
             object.__setattr__(self, "budget", SamplingBudget.from_dict(self.budget))
         object.__setattr__(self, "model", resolve_model(self.model).name)
+        if self.deadline_ms is not None:
+            deadline = int(self.deadline_ms)
+            if deadline < 0:
+                raise ValueError("deadline_ms must be >= 0")
+            object.__setattr__(self, "deadline_ms", deadline)
 
     @property
     def param_dict(self) -> Dict[str, Any]:
@@ -141,20 +152,26 @@ class _BaseQuery:
             out["rng_seed"] = int(self.rng_seed)
         if self.params:
             out["params"] = dict(self.params)
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = int(self.deadline_ms)
         return out
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The query's semantic identity — :meth:`to_dict` minus the
-        embedded budget.
+        embedded budget and execution hints.
 
         The serving tier fingerprints queries against the *resolved*
         budget (session default overlaid with the query's own), so the
         embedded copy is redundant there and would make "explicit budget
         equal to the session default" and "no budget" fingerprint
-        differently.
+        differently.  ``deadline_ms`` is dropped for the same reason a
+        worker count is: it affects whether/when an answer arrives, not
+        which answer is correct — so a cached result may satisfy a
+        deadlined retry of the same query.
         """
         out = self.to_dict()
         out.pop("budget", None)
+        out.pop("deadline_ms", None)
         return out
 
 

@@ -8,6 +8,23 @@ JSON-serializable (:meth:`QueryResult.to_dict` / :meth:`to_json`).
 The legacy result object stays reachable as :attr:`QueryResult.raw` for
 callers that need algorithm internals (the thin free-function wrappers
 return exactly that), but it is never serialized.
+
+Error taxonomy
+--------------
+Every way a query can end without a normal result maps to one of four
+``error`` classes, each carried in a :class:`QueryResult`-shaped JSON
+envelope (``selected`` empty, ``extra["error"]`` set) so batch positions
+and NDJSON lines keep their shape:
+
+* ``"rejected"`` — admission refused the query before anything ran
+  (HTTP 429 at the serving tier).
+* ``"timeout"`` — the query's ``deadline_ms`` elapsed (HTTP 504);
+  raised in-process as :exc:`QueryTimeout`.
+* ``"failed"`` — the algorithm raised (HTTP 500).
+* ``"degraded"`` — the runtime lost its worker pool and the query was
+  not executed under the current policy (HTTP 503).  NB: a query that
+  *does* run on a degraded runtime (serial fallback) still succeeds and
+  is merely marked ``extra["degraded"] = True``.
 """
 
 from __future__ import annotations
@@ -17,7 +34,23 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
-__all__ = ["QueryResult"]
+__all__ = [
+    "QueryResult",
+    "QueryTimeout",
+    "ERROR_REJECTED",
+    "ERROR_TIMEOUT",
+    "ERROR_FAILED",
+    "ERROR_DEGRADED",
+    "error_result",
+    "timeout_result",
+    "failure_result",
+    "degraded_result",
+]
+
+ERROR_REJECTED = "rejected"
+ERROR_TIMEOUT = "timeout"
+ERROR_FAILED = "failed"
+ERROR_DEGRADED = "degraded"
 
 
 def _jsonable(value: Any) -> Any:
@@ -116,6 +149,92 @@ class QueryResult:
             query=dict(data.get("query", {})),
             extra=dict(data.get("extra", {})),
         )
+
+
+def error_result(
+    query, error: str, detail: str = "", **extra: Any
+) -> QueryResult:
+    """A :class:`QueryResult`-shaped envelope for a query that produced
+    no normal result.
+
+    ``error`` is one of the taxonomy constants; ``detail`` a human
+    message; further keyword arguments land in ``extra`` verbatim.
+    ``selected`` is empty and no fingerprint is stamped (nothing — or
+    nothing trustworthy — ran).
+    """
+    payload: Dict[str, Any] = {"error": error}
+    if detail:
+        payload["detail"] = detail
+    payload.update(extra)
+    return QueryResult(
+        algorithm=getattr(query, "algorithm", ""),
+        selected=[],
+        query=query.to_dict() if hasattr(query, "to_dict") else dict(query or {}),
+        extra=payload,
+    )
+
+
+def timeout_result(query, deadline_ms: int, elapsed_ms: float) -> QueryResult:
+    """The ``"timeout"`` envelope: ``deadline_ms`` elapsed before (or
+    while) the query ran.  Carries both the budget and the measured
+    elapsed time so clients can distinguish a near miss from a query
+    that never stood a chance."""
+    return error_result(
+        query,
+        ERROR_TIMEOUT,
+        detail=(
+            f"deadline of {int(deadline_ms)} ms exceeded "
+            f"after {elapsed_ms:.1f} ms"
+        ),
+        deadline_ms=int(deadline_ms),
+        elapsed_ms=round(float(elapsed_ms), 1),
+    )
+
+
+def failure_result(query, exc: BaseException) -> QueryResult:
+    """The ``"failed"`` envelope: the algorithm raised ``exc``."""
+    return error_result(
+        query,
+        ERROR_FAILED,
+        detail=f"{type(exc).__name__}: {exc}",
+        exception=type(exc).__name__,
+    )
+
+
+def degraded_result(query, health: Optional[Dict[str, Any]] = None) -> QueryResult:
+    """The ``"degraded"`` envelope: the runtime lost its worker pool and
+    policy forbade executing this query.  ``health`` is the
+    :class:`~repro.core.parallel.RuntimeHealth` dict if available."""
+    res = error_result(
+        query,
+        ERROR_DEGRADED,
+        detail="runtime degraded: worker pool lost, query not executed",
+    )
+    if health is not None:
+        res.extra["runtime"] = dict(health)
+    return res
+
+
+class QueryTimeout(RuntimeError):
+    """Raised by :meth:`Session.run` when a query's ``deadline_ms``
+    elapses.  :attr:`envelope` (and :attr:`result`) carry the structured
+    ``"timeout"`` shape the serving front ends emit in place of a result
+    envelope — mirroring :exc:`~repro.api.admission.AdmissionRejected`.
+    """
+
+    def __init__(self, query, deadline_ms: int, elapsed_ms: float) -> None:
+        super().__init__(
+            f"query {getattr(query, 'algorithm', '?')!r} exceeded its "
+            f"deadline of {int(deadline_ms)} ms ({elapsed_ms:.1f} ms elapsed)"
+        )
+        self.query = query
+        self.deadline_ms = int(deadline_ms)
+        self.elapsed_ms = float(elapsed_ms)
+        self.result = timeout_result(query, deadline_ms, elapsed_ms)
+
+    @property
+    def envelope(self) -> Dict[str, Any]:
+        return self.result.to_dict()
 
 
 def fingerprint_of(payload: Dict[str, Any]) -> str:

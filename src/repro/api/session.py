@@ -81,7 +81,12 @@ from .admission import (
 from .cache import ResultCache
 from .queries import Query, SamplingBudget
 from .registry import get_algorithm
-from .result import QueryResult, fingerprint_of
+from .result import (
+    QueryResult,
+    QueryTimeout,
+    failure_result,
+    fingerprint_of,
+)
 
 __all__ = ["Session"]
 
@@ -438,6 +443,19 @@ class Session:
         get_runtime(self.graph, effective)
         return True
 
+    def runtime_health(self):
+        """Supervision snapshot of this graph's worker pool, or ``None``.
+
+        ``None`` means no pool is live for this session's graph (serial
+        configurations, fork-less platforms, pre-warm-up, post-close) —
+        which callers should read as "healthy, trivially": there are no
+        workers to lose.  See
+        :class:`~repro.core.parallel.RuntimeHealth`.
+        """
+        from ..core.parallel import runtime_health
+
+        return runtime_health(self.graph)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -460,12 +478,29 @@ class Session:
         query: Query,
         rng: Optional[np.random.Generator] = None,
         exec_session=None,
+        started: Optional[float] = None,
     ) -> QueryResult:
         """Cache-check, execute and stamp one already-admitted query.
 
         ``exec_session`` is the object handlers see — the session itself
         on the serial path, a :class:`_SessionLane` on lane threads.
+
+        ``started`` is the ``perf_counter`` instant the query's
+        ``deadline_ms`` counts from — batch submission time in
+        :meth:`run_many`, so a deadline covers queue wait, not just
+        compute.  The deadline is checked before running (a query whose
+        budget is already spent is not started at all) and after (a
+        result that arrives late is still cached — the work is valid and
+        a retry may hit it — but :exc:`QueryTimeout` is raised, carrying
+        the structured timeout envelope instead).
         """
+        deadline_ms = getattr(query, "deadline_ms", None)
+        if started is None:
+            started = time.perf_counter()
+        if deadline_ms is not None:
+            elapsed = (time.perf_counter() - started) * 1000.0
+            if elapsed >= deadline_ms:
+                raise QueryTimeout(query, deadline_ms, elapsed)
         key = self._cache_key(query)
         if self.cache is not None:
             hit = self.cache.get(key)
@@ -484,11 +519,45 @@ class Session:
         result.timings["total"] = time.perf_counter() - start
         result.query = query.to_dict()
         result.fingerprint = self.fingerprint_for(query)
+        health = self.runtime_health()
+        if health is not None and health.degraded:
+            # Honest provenance: this envelope was computed on the serial
+            # fallback of a degraded runtime.  Bit-identical to the
+            # healthy path — only latency differed — so it is still
+            # cacheable, marker included.
+            result.extra["degraded"] = True
         with self._stats_lock:
             self.queries_run += 1
         if self.cache is not None:
             self.cache.put(key, result)
+        if deadline_ms is not None:
+            elapsed = (time.perf_counter() - started) * 1000.0
+            if elapsed > deadline_ms:
+                raise QueryTimeout(query, deadline_ms, elapsed)
         return result
+
+    def _guarded(
+        self,
+        query: Query,
+        rng: Optional[np.random.Generator] = None,
+        exec_session=None,
+        started: Optional[float] = None,
+    ) -> QueryResult:
+        """:meth:`_run_admitted`, with failures folded into envelopes.
+
+        The ``on_error="envelope"`` execution arm: a deadline miss
+        becomes the ``"timeout"`` envelope, an algorithm exception the
+        ``"failed"`` one — positions in a batch stay aligned and one bad
+        query cannot sink its batch.
+        """
+        try:
+            return self._run_admitted(
+                query, rng=rng, exec_session=exec_session, started=started
+            )
+        except QueryTimeout as exc:
+            return exc.result
+        except Exception as exc:
+            return failure_result(query, exc)
 
     def run(
         self, query: Query, rng: Optional[np.random.Generator] = None
@@ -505,16 +574,23 @@ class Session:
         With an admission policy installed, a rejected query raises
         :exc:`AdmissionRejected` before any sampling; "queue"-classed
         queries simply run (there is no batch to defer them behind).
+        A query carrying ``deadline_ms`` raises :exc:`QueryTimeout` when
+        the deadline elapses (measured from this call), whose
+        ``.envelope`` is the structured ``"timeout"`` shape.
         """
         self._check_open()
+        started = time.perf_counter()
         if self.admission is not None:
             decision = self.admission.decide(self, query)
             if decision.action == REJECT:
                 raise AdmissionRejected(query, decision)
-        return self._run_admitted(query, rng=rng)
+        return self._run_admitted(query, rng=rng, started=started)
 
-    def _lane_run(self, query: Query) -> QueryResult:
-        return self._run_admitted(query, exec_session=_SessionLane(self))
+    def _lane_run(
+        self, query: Query, started: Optional[float] = None, guard: bool = False
+    ) -> QueryResult:
+        runner = self._guarded if guard else self._run_admitted
+        return runner(query, exec_session=_SessionLane(self), started=started)
 
     def _lanes(self) -> ThreadPoolExecutor:
         with self._state_lock:
@@ -529,21 +605,37 @@ class Session:
         self,
         queries: Iterable[Query],
         rng: Optional[np.random.Generator] = None,
+        on_error: str = "raise",
     ) -> Iterator[QueryResult]:
         """Yield each query's result as soon as it completes, in order.
 
         The streaming form of :meth:`run_many` (serial execution, same
         RNG semantics, pool pre-warmed once) — what ``repro query
         --json`` uses to emit NDJSON per result instead of buffering the
-        batch.
+        batch.  With ``on_error="envelope"``, a deadline miss or
+        algorithm failure yields its structured envelope and the stream
+        continues; deadlines count from each query's own start (there is
+        no batch wave to wait behind).
         """
         self._check_open()
+        if on_error not in ("raise", "envelope"):
+            raise ValueError("on_error must be 'raise' or 'envelope'")
         batch = list(queries)
         workers = self._effective_workers(batch)
         if workers > 1:
             self.ensure_runtime(workers)
         for query in batch:
-            yield self.run(query, rng=rng)
+            if on_error == "raise":
+                yield self.run(query, rng=rng)
+                continue
+            try:
+                yield self.run(query, rng=rng)
+            except QueryTimeout as exc:
+                yield exc.result
+            except AdmissionRejected as exc:
+                yield rejection_result(query, exc.decision)
+            except Exception as exc:
+                yield failure_result(query, exc)
 
     def run_many(
         self,
@@ -551,6 +643,7 @@ class Session:
         rng: Optional[np.random.Generator] = None,
         overlap: object = "auto",
         on_reject: str = "raise",
+        on_error: str = "raise",
     ) -> List[QueryResult]:
         """Answer a batch of queries on shared warm state, overlapped.
 
@@ -578,10 +671,21 @@ class Session:
         raise by default; ``on_reject="envelope"`` slots a structured
         rejection envelope into their position instead.  "Queue"-classed
         queries run last, after every admitted query has finished.
+
+        **Failures** (``on_error``): by default a deadline miss raises
+        :exc:`QueryTimeout` and an algorithm exception propagates, both
+        sinking the batch; ``on_error="envelope"`` slots the structured
+        ``"timeout"`` / ``"failed"`` envelope into the failing query's
+        position and the rest of the batch completes — the serving front
+        end's mode.  Per-query ``deadline_ms`` counts from batch
+        submission, so it bounds queue wait behind slower queries too.
         """
         self._check_open()
         if on_reject not in ("raise", "envelope"):
             raise ValueError("on_reject must be 'raise' or 'envelope'")
+        if on_error not in ("raise", "envelope"):
+            raise ValueError("on_error must be 'raise' or 'envelope'")
+        started = time.perf_counter()
         batch = list(queries)
         if not batch:
             return []
@@ -612,6 +716,8 @@ class Session:
             lane_idx = []
         serial_idx = [i for i in admitted if i not in set(lane_idx)]
 
+        guard = on_error == "envelope"
+        runner = self._guarded if guard else self._run_admitted
         if lane_idx:
             pool = self._lanes()
             shared: Dict[tuple, Future] = {}
@@ -620,16 +726,18 @@ class Session:
                 key = self._cache_key(batch[i])
                 future = shared.get(key) if key is not None else None
                 if future is None:
-                    future = pool.submit(self._lane_run, batch[i])
+                    future = pool.submit(
+                        self._lane_run, batch[i], started, guard
+                    )
                     if key is not None:
                         shared[key] = future
                 pending.append((i, future))
             for i, future in pending:
                 results[i] = future.result()
         for i in serial_idx:
-            results[i] = self._run_admitted(batch[i], rng=rng)
+            results[i] = runner(batch[i], rng=rng, started=started)
         for i in deferred:
-            results[i] = self._run_admitted(batch[i], rng=rng)
+            results[i] = runner(batch[i], rng=rng, started=started)
         return results
 
     # ------------------------------------------------------------------
@@ -649,4 +757,7 @@ class Session:
             out["cache"] = self.cache.stats()
         if self.admission is not None:
             out["admission"] = self.admission.to_dict()
+        health = self.runtime_health()
+        if health is not None:
+            out["runtime"] = health.to_dict()
         return out

@@ -192,7 +192,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             # NDJSON: one envelope per line, flushed as each query
             # completes, so downstream consumers stream instead of
             # waiting for the whole batch.
-            for result in session.run_iter(queries, rng=rng):
+            # Errors stream as inline envelopes (timeout/failed/rejected)
+            # so one bad query never truncates the NDJSON output.
+            for result in session.run_iter(queries, rng=rng, on_error="envelope"):
                 print(json.dumps(result.to_dict()), flush=True)
             return 0
         results = session.run_many(queries, rng=rng)
@@ -245,9 +247,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"http://{args.host}:{args.http} — POST /query, GET /stats",
                 file=sys.stderr,
             )
-            summary = serve_http(session, args.host, args.http)
+            summary = serve_http(
+                session, args.host, args.http,
+                default_deadline_ms=args.deadline_ms,
+            )
         else:
-            summary = serve_ndjson(session, sys.stdin, sys.stdout)
+            summary = serve_ndjson(
+                session, sys.stdin, sys.stdout,
+                default_deadline_ms=args.deadline_ms,
+            )
     print(json.dumps(summary), file=sys.stderr)
     return 0
 
@@ -366,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default budget for queries that do not carry one",
     )
     p_serve.add_argument("--mc-runs", type=int, default=1000)
+    p_serve.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="server-wide latency SLO: queries without their own "
+        "deadline_ms inherit this; missed deadlines return the timeout "
+        "envelope (HTTP 504)",
+    )
     _add_workers(p_serve)
 
     return parser

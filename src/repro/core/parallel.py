@@ -35,6 +35,23 @@ the serial fallback ran.  The serial fallback (``workers <= 1``, or a
 platform without ``fork``) iterates the same chunks in-process without
 touching any pool machinery.
 
+Fault tolerance: the same determinism contract is what makes the
+runtime *supervised* rather than merely fail-fast.  Workers announce
+each chunk they pull (a claim message ahead of the result), so the
+collector knows chunk ownership; a liveness sweep detects dead workers,
+re-enqueues their unacknowledged chunks with bounded retries and
+exponential backoff (re-executing a chunk is bit-identical — it is a
+pure function of its id and seed), and respawns replacements against
+the already-published shared graph.  After too many consecutive worker
+deaths the runtime **degrades** instead of raising: remaining chunks run
+serially in-process inside :meth:`SharedGraphRuntime.gather`, and later
+dispatches bypass the pool entirely — same results, no recovery storm.
+:meth:`SharedGraphRuntime.health` snapshots the supervision counters
+(:class:`RuntimeHealth`), and a process-wide shared-memory registry with
+an ``atexit``/SIGTERM reaper (:func:`reap_shm_segments`) unlinks
+orphaned ``repro-*`` segments even on abnormal exit.  Every recovery
+path is deterministically drivable via :mod:`repro.testing.faults`.
+
 The pre-runtime implementation (fork pool per call, pickled graph
 initargs, pickled payload results, single-sample chunk loops) is kept as
 ``legacy_parallel_prr_collection`` / ``legacy_parallel_critical_sets`` —
@@ -44,19 +61,24 @@ the baseline ``benchmarks/bench_lanes.py`` measures the runtime against.
 from __future__ import annotations
 
 import atexit
+import heapq
+import itertools
 import math
 import multiprocessing as mp
 import os
+import signal
 import threading
 import time
+from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine import SamplingEngine
 from ..engine.coverage import csr_to_frozensets
 from ..graphs.digraph import CSRView, DiGraph
+from ..testing import faults
 from .prr import PRRArena, sample_prr_arena, sample_prr_lanes
 
 __all__ = [
@@ -64,10 +86,13 @@ __all__ = [
     "parallel_critical_sets",
     "parallel_rr_csr",
     "SharedGraphRuntime",
+    "RuntimeHealth",
+    "runtime_health",
     "get_runtime",
     "shutdown_runtime",
     "shutdown_runtime_for",
     "runtime_is_alive",
+    "reap_shm_segments",
     "fork_available",
     "resolve_sampler_workers",
     "PARALLEL_MIN_SAMPLES",
@@ -89,6 +114,30 @@ _SHM_RESULT_MIN = 1 << 18
 # Below this many samples a sampler dispatch stays in-process: a chunk
 # queue round-trip costs more than two lane batches.
 PARALLEL_MIN_SAMPLES = 512
+
+# Supervision defaults.  A lost chunk is re-enqueued at most
+# MAX_TASK_RETRIES times (exponential backoff from RETRY_BACKOFF_BASE
+# seconds); after MAX_CONSECUTIVE_DEATHS worker deaths with no
+# successful result in between, the runtime degrades to the in-process
+# serial path instead of respawning further.
+MAX_TASK_RETRIES = 3
+RETRY_BACKOFF_BASE = 0.05
+MAX_CONSECUTIVE_DEATHS = 3
+
+# How often the collector sweeps worker liveness / due retries when no
+# results are arriving.  Bounds fault-detection latency, not result
+# latency — gatherers are woken per arriving result.
+_POLL_INTERVAL = 0.2
+
+# Escape hatch for overhead measurement (benchmarks/bench_faults.py):
+# setting REPRO_RUNTIME_SUPERVISION=0 before the pool starts disables
+# claim messages and liveness sweeps, reproducing the pre-supervision
+# fail-fast runtime as a same-machine baseline arm.
+_SUPERVISION_ENV = "REPRO_RUNTIME_SUPERVISION"
+
+
+def _supervision_enabled() -> bool:
+    return os.environ.get(_SUPERVISION_ENV, "1") != "0"
 
 
 def fork_available() -> bool:
@@ -138,8 +187,108 @@ def _chunk_jobs(count: int, master_seed: int) -> List[Tuple[int, int, int]]:
 # on open (a set add, idempotent across attachers) and unregisters it in
 # unlink() — each segment here is unlinked exactly once by its consumer,
 # so the ledger balances without any manual (un)registration.
+#
+# On top of that sits a process-wide *named-segment registry*: every
+# segment is created under the ``repro-<master-pid>-…`` prefix and
+# recorded in ``_shm_registry``; :func:`reap_shm_segments` (run at
+# interpreter exit and on SIGTERM, callable any time after shutdown)
+# unlinks whatever is left — including segments published by *workers*
+# that died before the master could consume them, found by scanning
+# ``/dev/shm`` for the shared prefix.  Normal operation unlinks every
+# segment promptly; the reaper exists for abnormal exits.
 
 _ArrayTable = List[Tuple[str, str, tuple, int]]
+
+# The prefix is fixed at import time in the master, so forked workers
+# inherit it and every segment of one process tree shares it.
+_SHM_PREFIX = f"repro-{os.getpid():x}"
+_shm_counter = itertools.count()
+_shm_registry: set = set()
+_SHM_REG_LOCK = threading.Lock()
+
+
+def _create_shm(size: int) -> shared_memory.SharedMemory:
+    """A fresh registered segment under this process tree's name prefix."""
+    while True:
+        name = f"{_SHM_PREFIX}-{os.getpid():x}-{next(_shm_counter):x}"
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:  # pragma: no cover - counter collision
+            continue
+        with _SHM_REG_LOCK:
+            _shm_registry.add(name)
+        return shm
+
+
+def _unregister_shm(name: str) -> None:
+    with _SHM_REG_LOCK:
+        _shm_registry.discard(name)
+
+
+def reap_shm_segments() -> List[str]:
+    """Unlink every leftover ``repro-*`` segment of this process tree.
+
+    Covers the registry (segments this process created) plus, on
+    platforms exposing ``/dev/shm``, a prefix scan that also catches
+    segments published by crashed workers.  Safe to call repeatedly;
+    returns the names actually reaped.  Only call while no runtime of
+    this process is live — the reaper cannot tell an orphan from a
+    segment still in use by an open pool.
+    """
+    with _SHM_REG_LOCK:
+        names = set(_shm_registry)
+        _shm_registry.clear()
+    shm_dir = "/dev/shm"
+    if os.path.isdir(shm_dir):
+        try:
+            names.update(
+                entry for entry in os.listdir(shm_dir)
+                if entry.startswith(_SHM_PREFIX + "-")
+            )
+        except OSError:  # pragma: no cover - defensive
+            pass
+    reaped = []
+    for name in sorted(names):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            continue
+        reaped.append(name)
+    return reaped
+
+
+_sigterm_installed = False
+
+
+def _sigterm_reaper(signum, frame):  # pragma: no cover - signal path
+    try:
+        shutdown_runtime()
+    except Exception:
+        pass
+    reap_shm_segments()
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_sigterm_reaper() -> None:
+    """Chain a SIGTERM reaper once, only over the default handler and
+    only from the main thread — never clobber an application handler."""
+    global _sigterm_installed
+    if _sigterm_installed:
+        return
+    _sigterm_installed = True
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_reaper)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 def _publish_arrays(
@@ -159,7 +308,7 @@ def _publish_arrays(
         table.append((name, arr.dtype.str, arr.shape, offset))
         offset += arr.nbytes
         offset = (offset + 63) & ~63  # 64-byte alignment
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    shm = _create_shm(max(offset, 1))
     for (name, _dt, _shape, off), arr in zip(table, contiguous.values()):
         if arr.nbytes:
             dst = np.frombuffer(
@@ -208,6 +357,7 @@ def _receive_result(msg) -> List[np.ndarray]:
     del views
     shm.close()
     shm.unlink()
+    _unregister_shm(name)
     return out
 
 
@@ -281,26 +431,83 @@ def _run_task(graph, kind: str, seed: int, size: int, params) -> List[np.ndarray
     raise ValueError(f"unknown task kind: {kind}")
 
 
-def _worker_main(shm_name, table, n, m, task_queue, result_queue) -> None:
+def _worker_main(
+    shm_name, table, n, m, task_queue, result_queue, worker_id, generation
+) -> None:
+    plan = faults.plan_from_env()  # inherited at fork; None in production
+    supervised = _supervision_enabled()
     shm = shared_memory.SharedMemory(name=shm_name)  # attach: not re-tracked
     view = _SharedGraphView(n, m, shm, _attach_arrays(shm, table))
     SamplingEngine.for_graph(view)  # warm the engine once
+    chunk_index = 0
     while True:
         task = task_queue.get()
         if task is None:
             break
         task_id, kind, seed, size, params = task
+        chunk_index += 1
+        if supervised:
+            # Claim before computing: the collector learns chunk
+            # ownership, so a death (or a vanished result) is attributable
+            # to exactly one chunk and that chunk can be re-enqueued.
+            result_queue.put(("claim", worker_id, task_id))
+        action = (
+            plan.action_for(worker_id, generation, chunk_index)
+            if plan is not None
+            else faults.NO_ACTION
+        )
+        if action.delay_s:
+            time.sleep(action.delay_s)
+        if action.kill:
+            # Simulated hard crash mid-chunk (no result, no cleanup).  The
+            # queue is closed first so the feeder thread drains the claim
+            # to the master — modelling a worker that died *during* the
+            # computation, after ownership was observable.  (A death in
+            # the sub-millisecond window before the claim flushes is the
+            # known-unattributable race documented on the runtime.)
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(17)
+        if action.drop:
+            continue  # simulated lost result message
         try:
             msg = _ship_result(_run_task(view, kind, seed, size, params))
-            result_queue.put((task_id, True, msg))
+            result_queue.put(("res", worker_id, task_id, True, msg))
         except Exception as exc:  # surface, don't hang the master
-            result_queue.put((task_id, False, repr(exc)))
+            result_queue.put(("res", worker_id, task_id, False, repr(exc)))
     # Flush pending queue feeds, then exit without interpreter teardown:
     # the engine holds views into the shared segment, and unwinding them
     # through GC trips BufferError in SharedMemory.__del__.
     result_queue.close()
     result_queue.join_thread()
     os._exit(0)
+
+
+@dataclass(frozen=True)
+class RuntimeHealth:
+    """A point-in-time snapshot of the runtime's supervision state.
+
+    ``workers`` is the configured pool size, ``workers_alive`` how many
+    processes currently pass ``is_alive``; ``restarts`` counts worker
+    respawns, ``retries`` chunk re-enqueues, and ``degraded`` whether the
+    runtime has given up on the pool and fallen back to the in-process
+    serial path (results stay bit-identical — only throughput changes).
+    """
+
+    workers: int
+    workers_alive: int
+    restarts: int
+    retries: int
+    degraded: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workers": int(self.workers),
+            "workers_alive": int(self.workers_alive),
+            "restarts": int(self.restarts),
+            "retries": int(self.retries),
+            "degraded": bool(self.degraded),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -333,41 +540,86 @@ class SharedGraphRuntime:
     many tags interleaved on the pool.
     """
 
-    def __init__(self, graph: DiGraph, workers: int) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        workers: int,
+        max_task_retries: int = MAX_TASK_RETRIES,
+        max_consecutive_deaths: int = MAX_CONSECUTIVE_DEATHS,
+        retry_backoff: float = RETRY_BACKOFF_BASE,
+        task_timeout: Optional[float] = None,
+    ) -> None:
         if not fork_available():
             raise RuntimeError("SharedGraphRuntime requires the fork start method")
+        _install_sigterm_reaper()
         self.graph = graph
         self.graph_version = getattr(graph, "version", 0)
         self.workers = int(workers)
+        self.supervised = _supervision_enabled()
+        self.max_task_retries = int(max_task_retries)
+        self.max_consecutive_deaths = int(max_consecutive_deaths)
+        self.retry_backoff = float(retry_backoff)
+        # Optional straggler bound: a *claimed* chunk with no result after
+        # this many seconds is re-enqueued (its late duplicate, if any, is
+        # deduplicated on arrival — chunks are deterministic).  Off by
+        # default: chunk cost is workload-dependent and a false positive
+        # doubles work.  Catches lost results from workers that stay
+        # alive, which the liveness sweep cannot see.
+        self.task_timeout = task_timeout
         self._ctx = mp.get_context("fork")
-        self._shm, table = _publish_arrays(_graph_arrays(graph))
+        self._shm, self._table = _publish_arrays(_graph_arrays(graph))
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    self._shm.name, table, graph.n, graph.m,
-                    self._tasks, self._results,
-                ),
-                daemon=True,
-            )
-            for _ in range(self.workers)
-        ]
-        for proc in self._procs:
-            proc.start()
         self._closed = False
-        # Tag-multiplexing state, all guarded by the condition's lock.
+        self._shutdown_lock = threading.Lock()
+        # Tag-multiplexing + supervision state, guarded by the condition's
+        # lock (spawn/respawn of processes happens outside it).
         self._cv = threading.Condition()
         self._next_tag = 0
         self._pending: Dict[int, set] = {}      # tag -> outstanding cids
         self._order: Dict[int, List[int]] = {}  # tag -> submission cid order
         self._stash: Dict[int, Dict[int, List[np.ndarray]]] = {}
+        # tag -> (kind, params, {cid: (seed, size)}): what re-enqueue and
+        # the degraded serial fallback need to re-execute a chunk.
+        self._specs: Dict[int, Tuple[str, tuple, Dict[int, Tuple[int, int]]]] = {}
+        self._inflight: Dict[int, Tuple[tuple, float]] = {}  # slot -> (task, t)
+        self._task_retries: Dict[tuple, int] = {}
+        self._deferred: List[tuple] = []  # heap of (due, seq, task_tuple)
+        self._deferred_seq = itertools.count()
+        self._generation = [0] * self.workers
+        self._dead_handled: set = set()
+        self._restarts = 0
+        self._retries_total = 0
+        # Per-slot run of deaths with no intervening result from that
+        # slot.  A one-time burst (every worker killed at once) is one
+        # death per slot and recovers; a slot whose respawns keep dying
+        # is the hopeless-environment signal that triggers degradation.
+        self._death_streak = [0] * self.workers
+        self._degraded = False
         self._failure: Optional[str] = None
+        self._procs: List[mp.process.BaseProcess] = [None] * self.workers
+        for slot in range(self.workers):
+            self._spawn(slot)
         self._collector = threading.Thread(
             target=self._collect_loop, name="runtime-collector", daemon=True
         )
         self._collector.start()
+
+    def _spawn(self, slot: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._shm.name, self._table, self.graph.n, self.graph.m,
+                self._tasks, self._results, slot, self._generation[slot],
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[slot] = proc
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
 
     # ------------------------------------------------------------------
     # Tagged submission API
@@ -390,6 +642,9 @@ class SharedGraphRuntime:
             self._pending[tag] = {cid for cid, _seed, _size in jobs}
             self._order[tag] = [cid for cid, _seed, _size in jobs]
             self._stash[tag] = {}
+            self._specs[tag] = (
+                kind, params, {cid: (seed, size) for cid, seed, size in jobs}
+            )
         for cid, seed, size in jobs:
             self._tasks.put(((tag, cid), kind, seed, size, params))
         return tag
@@ -397,12 +652,23 @@ class SharedGraphRuntime:
     def gather(self, tag: int) -> List[List[np.ndarray]]:
         """Block until every chunk of ``tag`` has arrived; return their
         results in submission order.  Thread-safe; each tag may be
-        gathered exactly once.  A worker failure tears the runtime down
-        before raising (in-flight chunks of *every* tag are lost with the
-        pool)."""
+        gathered exactly once.
+
+        Wake-up is event-driven — the collector notifies on *every*
+        arriving result, so small batches complete with no polling
+        quantization (the wait timeout below is only a liveness backstop).
+
+        Recovery: lost chunks are re-enqueued transparently by the
+        collector; if the runtime **degrades** (too many consecutive
+        worker deaths) the gatherer claims its remaining chunks and runs
+        them serially in-process — bit-identical by the determinism
+        contract.  Only an unrecoverable failure (a chunk that *raises*
+        in a worker, or retries exhausted) tears the runtime down before
+        raising."""
         failure = None
-        with self._cv:
-            while True:
+        while True:
+            serial: List[Tuple[int, int, int]] = []
+            with self._cv:
                 if self._failure is not None:
                     failure = self._failure
                     break
@@ -413,8 +679,22 @@ class SharedGraphRuntime:
                     del self._pending[tag]
                     order = self._order.pop(tag)
                     chunks = self._stash.pop(tag)
+                    self._specs.pop(tag, None)
                     return [chunks[cid] for cid in order]
-                self._cv.wait(timeout=0.5)
+                if self._degraded:
+                    # Claim every outstanding chunk of this tag for serial
+                    # in-process execution.  Removing them from the pending
+                    # set means a late worker duplicate is dropped on
+                    # arrival (it would be identical anyway).
+                    kind, params, chunkmap = self._specs[tag]
+                    serial = [(cid, *chunkmap[cid]) for cid in sorted(pending)]
+                    pending.clear()
+                else:
+                    self._cv.wait(timeout=0.5)
+            for cid, seed, size in serial:
+                arrays = _run_task(self.graph, kind, seed, size, params)
+                with self._cv:
+                    self._stash[tag][cid] = arrays
         self.shutdown()
         raise RuntimeError(failure)
 
@@ -426,95 +706,241 @@ class SharedGraphRuntime:
         return self.gather(self.submit(kind, jobs, params))
 
     # ------------------------------------------------------------------
-    # Collector
+    # Collector + supervision
     # ------------------------------------------------------------------
+    def _is_outstanding(self, task_id: tuple) -> bool:
+        """Whether a chunk is still owed a result (caller holds the cv)."""
+        tag, cid = task_id
+        pending = self._pending.get(tag)
+        return pending is not None and cid in pending
+
+    def _requeue(self, task_id: tuple, why: str) -> None:
+        """Schedule a lost chunk for re-execution (caller holds the cv).
+
+        Bounded retries with exponential backoff; exhausting them is the
+        one unrecoverable outcome and sets :attr:`_failure`.
+        """
+        if not self._is_outstanding(task_id):
+            return
+        retries = self._task_retries.get(task_id, 0) + 1
+        if retries > self.max_task_retries:
+            self._failure = (
+                f"chunk {task_id} lost {retries} times "
+                f"(last cause: {why}); retries exhausted"
+            )
+            self._cv.notify_all()
+            return
+        self._task_retries[task_id] = retries
+        self._retries_total += 1
+        tag, cid = task_id
+        spec = self._specs.get(tag)
+        if spec is None:  # pragma: no cover - tag abandoned meanwhile
+            return
+        kind, params, chunkmap = spec
+        seed, size = chunkmap[cid]
+        due = time.monotonic() + self.retry_backoff * (2 ** (retries - 1))
+        heapq.heappush(
+            self._deferred,
+            (due, next(self._deferred_seq), (task_id, kind, seed, size, params)),
+        )
+
+    def _service_deferred(self) -> None:
+        """Move due re-enqueued chunks back onto the task queue."""
+        now = time.monotonic()
+        ready = []
+        with self._cv:
+            while self._deferred and self._deferred[0][0] <= now:
+                _due, _seq, task = heapq.heappop(self._deferred)
+                ready.append(task)
+        for task in ready:
+            self._tasks.put(task)
+
+    def _sweep(self) -> None:
+        """Detect dead workers; re-enqueue their chunks and respawn them.
+
+        Each death increments its slot's death streak (reset by a result
+        from that slot, so a one-time burst of deaths recovers); when a
+        slot's respawns have died :attr:`max_consecutive_deaths` times in
+        a row the runtime degrades — no further respawns, gatherers finish serially — which
+        bounds the recovery storm a persistently crashing environment
+        could otherwise cause.  With :attr:`task_timeout` set, claimed
+        chunks whose result never arrived (worker alive but wedged, or
+        the result message lost) are re-enqueued too.
+        """
+        respawn: List[int] = []
+        now = time.monotonic()
+        with self._cv:
+            if self._closed or self._failure is not None:
+                return
+            for slot, proc in enumerate(self._procs):
+                if proc.is_alive() or slot in self._dead_handled:
+                    continue
+                self._dead_handled.add(slot)
+                lost = self._inflight.pop(slot, None)
+                if lost is not None:
+                    self._requeue(lost[0], f"worker {slot} died")
+                self._death_streak[slot] += 1
+                if self._degraded:
+                    continue
+                if self._death_streak[slot] >= self.max_consecutive_deaths:
+                    self._degraded = True
+                    self._cv.notify_all()  # gatherers take over serially
+                    continue
+                self._generation[slot] += 1
+                self._restarts += 1
+                respawn.append(slot)
+            if self.task_timeout is not None:
+                for slot, (task_id, claimed_at) in list(self._inflight.items()):
+                    if now - claimed_at > self.task_timeout:
+                        del self._inflight[slot]
+                        self._requeue(task_id, f"no result within {self.task_timeout}s")
+        for slot in respawn:
+            self._spawn(slot)  # outside the lock: process start is slow
+            with self._cv:
+                self._dead_handled.discard(slot)
+
     def _collect_loop(self) -> None:
         """Drain the result queue into the per-tag stashes (single reader).
 
-        Runs until shutdown.  Sets :attr:`_failure` — waking every
-        gatherer — on a failed task or a dead worker with work
-        outstanding; result payloads are copied out of (and their
-        segments unlinked from) shared memory here, so abandoned tags
-        never leak segments.
+        Runs until shutdown.  Claim messages maintain per-worker chunk
+        ownership; result arrivals wake every gatherer promptly (no
+        polling floor on small batches).  Between messages — and at least
+        every :data:`_POLL_INTERVAL` seconds — the liveness sweep and the
+        retry queue run.  Sets :attr:`_failure` only for unrecoverable
+        outcomes (a chunk that raised in a worker, retries exhausted);
+        result payloads are copied out of (and their segments unlinked
+        from) shared memory here, so abandoned tags never leak segments.
         """
+        last_sweep = time.monotonic()
         while not self._closed:
+            self._service_deferred()
             try:
-                (tag, cid), ok, msg = self._results.get(timeout=0.5)
+                msg = self._results.get(timeout=_POLL_INTERVAL)
             except Exception:
-                with self._cv:
-                    if self._failure is not None or not self._pending:
-                        continue
-                    alive = sum(p.is_alive() for p in self._procs)
-                    if alive < self.workers:
-                        self._failure = (
-                            f"parallel runtime lost workers "
-                            f"({alive}/{self.workers} alive)"
-                        )
-                        self._cv.notify_all()
+                msg = None
+            if self.supervised:
+                now = time.monotonic()
+                if msg is None or now - last_sweep >= _POLL_INTERVAL:
+                    self._sweep()
+                    last_sweep = now
+            if msg is None:
                 continue
+            if msg[0] == "claim":
+                _kind, wid, task_id = msg
+                with self._cv:
+                    prev = self._inflight.get(wid)
+                    self._inflight[wid] = (task_id, time.monotonic())
+                    if prev is not None and prev[0] != task_id:
+                        # The worker moved on without ever shipping the
+                        # previous chunk's result: treat it as lost.
+                        self._requeue(
+                            prev[0], f"worker {wid} superseded it unanswered"
+                        )
+                continue
+            _kind, wid, (tag, cid), ok, payload = msg
             if not ok:
                 with self._cv:
-                    self._failure = f"worker task ({tag}, {cid}) failed: {msg}"
+                    self._failure = f"worker task ({tag}, {cid}) failed: {payload}"
                     self._cv.notify_all()
                 continue
             try:
-                arrays = _receive_result(msg)
+                arrays = _receive_result(payload)
             except Exception as exc:  # pragma: no cover - defensive
                 with self._cv:
                     self._failure = f"result unpack failed: {exc!r}"
                     self._cv.notify_all()
                 continue
             with self._cv:
-                if tag in self._pending:
+                held = self._inflight.get(wid)
+                if held is not None and held[0] == (tag, cid):
+                    del self._inflight[wid]
+                if 0 <= wid < len(self._death_streak):
+                    self._death_streak[wid] = 0
+                pending = self._pending.get(tag)
+                if pending is not None and cid in pending:
                     self._stash[tag][cid] = arrays
-                    self._pending[tag].discard(cid)
-                    if not self._pending[tag]:
-                        self._cv.notify_all()
-                # else: tag abandoned (gather raised) — arrays dropped,
-                # segment already unlinked by _receive_result.
+                    pending.discard(cid)
+                # else: tag abandoned or chunk already satisfied (late
+                # duplicate after a retry) — arrays dropped, segment
+                # already unlinked by _receive_result.
+                self._cv.notify_all()  # wake gatherers per result arrival
 
-    def shutdown(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def health(self) -> RuntimeHealth:
+        """A consistent snapshot of the supervision counters."""
+        with self._cv:
+            return RuntimeHealth(
+                workers=self.workers,
+                workers_alive=sum(
+                    p is not None and p.is_alive() for p in self._procs
+                ),
+                restarts=self._restarts,
+                retries=self._retries_total,
+                degraded=self._degraded,
+            )
+
+    def shutdown(self, timeout: float = 15.0) -> None:
+        """Tear the pool down (idempotent, concurrency-safe, bounded).
+
+        Total teardown wall-clock is capped by ``timeout``: the drain
+        phase and the per-worker joins share one deadline, and workers
+        still alive past it are terminated (then killed).  Safe against a
+        half-dead pool — sentinels go onto the task queue regardless of
+        which workers still live, a dead worker's sentinel is simply
+        never consumed, and joins on already-dead processes return
+        immediately.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
+        deadline = time.monotonic() + max(float(timeout), 0.1)
         with self._cv:
             if self._failure is None:
                 self._failure = "runtime is shut down"
             self._cv.notify_all()
-        self._collector.join(timeout=5)
+        self._collector.join(timeout=min(5.0, max(deadline - time.monotonic(), 0.1)))
         for _ in self._procs:
             try:
                 self._tasks.put(None)
-            except Exception:
+            except Exception:  # pragma: no cover - broken queue
                 pass
         # Drain in-flight results *while* workers wind down: a worker
         # mid-put must not block forever against a full pipe, and every
         # abandoned result's shared segment needs unlinking.  Bounded, and
-        # tolerant of a truncated message from a dying worker.
-        deadline = time.monotonic() + 15
+        # tolerant of truncated/claim messages from dying workers.
         while time.monotonic() < deadline:
             try:
-                _tid, ok, msg = self._results.get(timeout=0.25)
+                msg = self._results.get(timeout=0.25)
             except Exception:
-                if not any(p.is_alive() for p in self._procs):
+                if not any(p is not None and p.is_alive() for p in self._procs):
                     break
                 continue
-            if ok:
+            if msg and msg[0] == "res" and msg[3]:
                 try:
-                    _receive_result(msg)
+                    _receive_result(msg[4])
                 except Exception:  # pragma: no cover - defensive
                     pass
         for proc in self._procs:
-            proc.join(timeout=5)
+            if proc is None:
+                continue
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
+                proc.join(timeout=0.5)
+                if proc.is_alive():
+                    proc.kill()
+        # cancel_join_thread: never block interpreter exit on unflushed
+        # queue buffers — every worker is gone by now.
         self._tasks.close()
+        self._tasks.cancel_join_thread()
         self._results.close()
+        self._results.cancel_join_thread()
         try:
             self._shm.close()
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
+        _unregister_shm(self._shm.name)
 
 
 _runtime: Optional[SharedGraphRuntime] = None
@@ -577,6 +1003,26 @@ def runtime_is_alive(graph) -> bool:
     return _runtime is not None and not _runtime._closed and _runtime.graph is graph
 
 
+def runtime_health(graph=None) -> Optional[RuntimeHealth]:
+    """Supervision snapshot of the cached runtime, or ``None``.
+
+    ``None`` means no runtime is live (serial configurations, fork-less
+    platforms, post-shutdown) — or, when ``graph`` is given, that the
+    live runtime serves a different graph.  The session/serving tiers
+    report this through ``Session.stats()`` and ``/healthz``.
+    """
+    rt = _runtime
+    if rt is None or rt._closed:
+        return None
+    if graph is not None and rt.graph is not graph:
+        return None
+    return rt.health()
+
+
+# LIFO atexit: the reaper is registered first so it runs *after* the
+# runtime shutdown below has unlinked everything it owns — catching only
+# what an abnormal teardown left behind.
+atexit.register(reap_shm_segments)
 atexit.register(shutdown_runtime)
 
 
@@ -589,9 +1035,13 @@ def _run_chunks(
 ) -> List[List[np.ndarray]]:
     """Run chunk jobs on the shared runtime, or serially in-process when
     ``workers <= 1`` / no fork — same chunks, same seeds, same results,
-    and the serial path never touches pool or shared-memory machinery."""
+    and the serial path never touches pool or shared-memory machinery.
+    A **degraded** runtime (supervision gave up on its pool) is bypassed
+    the same way: the serial path is the graceful floor."""
     if workers > 1 and fork_available() and len(jobs) > 1:
-        return get_runtime(graph, workers).run(kind, jobs, params)
+        rt = get_runtime(graph, workers)
+        if not rt.degraded:
+            return rt.run(kind, jobs, params)
     return [
         _run_task(graph, kind, seed, size, params) for _cid, seed, size in jobs
     ]

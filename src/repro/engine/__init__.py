@@ -48,6 +48,15 @@ sample concurrently over one graph through the ordinary sampler entry
 points.  Process-based parallelism (:mod:`repro.core.parallel`) is
 unaffected: every worker attaches to the shared read-only graph arrays
 and owns its own engine and scratch buffers.
+
+Supervision rides on the same property: when the runtime respawns a
+crashed worker, the replacement re-attaches to the published arrays and
+rebuilds its private engine from them — no master-side engine state is
+shared, so a respawn (or the degraded in-process serial fallback) cannot
+observe, or corrupt, another thread's scratch.  Re-executed chunks are
+bit-identical because every chunk's samples are a pure function of
+``(chunk_id, master_seed)`` through the hash-based RNG — no engine
+instance, thread, or process identity leaks into the draw.
 """
 
 from .batch import SamplingEngine, STATUS_NAMES

@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+the parallel runtime's supervision layer is tested with — it is part of
+the installed package (not the test tree) because the worker main loop
+imports it to check for injected faults, and because operators can use
+the same hooks to rehearse recovery against a live deployment.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -130,3 +130,214 @@ class TestTreeEdgeCases:
         t = BidirectedTree(b.build(), seeds={0})
         result = dp_boost(t, 2, epsilon=0.5)
         assert result.boost == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Runtime supervision: worker death, retry, degradation, shm hygiene
+# ----------------------------------------------------------------------
+
+needs_fork = pytest.mark.skipif(
+    not __import__(
+        "repro.core.parallel", fromlist=["fork_available"]
+    ).fork_available(),
+    reason="requires fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def sized_graph():
+    from repro.graphs import learned_like, preferential_attachment
+
+    g_rng = np.random.default_rng(91)
+    return learned_like(preferential_attachment(150, 3, g_rng), g_rng, 0.2)
+
+
+def _shm_orphans():
+    import glob
+
+    from repro.core.parallel import _SHM_PREFIX
+
+    return glob.glob(f"/dev/shm/{_SHM_PREFIX}*")
+
+
+@needs_fork
+class TestWorkerSupervision:
+    SEEDS = frozenset({0, 1})
+    COUNT = 1024  # 4 chunks of 256: enough to kill mid-run and recover
+
+    def _reference(self, graph):
+        from repro.core.parallel import parallel_prr_collection
+
+        return parallel_prr_collection(
+            graph, self.SEEDS, 5, self.COUNT, master_seed=42, workers=1
+        )
+
+    def test_killed_worker_recovers_bit_identical(self, sized_graph):
+        from repro.core.parallel import (
+            parallel_prr_collection,
+            runtime_health,
+            shutdown_runtime,
+        )
+        from repro.testing import faults
+
+        reference = self._reference(sized_graph)
+        try:
+            for workers in (2, 3):
+                shutdown_runtime()
+                with faults.inject(kill_worker="any", kill_on_chunk=1):
+                    recovered = parallel_prr_collection(
+                        sized_graph, self.SEEDS, 5, self.COUNT,
+                        master_seed=42, workers=workers,
+                    )
+                    health = runtime_health(sized_graph)
+                assert health is not None
+                assert health.restarts >= 1
+                assert not health.degraded
+                assert [p.root for p in recovered] == [
+                    p.root for p in reference
+                ]
+        finally:
+            shutdown_runtime()
+        assert _shm_orphans() == []
+
+    def test_dropped_result_reenqueued(self, sized_graph):
+        from repro.core.parallel import SharedGraphRuntime, _chunk_jobs, _run_task
+        from repro.testing import faults
+
+        jobs = _chunk_jobs(self.COUNT, 42)
+        params = (self.SEEDS, 5)
+        reference = [
+            _run_task(sized_graph, "prr", seed, size, params)
+            for _cid, seed, size in jobs
+        ]
+        with faults.inject(drop_worker=0, drop_on_chunk=1):
+            runtime = SharedGraphRuntime(sized_graph, 2, task_timeout=0.25)
+            try:
+                out = runtime.run("prr", jobs, params)
+                health = runtime.health()
+            finally:
+                runtime.shutdown()
+        assert health.retries >= 1
+        for got, want in zip(out, reference):
+            for a, b in zip(got, want):
+                assert np.array_equal(a, b)
+        assert _shm_orphans() == []
+
+    def test_degrades_to_serial_when_respawns_keep_dying(self, sized_graph):
+        from repro.core.parallel import SharedGraphRuntime, _chunk_jobs, _run_task
+        from repro.testing import faults
+
+        jobs = _chunk_jobs(self.COUNT, 42)
+        params = (self.SEEDS, 5)
+        reference = [
+            _run_task(sized_graph, "prr", seed, size, params)
+            for _cid, seed, size in jobs
+        ]
+        with faults.inject(
+            kill_worker="any", kill_on_chunk=1, kill_all_generations=True
+        ):
+            runtime = SharedGraphRuntime(
+                sized_graph, 2, max_consecutive_deaths=3
+            )
+            try:
+                out = runtime.run("prr", jobs, params)
+                health = runtime.health()
+            finally:
+                runtime.shutdown()
+        assert health.degraded
+        assert health.restarts >= 1
+        for got, want in zip(out, reference):
+            for a, b in zip(got, want):
+                assert np.array_equal(a, b)
+        assert _shm_orphans() == []
+
+    def test_degraded_runtime_bypassed_by_entry_points(self, sized_graph):
+        from repro.core.parallel import (
+            get_runtime,
+            parallel_prr_collection,
+            shutdown_runtime,
+        )
+        from repro.testing import faults
+
+        reference = self._reference(sized_graph)
+        try:
+            with faults.inject(
+                kill_worker="any", kill_on_chunk=1, kill_all_generations=True
+            ):
+                runtime = get_runtime(sized_graph, 2)
+                runtime.max_consecutive_deaths = 2
+                first = parallel_prr_collection(
+                    sized_graph, self.SEEDS, 5, self.COUNT,
+                    master_seed=42, workers=2,
+                )
+                assert runtime.degraded
+            # Faults lifted, but the pool is gone: later calls route
+            # serially through _run_chunks instead of touching it.
+            again = parallel_prr_collection(
+                sized_graph, self.SEEDS, 5, self.COUNT,
+                master_seed=42, workers=2,
+            )
+        finally:
+            shutdown_runtime()
+        assert [p.root for p in first] == [p.root for p in reference]
+        assert [p.root for p in again] == [p.root for p in reference]
+
+    def test_retries_exhausted_is_unrecoverable(self, sized_graph):
+        from repro.core.parallel import SharedGraphRuntime, _chunk_jobs
+        from repro.testing import faults
+
+        jobs = _chunk_jobs(512, 42)
+        with faults.inject(
+            kill_worker="any", kill_on_chunk=1, kill_all_generations=True
+        ):
+            # Degradation disabled (huge threshold) and only one retry:
+            # the re-killed chunk must exhaust and fail loudly.
+            runtime = SharedGraphRuntime(
+                sized_graph, 2,
+                max_task_retries=1, max_consecutive_deaths=10_000,
+            )
+            with pytest.raises(RuntimeError, match="retries exhausted"):
+                runtime.run("prr", jobs, (self.SEEDS, 5))
+        assert _shm_orphans() == []
+
+
+@needs_fork
+class TestShutdownHardening:
+    def test_shutdown_idempotent_with_half_dead_pool(self, sized_graph):
+        import os
+        import signal
+        import time
+
+        from repro.core.parallel import SharedGraphRuntime
+
+        runtime = SharedGraphRuntime(sized_graph, 2)
+        victim = runtime._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5)
+        start = time.monotonic()
+        runtime.shutdown(timeout=10.0)
+        runtime.shutdown(timeout=10.0)  # second call must be a no-op
+        assert time.monotonic() - start < 20.0
+        assert runtime._closed
+        assert _shm_orphans() == []
+
+    def test_reaper_unlinks_orphans(self, sized_graph):
+        from multiprocessing import shared_memory
+
+        from repro.core.parallel import _SHM_PREFIX, reap_shm_segments
+
+        orphan = shared_memory.SharedMemory(
+            name=f"{_SHM_PREFIX}-deadbeef", create=True, size=64
+        )
+        orphan.close()  # simulated abnormal exit: never unlinked
+        reaped = reap_shm_segments()
+        assert f"{_SHM_PREFIX}-deadbeef" in reaped
+        assert _shm_orphans() == []
+
+    def test_shm_segments_namespaced_by_pid(self):
+        import os
+
+        from repro.core.parallel import _SHM_PREFIX
+
+        assert f"{os.getpid():x}" in _SHM_PREFIX
+        assert _SHM_PREFIX.startswith("repro-")

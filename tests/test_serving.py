@@ -199,7 +199,7 @@ class TestAdmission:
             with pytest.raises(AdmissionRejected) as info:
                 session.run(QUERY)
         envelope = info.value.envelope
-        assert envelope["error"] == "admission_rejected"
+        assert envelope["error"] == "rejected"
         assert envelope["admission"]["action"] == "reject"
         assert envelope["admission"]["cost"]["units"] > 0
         assert envelope["query"]["rng_seed"] == 7
@@ -221,7 +221,7 @@ class TestAdmission:
             results = session.run_many(
                 [heavy, light], on_reject="envelope"
             )
-        assert results[0].extra["error"] == "admission_rejected"
+        assert results[0].extra["error"] == "rejected"
         assert results[1].selected
 
     def test_queued_queries_still_run(self, graph):
@@ -393,7 +393,7 @@ class TestServeNDJSON:
                 session, io.StringIO("\n".join(lines) + "\n"), out
             )
         answers = [json.loads(l) for l in out.getvalue().splitlines()]
-        assert answers[0]["extra"]["error"] == "admission_rejected"
+        assert answers[0]["extra"]["error"] == "rejected"
         assert answers[1]["selected"]
         assert summary["serve"]["rejected"] == 1
         assert summary["serve"]["results"] == 1
@@ -458,3 +458,166 @@ class TestServeHTTP:
         with pytest.raises(urllib.error.HTTPError) as info:
             urllib.request.urlopen(server + "/nope", timeout=30)
         assert info.value.code == 404
+
+
+class TestDeadlines:
+    """Per-query deadline_ms: pre/post checks, envelopes, identity."""
+
+    def test_deadline_zero_raises_query_timeout(self, graph):
+        from repro.api import QueryTimeout
+
+        query = BoostQuery(seeds=[1, 2], k=3, rng_seed=7, deadline_ms=0)
+        with Session(graph, budget=BUDGET) as session:
+            with pytest.raises(QueryTimeout) as info:
+                session.run(query)
+        envelope = info.value.envelope
+        assert envelope["extra"]["error"] == "timeout"
+        assert envelope["extra"]["deadline_ms"] == 0
+        assert envelope["selected"] == []
+        assert envelope["query"]["deadline_ms"] == 0
+
+    def test_run_many_on_error_envelope_keeps_positions(self, graph):
+        good = SeedQuery(algorithm="degree", k=3, rng_seed=1)
+        late = BoostQuery(seeds=[1, 2], k=3, rng_seed=7, deadline_ms=0)
+        with Session(graph, budget=BUDGET) as session:
+            results = session.run_many([good, late, good], on_error="envelope")
+        assert results[0].selected and results[2].selected
+        assert results[1].extra["error"] == "timeout"
+
+    def test_generous_deadline_does_not_interfere(self, graph):
+        plain = BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=7)
+        timed = BoostQuery(
+            seeds=[1, 2, 3], k=4, rng_seed=7, deadline_ms=600_000
+        )
+        with Session(graph, budget=BUDGET) as session:
+            assert session.run(timed).selected == session.run(plain).selected
+
+    def test_deadline_excluded_from_identity(self, graph):
+        plain = BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=7)
+        timed = BoostQuery(
+            seeds=[1, 2, 3], k=4, rng_seed=7, deadline_ms=600_000
+        )
+        assert "deadline_ms" not in timed.canonical_dict()
+        assert timed.to_dict()["deadline_ms"] == 600_000
+        with Session(graph, budget=BUDGET) as session:
+            assert session.fingerprint_for(timed) == session.fingerprint_for(plain)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            BoostQuery(seeds=[1], k=2, deadline_ms=-1)
+
+    def test_algorithm_failure_becomes_failed_envelope(self, graph):
+        bad = EvalQuery(seeds=[0], boost=[graph.n + 5], rng_seed=3)
+        with Session(graph, budget=BUDGET) as session:
+            results = session.run_many([bad], on_error="envelope")
+        assert results[0].extra["error"] == "failed"
+        assert results[0].extra["exception"]
+
+
+class TestServeHTTPStatusCodes:
+    """The error-taxonomy -> HTTP status mapping of serve_http."""
+
+    @pytest.fixture()
+    def served(self, graph):
+        ready, stop = threading.Event(), threading.Event()
+        session = Session(
+            graph, budget=BUDGET, admission=AdmissionPolicy(max_samples=5000)
+        )
+        thread = threading.Thread(
+            target=serve_http,
+            args=(session,),
+            kwargs=dict(port=0, ready=ready, stop=stop),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10), "server did not come up"
+        yield f"http://127.0.0.1:{ready.port}", session
+        stop.set()
+        thread.join(10)
+        session.close()
+
+    @staticmethod
+    def _post_raw(url, payload):
+        request = urllib.request.Request(
+            url + "/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_single_rejected_is_429(self, served):
+        url, _session = served
+        code, body = self._post_raw(url, {
+            "type": "boost", "algorithm": "prr_boost", "seeds": [1, 2],
+            "k": 3, "rng_seed": 1,
+            "budget": {"max_samples": 999_999, "mc_runs": 10},
+        })
+        assert code == 429
+        assert body["extra"]["error"] == "rejected"
+
+    def test_single_timeout_is_504(self, served):
+        url, _session = served
+        code, body = self._post_raw(url, {
+            "type": "boost", "algorithm": "prr_boost", "seeds": [1, 2],
+            "k": 3, "rng_seed": 1, "deadline_ms": 0,
+        })
+        assert code == 504
+        assert body["extra"]["error"] == "timeout"
+        assert body["extra"]["deadline_ms"] == 0
+
+    def test_single_failure_is_500(self, served):
+        url, _session = served
+        code, body = self._post_raw(url, {
+            "type": "eval", "algorithm": "evaluate", "seeds": [0],
+            "boost": [10_000_000], "rng_seed": 1,
+        })
+        assert code == 500
+        assert body["extra"]["error"] == "failed"
+
+    def test_mixed_batch_is_200_with_inline_envelopes(self, served):
+        url, _session = served
+        code, body = self._post_raw(url, [
+            {"type": "seed", "algorithm": "degree", "k": 3, "rng_seed": 1},
+            {"type": "boost", "algorithm": "prr_boost", "seeds": [1, 2],
+             "k": 3, "rng_seed": 1, "deadline_ms": 0},
+        ])
+        assert code == 200
+        assert body[0]["selected"]
+        assert body[1]["extra"]["error"] == "timeout"
+
+    def test_uniform_error_batch_carries_class_code(self, served):
+        url, _session = served
+        code, body = self._post_raw(url, [
+            {"type": "boost", "algorithm": "prr_boost", "seeds": [1],
+             "k": 2, "rng_seed": 1, "deadline_ms": 0},
+            {"type": "boost", "algorithm": "prr_boost", "seeds": [2],
+             "k": 2, "rng_seed": 2, "deadline_ms": 0},
+        ])
+        assert code == 504
+        assert all(e["extra"]["error"] == "timeout" for e in body)
+
+    def test_healthz_degraded_is_503(self, served):
+        from repro.core import RuntimeHealth
+
+        url, session = served
+        # Shadow the session's health probe with a degraded snapshot:
+        # the handler consults it per request.
+        session.runtime_health = lambda: RuntimeHealth(
+            workers=2, workers_alive=0, restarts=3, retries=5, degraded=True
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(url + "/healthz", timeout=30)
+        assert info.value.code == 503
+        body = json.loads(info.value.read())
+        assert body["degraded"] is True
+        assert body["runtime"]["restarts"] == 3
+        with urllib.request.urlopen(url + "/stats", timeout=30) as resp:
+            stats = json.loads(resp.read())
+        assert stats["runtime"]["degraded"] is True
+        del session.runtime_health
+        with urllib.request.urlopen(url + "/healthz", timeout=30) as resp:
+            assert json.loads(resp.read())["ok"] is True
