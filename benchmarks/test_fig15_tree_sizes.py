@@ -49,4 +49,8 @@ def test_fig15_tree_sizes(benchmark):
     for n, (greedy, dp) in pairs.items():
         # curves overlap: greedy is near-optimal at every size
         assert greedy.boost >= dp.boost * 0.95, f"n={n}"
+        # Structural bound (not a timing race): dp_boost runs
+        # greedy_boost internally for its lower bound, so its time is a
+        # strict superset of greedy's at every size — vectorized path
+        # included.
         assert greedy.seconds <= dp.seconds, f"n={n}"

@@ -51,6 +51,7 @@ from .api import (
     SamplingBudget,
     SeedQuery,
     Session,
+    TreeQuery,
     algorithm_names,
     estimate_cost,
     query_from_dict,
@@ -103,6 +104,7 @@ __all__ = [
     "BoostQuery",
     "SeedQuery",
     "EvalQuery",
+    "TreeQuery",
     "QueryResult",
     "query_from_dict",
     "register_algorithm",

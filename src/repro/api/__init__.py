@@ -45,6 +45,7 @@ from .queries import (
     Query,
     SamplingBudget,
     SeedQuery,
+    TreeQuery,
     query_from_dict,
 )
 from .registry import algorithm_names, get_algorithm, register_algorithm
@@ -69,6 +70,7 @@ __all__ = [
     "BoostQuery",
     "SeedQuery",
     "EvalQuery",
+    "TreeQuery",
     "Query",
     "QueryResult",
     "query_from_dict",

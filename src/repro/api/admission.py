@@ -56,8 +56,11 @@ _SAMPLING_ALGORITHMS = frozenset(
     {"prr_boost", "prr_boost_lb", "imm", "ssa", "more_seeds"}
 )
 _STRUCTURAL_ALGORITHMS = frozenset(
-    {"degree", "random", "degree_global", "degree_local", "pagerank"}
+    {"degree", "random", "degree_global", "degree_local", "pagerank", "ppr"}
 )
+# Exact tree algorithms (Section VI): deterministic, sampling-free, priced
+# from their table/DP dimensions instead of a sample budget.
+_TREE_ALGORITHMS = frozenset({"tree_dp", "tree_greedy"})
 
 
 @dataclass(frozen=True)
@@ -121,12 +124,26 @@ def estimate_cost(session, query) -> QueryCost:
         samples = int(budget.mc_runs) * max(k, 1)
         edges = float(m)
         units = samples * edges
+    elif algorithm in _TREE_ALGORITHMS:
+        # Deterministic tree DPs: no sampled sets, so cost comes from the
+        # table dimensions known up front.  DP-Boost fills O(n·(k+1))
+        # table rows whose c/f grids are O(1/ε) wide (δ ∝ ε), giving
+        # n·(k+1)·(1/ε)² cell updates; Greedy-Boost is k+1 exact O(n)
+        # passes with a small per-node constant.
+        samples = 0
+        k = int(getattr(query, "k", 1))
+        if algorithm == "tree_dp":
+            grid = 1.0 / max(float(budget.epsilon), 1e-3)
+            units = float(n) * (k + 1) * grid * grid
+        else:
+            units = float(n) * (k + 1) * 4.0
+        edges = float(m)
     elif algorithm in _STRUCTURAL_ALGORITHMS:
         # Degree/PageRank-style heuristics: linear passes over the graph,
         # plus the Monte-Carlo ranking of candidate sets when enabled.
         samples = 0
         units = float(n + m)
-        if algorithm == "pagerank":
+        if algorithm in ("pagerank", "ppr"):
             units += 100.0 * m
         if dict(query.params).get("evaluate", True):
             samples = int(budget.mc_runs)

@@ -12,13 +12,21 @@ key                implementation                              query
 ``degree_global``  :func:`repro.baselines.high_degree_global`  BoostQuery
 ``degree_local``   :func:`repro.baselines.high_degree_local`   BoostQuery
 ``pagerank``       :func:`repro.baselines.pagerank_baseline`   BoostQuery
+``ppr``            :func:`repro.baselines.ppr_baseline`        BoostQuery
 ``more_seeds``     :func:`repro.baselines.more_seeds_baseline` BoostQuery
 ``imm``            :func:`repro.im.imm.imm_core`               SeedQuery
 ``ssa``            :func:`repro.im.ssa.ssa_core`               SeedQuery
 ``degree``         :func:`repro.im.seeds.select_seeds`         SeedQuery
 ``random``         :func:`repro.im.seeds.select_seeds`         SeedQuery
 ``evaluate``       engine Monte-Carlo estimators               EvalQuery
+``tree_dp``        :func:`repro.trees.dp_boost`                TreeQuery
+``tree_greedy``    :func:`repro.trees.greedy_boost`            TreeQuery
 =================  ==========================================  ==========
+
+The tree handlers are exact/deterministic (no sampling): the resolved
+budget's ``epsilon`` doubles as DP-Boost's FPTAS accuracy parameter, and
+``params={"method": "legacy"}`` routes ``tree_dp`` through the pinned
+loop oracle instead of the vectorized kernels.
 
 Baseline handlers generate their candidate boost sets and, by default,
 Monte-Carlo rank them (shared sampled worlds when there is more than one
@@ -39,6 +47,7 @@ from ..baselines import (
     high_degree_local,
     more_seeds_baseline,
     pagerank_baseline,
+    ppr_baseline,
 )
 from ..core.boost import prr_boost_core, prr_boost_lb_core
 from ..core.mc_greedy import mc_greedy_boost
@@ -216,6 +225,12 @@ _register_baseline(
     ],
 )
 _register_baseline(
+    "ppr",
+    lambda graph, query, rng, budget: [
+        ppr_baseline(graph, set(query.seeds), query.k)
+    ],
+)
+_register_baseline(
     "more_seeds",
     lambda graph, query, rng, budget: [
         more_seeds_baseline(
@@ -292,6 +307,54 @@ def _register_seed_strategy(name: str) -> None:
 
 _register_seed_strategy("degree")
 _register_seed_strategy("random")
+
+
+# ----------------------------------------------------------------------
+# Tree algorithms (Section VI)
+# ----------------------------------------------------------------------
+@register_algorithm("tree_dp")
+def _run_tree_dp(session, query, rng) -> QueryResult:
+    _require_ic(query)
+    budget = session.resolve_budget(query)
+    tree = session.tree_for(query.seeds, getattr(query, "root", 0))
+    method = query.param_dict.get("method", "vectorized")
+    from ..trees import dp_boost
+
+    res = dp_boost(tree, query.k, epsilon=budget.epsilon, method=method)
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=list(res.boost_set),
+        estimates={
+            "boost": float(res.boost),
+            "dp_value": float(res.dp_value),
+            "delta": float(res.delta_param),
+        },
+        extra={
+            "table_entries": int(res.table_entries),
+            "epsilon": float(budget.epsilon),
+            "method": method,
+        },
+        raw=res,
+    )
+
+
+@register_algorithm("tree_greedy")
+def _run_tree_greedy(session, query, rng) -> QueryResult:
+    _require_ic(query)
+    tree = session.tree_for(query.seeds, getattr(query, "root", 0))
+    from ..trees import greedy_boost
+
+    res = greedy_boost(tree, query.k)
+    return QueryResult(
+        algorithm=query.algorithm,
+        selected=list(res.boost_set),
+        estimates={
+            "boost": float(res.boost),
+            "sigma": float(res.sigma),
+            "sigma_empty": float(res.sigma_empty),
+        },
+        raw=res,
+    )
 
 
 # ----------------------------------------------------------------------

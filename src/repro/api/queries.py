@@ -1,13 +1,16 @@
 """Typed query objects — the request side of the session API.
 
-Every algorithm of the reproduction is asked for through one of three
+Every algorithm of the reproduction is asked for through one of four
 immutable query shapes instead of positional-kwarg soup:
 
 * :class:`BoostQuery` — "given seed set ``S``, pick ``k`` nodes to boost"
-  (PRR-Boost, PRR-Boost-LB, MC-greedy, the four heuristic baselines),
+  (PRR-Boost, PRR-Boost-LB, MC-greedy, the heuristic baselines),
 * :class:`SeedQuery` — "pick ``k`` seed nodes" (IMM, SSA, and the cheap
   degree/random strategies),
-* :class:`EvalQuery` — "Monte-Carlo evaluate ``σ_S(B)`` or ``Δ_S(B)``".
+* :class:`EvalQuery` — "Monte-Carlo evaluate ``σ_S(B)`` or ``Δ_S(B)``",
+* :class:`TreeQuery` — "pick ``k`` boost nodes on a bidirected tree"
+  through the exact Section-VI algorithms (DP-Boost / Greedy-Boost);
+  the session graph must *be* a bidirected tree.
 
 All three share a :class:`SamplingBudget` (sample caps, accuracy knobs,
 Monte-Carlo runs, worker count), an ``algorithm`` key resolved through
@@ -36,6 +39,7 @@ __all__ = [
     "BoostQuery",
     "SeedQuery",
     "EvalQuery",
+    "TreeQuery",
     "Query",
     "query_from_dict",
 ]
@@ -254,9 +258,57 @@ class EvalQuery(_BaseQuery):
         return out
 
 
-Query = Union[BoostQuery, SeedQuery, EvalQuery]
+@dataclass(frozen=True)
+class TreeQuery(_BaseQuery):
+    """Pick ``k`` boost nodes on a bidirected tree (Section VI).
 
-_KINDS = {"boost": BoostQuery, "seed": SeedQuery, "eval": EvalQuery}
+    The session graph must satisfy
+    :meth:`~repro.graphs.digraph.DiGraph.is_bidirected_tree`; the handler
+    roots it at ``root`` with the query's seed set via
+    :meth:`repro.api.Session.tree_for`.  ``algorithm`` is ``"tree_dp"``
+    (the DP-Boost FPTAS; the resolved budget's ``epsilon`` is its
+    accuracy parameter, and ``params={"method": "legacy"}`` selects the
+    pinned loop oracle) or ``"tree_greedy"`` (exact Greedy-Boost).  Both
+    are deterministic — no sampling — so results cache on any
+    ``rng_seed``.
+    """
+
+    seeds: Tuple[int, ...] = ()
+    k: int = 1
+    root: int = 0
+    algorithm: str = "tree_dp"
+
+    kind = "tree"
+
+    def __post_init__(self) -> None:
+        _BaseQuery.__post_init__(self)
+        object.__setattr__(self, "seeds", _node_tuple(self.seeds))
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "root", int(self.root))
+        if not self.seeds:
+            raise ValueError("TreeQuery requires a non-empty seed set")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.root < 0:
+            raise ValueError("root must be a node id")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = _BaseQuery.to_dict(self)
+        out["seeds"] = list(self.seeds)
+        out["k"] = self.k
+        if self.root != 0:
+            out["root"] = self.root
+        return out
+
+
+Query = Union[BoostQuery, SeedQuery, EvalQuery, TreeQuery]
+
+_KINDS = {
+    "boost": BoostQuery,
+    "seed": SeedQuery,
+    "eval": EvalQuery,
+    "tree": TreeQuery,
+}
 
 
 def query_from_dict(data: Mapping[str, Any]) -> Query:

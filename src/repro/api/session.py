@@ -216,6 +216,7 @@ class Session:
         self._scratch_index: Optional[CoverageIndex] = None
         self._scratch_arena = None  # repro.core.prr.PRRArena, built lazily
         self._candidates_cache: dict = {}
+        self._tree_cache: dict = {}
         # Per-diffusion-model graph views, keyed by canonical model name.
         # IC-family models run on the session graph itself; the LT model
         # runs on the weight-normalized copy, built (and its engine
@@ -258,6 +259,7 @@ class Session:
         self._scratch_index = None
         self._scratch_arena = None
         self._candidates_cache.clear()
+        self._tree_cache.clear()
         self._model_graphs.clear()
         if self._manage_runtime:
             from ..core.parallel import shutdown_runtime_for
@@ -406,6 +408,33 @@ class Session:
                     self._candidates_cache.clear()
                 self._candidates_cache[key] = pool
             return pool
+
+    def tree_for(self, seeds, root: int = 0):
+        """The rooted :class:`~repro.trees.BidirectedTree` view for
+        ``(seeds, root)``, cached per graph version.
+
+        Building the rooted view is an O(n) BFS plus probability table
+        assembly, and the tree handlers additionally reuse its cached
+        :class:`~repro.trees.bidirected.TreePlan`; serving traffic
+        repeats queries against a handful of seed sets, so the session
+        memoizes the whole object.  Raises ``ValueError`` (from the tree
+        constructor) when the session graph is not a bidirected tree.
+        Entries are keyed by the graph version, so in-place probability
+        updates invalidate them like every other warm view.
+        """
+        self._check_open()
+        from ..trees.bidirected import BidirectedTree
+
+        key = (tuple(sorted(int(s) for s in seeds)), int(root),
+               getattr(self.graph, "version", 0))
+        with self._state_lock:
+            tree = self._tree_cache.get(key)
+            if tree is None:
+                tree = BidirectedTree(self.graph, key[0], root=int(root))
+                if len(self._tree_cache) >= 16:
+                    self._tree_cache.clear()
+                self._tree_cache[key] = tree
+            return tree
 
     # ------------------------------------------------------------------
     # Runtime

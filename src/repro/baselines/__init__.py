@@ -2,7 +2,7 @@
 
 from .degree import high_degree_global, high_degree_local, weighted_degree_variants
 from .moreseeds import more_seeds_baseline
-from .pagerank import pagerank_baseline, pagerank_scores
+from .pagerank import pagerank_baseline, pagerank_scores, ppr_baseline, ppr_scores
 
 __all__ = [
     "high_degree_global",
@@ -10,5 +10,7 @@ __all__ = [
     "weighted_degree_variants",
     "pagerank_baseline",
     "pagerank_scores",
+    "ppr_baseline",
+    "ppr_scores",
     "more_seeds_baseline",
 ]

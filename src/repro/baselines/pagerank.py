@@ -6,6 +6,11 @@ random walk moves *against* influence edges.  The transition probability on
 edge ``e_uv`` is ``p_vu / ρ(u)`` where ``ρ(u)`` sums the influence
 probabilities on ``u``'s incoming edges; restart probability 0.15;
 iteration stops when consecutive L1 difference drops below ``1e-4``.
+
+:func:`ppr_scores` / :func:`ppr_baseline` are the *personalized* variant:
+the restart vector is uniform over the query's seed set instead of over
+all nodes, so the stationary mass concentrates on nodes whose influence
+reaches the seeds — a seed-aware ranking the global walk cannot express.
 """
 
 from __future__ import annotations
@@ -16,7 +21,55 @@ import numpy as np
 
 from ..graphs.digraph import DiGraph
 
-__all__ = ["pagerank_scores", "pagerank_baseline"]
+__all__ = [
+    "pagerank_scores",
+    "pagerank_baseline",
+    "ppr_scores",
+    "ppr_baseline",
+]
+
+
+def _walk_scores(
+    graph: DiGraph,
+    restart_vec: np.ndarray,
+    restart: float,
+    tol: float,
+    max_iter: int,
+) -> np.ndarray:
+    """Power iteration of the reversed-influence walk.
+
+    ``restart_vec`` is the (normalized) teleport distribution; dangling
+    mass (nodes with no incoming influence) teleports the same way, so
+    the iteration conserves probability mass for any restart vector.
+    """
+    n = graph.n
+    src, dst, p, _pp = graph.edge_arrays()
+    # rho[u] = total incoming influence probability of u.
+    rho = np.zeros(n)
+    np.add.at(rho, dst, p)
+
+    # Walk transition: the paper writes the transition on edge e_uv as
+    # p_vu / rho(u); equivalently mass flows from u to each of its
+    # in-influencers proportionally to their influence on u.
+    safe_rho = np.where(rho > 0, rho, 1.0)
+    weights = p / safe_rho[dst]
+    dangling_mask = rho == 0
+
+    scores = restart_vec.copy()
+    for _ in range(max_iter):
+        contrib = np.zeros(n)
+        # Node u distributes its score to every in-neighbor v proportionally
+        # to p_vu / rho(u).
+        np.add.at(contrib, src, scores[dst] * weights)
+        dangling = scores[dangling_mask].sum()
+        new_scores = restart * restart_vec + (1.0 - restart) * (
+            contrib + dangling * restart_vec
+        )
+        if np.abs(new_scores - scores).sum() < tol:
+            scores = new_scores
+            break
+        scores = new_scores
+    return scores
 
 
 def pagerank_scores(
@@ -27,31 +80,52 @@ def pagerank_scores(
 ) -> np.ndarray:
     """Influence-weighted PageRank vector (paper's baseline configuration)."""
     n = graph.n
-    src, dst, p, _pp = graph.edge_arrays()
-    # rho[u] = total incoming influence probability of u.
-    rho = np.zeros(n)
-    np.add.at(rho, dst, p)
+    return _walk_scores(graph, np.full(n, 1.0 / n), restart, tol, max_iter)
 
-    # Walk transition: from v along reversed influence edge (u -> v carries
-    # weight p_uv / rho... careful: the paper writes the transition on edge
-    # e_uv as p_vu / rho(u); equivalently mass flows from u to each of its
-    # in-influencers proportionally to their influence on u.
-    scores = np.full(n, 1.0 / n)
-    for _ in range(max_iter):
-        contrib = np.zeros(n)
-        # Node u distributes its score to every in-neighbor v proportionally
-        # to p_vu / rho(u).
-        safe_rho = np.where(rho > 0, rho, 1.0)
-        weights = p / safe_rho[dst]
-        np.add.at(contrib, src, scores[dst] * weights)
-        # Dangling mass (nodes with rho == 0) is spread uniformly.
-        dangling = scores[rho == 0].sum()
-        new_scores = restart / n + (1.0 - restart) * (contrib + dangling / n)
-        if np.abs(new_scores - scores).sum() < tol:
-            scores = new_scores
+
+def ppr_scores(
+    graph: DiGraph,
+    seeds: Iterable[int],
+    restart: float = 0.15,
+    tol: float = 1e-4,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Personalized PageRank of the reversed-influence walk.
+
+    The walk restarts uniformly over ``seeds`` instead of over all
+    nodes, so score mass concentrates on nodes whose influence chains
+    reach the seed set — the natural "who amplifies *these* seeds"
+    ranking for boost selection.
+    """
+    seed_arr = np.asarray(sorted({int(s) for s in seeds}), dtype=np.int64)
+    if seed_arr.size == 0:
+        raise ValueError("ppr_scores requires a non-empty seed set")
+    if seed_arr[0] < 0 or seed_arr[-1] >= graph.n:
+        raise ValueError("seed out of range")
+    restart_vec = np.zeros(graph.n)
+    restart_vec[seed_arr] = 1.0 / seed_arr.size
+    return _walk_scores(graph, restart_vec, restart, tol, max_iter)
+
+
+def ppr_baseline(
+    graph: DiGraph,
+    seeds: Iterable[int],
+    k: int,
+    restart: float = 0.15,
+) -> List[int]:
+    """Top-``k`` non-seed nodes by seed-personalized PageRank."""
+    seed_set = set(int(s) for s in seeds)
+    scores = ppr_scores(graph, seed_set, restart=restart)
+    order = np.argsort(-scores, kind="stable")
+    result: List[int] = []
+    for v in order:
+        v = int(v)
+        if v in seed_set:
+            continue
+        result.append(v)
+        if len(result) == k:
             break
-        scores = new_scores
-    return scores
+    return result
 
 
 def pagerank_baseline(graph: DiGraph, seeds: Iterable[int], k: int) -> List[int]:

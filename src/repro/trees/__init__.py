@@ -1,12 +1,24 @@
-"""Bidirected-tree algorithms: exact computation, Greedy-Boost, DP-Boost."""
+"""Bidirected-tree algorithms: exact computation, Greedy-Boost, DP-Boost.
 
-from .bidirected import BidirectedTree
+``dp_boost``/``compute_tree_state``/``reachability_weight`` run the
+vectorized level-batched numpy kernels; the pinned loop oracles live in
+:mod:`repro.trees.reference` (``legacy_*``) and produce bit-identical
+results, which the parity tests assert.
+"""
+
+from .bidirected import BidirectedTree, TreePlan
 from .dp import DPBoostResult, dp_boost, reachability_weight
 from .exact import TreeComputation, compute_tree_state, delta, sigma
 from .greedy import GreedyBoostResult, greedy_boost
+from .reference import (
+    legacy_compute_tree_state,
+    legacy_dp_boost,
+    legacy_reachability_weight,
+)
 
 __all__ = [
     "BidirectedTree",
+    "TreePlan",
     "TreeComputation",
     "compute_tree_state",
     "sigma",
@@ -16,4 +28,7 @@ __all__ = [
     "dp_boost",
     "DPBoostResult",
     "reachability_weight",
+    "legacy_compute_tree_state",
+    "legacy_dp_boost",
+    "legacy_reachability_weight",
 ]

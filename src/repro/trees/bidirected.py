@@ -15,7 +15,103 @@ import numpy as np
 
 from ..graphs.digraph import DiGraph
 
-__all__ = ["BidirectedTree"]
+__all__ = ["BidirectedTree", "TreePlan", "reachability_weight"]
+
+
+class TreePlan:
+    """Level-order layout of a rooted tree for batched numpy passes.
+
+    The BFS ``order`` visits nodes level by level, so each depth is a
+    contiguous slice of it.  The plan materializes those slices plus a
+    padded ``(n, max_children)`` child matrix (``-1`` marks unused slots),
+    which is the shape every vectorized tree pass in :mod:`repro.trees`
+    iterates over: one numpy op per child *slot* instead of one Python
+    iteration per child.
+    """
+
+    __slots__ = (
+        "depth",
+        "levels",
+        "nkids",
+        "kids_mat",
+        "max_kids",
+        "seeds_arr",
+        "seeds_mask",
+        "has_parent",
+    )
+
+    def __init__(self, tree: "BidirectedTree") -> None:
+        n = tree.n
+        depth = np.zeros(n, dtype=np.int64)
+        for v in tree.order[1:]:
+            depth[v] = depth[tree.parent[v]] + 1
+        order_arr = np.asarray(tree.order, dtype=np.int64)
+        order_depth = depth[order_arr]
+        num_levels = int(order_depth[-1]) + 1 if n else 0
+        bounds = np.searchsorted(order_depth, np.arange(num_levels + 1))
+        levels = [order_arr[bounds[d]:bounds[d + 1]] for d in range(num_levels)]
+
+        nkids = np.fromiter(
+            (len(tree.children[v]) for v in range(n)), dtype=np.int64, count=n
+        )
+        max_kids = int(nkids.max()) if n else 0
+        kids_mat = np.full((n, max(max_kids, 1)), -1, dtype=np.int64)
+        for v in range(n):
+            kv = tree.children[v]
+            if kv:
+                kids_mat[v, : len(kv)] = kv
+
+        seeds_arr = np.fromiter(
+            sorted(tree.seeds), dtype=np.int64, count=len(tree.seeds)
+        )
+        seeds_mask = np.zeros(n, dtype=bool)
+        seeds_mask[seeds_arr] = True
+
+        self.depth = depth
+        self.levels = levels
+        self.nkids = nkids
+        self.kids_mat = kids_mat
+        self.max_kids = max_kids
+        self.seeds_arr = seeds_arr
+        self.seeds_mask = seeds_mask
+        self.has_parent = tree.parent >= 0
+
+
+def reachability_weight(tree: "BidirectedTree") -> float:
+    """``Σ_u Σ_v p(u → v)`` with all edges boosted (upper bounds ``p(k)``).
+
+    Using the all-boosted path product instead of the exact top-``k``
+    boosted product only *decreases* δ (finer rounding), which preserves
+    the (1 − ε) guarantee at a small extra cost.  Self pairs contribute 1
+    each.
+
+    Closed form replacing the O(n²) DFS of
+    :func:`repro.trees.reference.legacy_reachability_weight`: with
+    ``A[v] = Σ_{u ∈ subtree(v), u ≠ v} Π path(v→u)`` and ``B[v]`` the same
+    sum over nodes *outside* the subtree,
+
+        A[v] = Σ_c pp_down[c] · (1 + A[c])
+        B[v] = pp_up[v] · (1 + B[par] + A[par] − pp_down[v] · (1 + A[v]))
+
+    and the total is ``n + Σ_v (A[v] + B[v])`` — two level-batched passes.
+    """
+    plan = tree.plan()
+    n = tree.n
+    A = np.zeros(n)
+    for lvl in reversed(plan.levels):
+        smax = int(plan.nkids[lvl].max()) if len(lvl) else 0
+        if smax == 0:
+            continue
+        kc = plan.kids_mat[lvl][:, :smax]
+        contrib = np.where(kc >= 0, tree.pp_down[kc] * (1.0 + A[kc]), 0.0)
+        A[lvl] = contrib.sum(axis=1)
+    B = np.zeros(n)
+    for lvl in plan.levels[1:]:
+        par = tree.parent[lvl]
+        B[lvl] = tree.pp_up[lvl] * (
+            1.0 + B[par] + A[par] - tree.pp_down[lvl] * (1.0 + A[lvl])
+        )
+    return float(n) + float((A + B).sum())
 
 
 class BidirectedTree:
@@ -52,6 +148,7 @@ class BidirectedTree:
         "p_down",
         "pp_down",
         "seeds",
+        "_plan",
     )
 
     def __init__(self, graph: DiGraph, seeds: Iterable[int], root: int = 0) -> None:
@@ -120,6 +217,14 @@ class BidirectedTree:
         self.p_down = p_down
         self.pp_down = pp_down
         self.seeds: FrozenSet[int] = seed_set
+        self._plan: TreePlan | None = None
+
+    # ------------------------------------------------------------------
+    def plan(self) -> TreePlan:
+        """The cached :class:`TreePlan` (built lazily; trees are immutable)."""
+        if self._plan is None:
+            self._plan = TreePlan(self)
+        return self._plan
 
     # ------------------------------------------------------------------
     def neighbors(self, u: int) -> List[int]:

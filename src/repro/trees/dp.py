@@ -23,180 +23,663 @@ The practical "refinement" of Section VI-B is essential and implemented:
 per-node reachable ranges ``[c_lo, c_hi]`` / ``[f_lo, f_hi]`` (no boosting
 vs. everything boosted) shrink the grids from ``1/δ`` to the narrow band a
 node can actually attain.
+
+Vectorized layout (this module) vs. the loop oracle
+(:func:`repro.trees.reference.legacy_dp_boost`): within each tree level,
+nodes whose (own + child) grids round up to the same power-of-two shape
+class share one dense plane ``(L, k+1, C, F)``, and the per-node fill loops
+become batched (max,+)-convolutions over budget splits on those planes —
+the split enumeration of ``_budget_splits`` turns into in-place
+``np.maximum`` accumulation over ``(κ1, κ2)`` pairs, and the per-key
+``_clamp_key`` + dict probes turn into ``searchsorted``/arithmetic
+position lookups.  Shape classes matter: grid widths within one level vary
+by ~100× (a handful of near-root nodes carry wide bands), so level-maximum
+padding would dwarf the real work, while pow2 classes bound padding at 2×
+per axis and still leave only ~10 batches per level.  Every fill evaluates
+the *same* IEEE-754 expressions over the *same* candidate sets as the
+oracle (maxima are order-independent), so both paths produce bit-identical
+tables — which is why one shared backtrack yields identical selections and
+the parity gates in ``tests/test_failure_modes.py`` and
+``benchmarks/bench_trees.py`` can assert exact agreement rather than
+tolerances.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .bidirected import BidirectedTree
+from .bidirected import BidirectedTree, reachability_weight
 from .exact import compute_tree_state
 from .greedy import greedy_boost
+from .reference import (
+    DPBoostResult,
+    NEG_INF,
+    _child_best_for_seed_parent,
+    _compute_ranges,
+    _fill_internal_general,
+    _grid,
+    _NodeTable,
+    _Rounding,
+    finish_dp,
+    legacy_dp_boost,
+)
 
-__all__ = ["DPBoostResult", "dp_boost", "reachability_weight"]
+__all__ = ["DPBoostResult", "dp_boost", "legacy_dp_boost", "reachability_weight"]
 
-NEG_INF = float("-inf")
+# Per-chunk temporary-array element budget for the batched fills; the f
+# axis is chunked so batch fills never materialize more than this.
+_F_CHUNK_ELEMS = 4_000_000
+
+# Above this (z · c · κ · x) state-space estimate the dense general-fan-out
+# kernel would allocate too much; those rare nodes fall back to the oracle
+# fill (same values, so parity is unaffected).
+_GENERAL_DENSE_LIMIT = 40_000_000
 
 
-@dataclass
-class DPBoostResult:
-    """Outcome of DP-Boost.
+# ----------------------------------------------------------------------
+# Vectorized rounding and grid position lookup
+# ----------------------------------------------------------------------
+def _down_vec(x: np.ndarray, rnd: _Rounding) -> np.ndarray:
+    """Elementwise ``_Rounding.down`` (same guard order and epsilons)."""
+    keys = np.floor(x / rnd.delta + 1e-9).astype(np.int64)
+    keys = np.where(x <= 0.0, 0, keys)
+    return np.where(x >= 1.0 - 1e-12, rnd.one_idx, keys)
 
-    ``dp_value`` is the rounded objective (a certified lower bound on the
-    achievable boost); ``boost`` is the exact ``Δ_S`` of the returned set,
-    which is always ``>= dp_value`` up to floating error.
+
+def _value_vec(keys: np.ndarray, rnd: _Rounding) -> np.ndarray:
+    """Elementwise ``_Rounding.value`` (1.0 at ONE, else ``min(k·δ, 1)``)."""
+    return np.where(
+        keys == rnd.one_idx, 1.0, np.minimum(keys * rnd.delta, 1.0)
+    )
+
+
+class _GridMeta:
+    """Arithmetic descriptors of every node's ``_grid`` layout.
+
+    ``_grid`` emits ``[ONE]``, ``[lo..hi]`` or ``[lo..hi_reg] + [ONE]`` —
+    contiguous keys with an optional detached ONE tail — so a clamped key
+    maps to its position by subtraction plus a tail test.  This replaces
+    the oracle's per-key ``_clamp_key`` + ``c_pos``/``f_pos`` dict probes
+    with O(1) array arithmetic (``reg_hi`` marks the end of the contiguous
+    part; keys strictly between ``reg_hi`` and ``last`` are not on the
+    grid).
     """
 
-    boost_set: List[int]
-    dp_value: float
-    boost: float
-    delta_param: float
-    table_entries: int
+    __slots__ = ("lo", "last", "size", "reg_hi")
 
+    def __init__(self, n: int) -> None:
+        self.lo = np.zeros(n, dtype=np.int64)
+        self.last = np.zeros(n, dtype=np.int64)
+        self.size = np.zeros(n, dtype=np.int64)
+        self.reg_hi = np.zeros(n, dtype=np.int64)
 
-def reachability_weight(tree: BidirectedTree) -> float:
-    """``Σ_u Σ_v p(u → v)`` with all edges boosted (upper bounds ``p(k)``).
-
-    Using the all-boosted path product instead of the exact top-``k``
-    boosted product only *decreases* δ (finer rounding), which preserves the
-    (1 − ε) guarantee at a small extra cost.  Self pairs contribute 1 each.
-    """
-    n = tree.n
-    # Undirected adjacency with the boosted probability of the directed edge
-    # leaving each node.
-    adj: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
-    for v in range(n):
-        u = int(tree.parent[v])
-        if u < 0:
-            continue
-        adj[v].append((u, float(tree.pp_up[v])))   # v -> parent
-        adj[u].append((v, float(tree.pp_down[v])))  # parent -> v
-    total = float(n)
-    for start in range(n):
-        stack: List[Tuple[int, int, float]] = [(start, -1, 1.0)]
-        while stack:
-            x, came_from, prod = stack.pop()
-            for y, p_edge in adj[x]:
-                if y == came_from:
-                    continue
-                prod_y = prod * p_edge
-                if prod_y <= 0.0:
-                    continue
-                total += prod_y
-                stack.append((y, x, prod_y))
-    return total
-
-
-class _Rounding:
-    """Down/up rounding to multiples of δ with 1.0 as a special value."""
-
-    __slots__ = ("delta", "one_idx")
-
-    def __init__(self, delta: float) -> None:
-        if delta <= 0:
-            raise ValueError("delta must be positive")
-        self.delta = delta
-        self.one_idx = int(math.ceil(1.0 / delta)) + 2
-
-    def down(self, x: float) -> int:
-        if x >= 1.0 - 1e-12:
-            return self.one_idx
-        if x <= 0.0:
-            return 0
-        return int(math.floor(x / self.delta + 1e-9))
-
-    def up(self, x: float) -> int:
-        if x >= 1.0 - 1e-12:
-            return self.one_idx
-        if x <= 0.0:
-            return 0
-        return int(math.ceil(x / self.delta - 1e-9))
-
-    def value(self, idx: int) -> float:
-        if idx == self.one_idx:
-            return 1.0
-        return min(idx * self.delta, 1.0)
-
-
-class _NodeTable:
-    """DP table of one node: value array over (κ, c, f) with index maps."""
-
-    __slots__ = ("c_keys", "f_keys", "c_pos", "f_pos", "values")
-
-    def __init__(self, k: int, c_keys: List[int], f_keys: List[int]) -> None:
-        self.c_keys = c_keys
-        self.f_keys = f_keys
-        self.c_pos = {c: i for i, c in enumerate(c_keys)}
-        self.f_pos = {f: i for i, f in enumerate(f_keys)}
-        self.values = np.full((k + 1, len(c_keys), len(f_keys)), NEG_INF)
-
-
-def _compute_ranges(
-    tree: BidirectedTree, rnd: _Rounding
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Reachable rounded ranges for ``c`` and ``f`` per node (refinement)."""
-    n = tree.n
-    c_lo = np.zeros(n, dtype=np.int64)
-    c_hi = np.zeros(n, dtype=np.int64)
-    f_lo = np.zeros(n, dtype=np.int64)
-    f_hi = np.zeros(n, dtype=np.int64)
-
-    for v in reversed(tree.order):
-        if v in tree.seeds:
-            c_lo[v] = c_hi[v] = rnd.one_idx
-        elif not tree.children[v]:
-            c_lo[v] = c_hi[v] = 0
+    def record(self, v: int, keys: List[int]) -> None:
+        self.lo[v] = keys[0]
+        self.last[v] = keys[-1]
+        self.size[v] = len(keys)
+        if len(keys) >= 2 and keys[-1] - keys[-2] > 1:
+            self.reg_hi[v] = keys[-2]
         else:
-            lo = 1.0
-            hi = 1.0
-            for c in tree.children[v]:
-                lo *= 1.0 - rnd.value(int(c_lo[c])) * tree.p_up[c]
-                hi *= 1.0 - rnd.value(int(c_hi[c])) * tree.pp_up[c]
-            c_lo[v] = rnd.down(1.0 - lo)
-            c_hi[v] = rnd.up(1.0 - hi)
-
-    f_lo[tree.root] = 0
-    f_hi[tree.root] = 0
-    for v in tree.order:
-        kids = tree.children[v]
-        if not kids:
-            continue
-        if v in tree.seeds:
-            for c in kids:
-                f_lo[c] = f_hi[c] = rnd.one_idx
-            continue
-        par_lo = rnd.value(int(f_lo[v])) * tree.p_down[v]
-        par_hi = rnd.value(int(f_hi[v])) * tree.pp_down[v]
-        for i, ci in enumerate(kids):
-            lo = 1.0 - par_lo
-            hi = 1.0 - par_hi
-            for j, cj in enumerate(kids):
-                if j == i:
-                    continue
-                lo *= 1.0 - rnd.value(int(c_lo[cj])) * tree.p_up[cj]
-                hi *= 1.0 - rnd.value(int(c_hi[cj])) * tree.pp_up[cj]
-            f_lo[ci] = rnd.down(1.0 - lo)
-            f_hi[ci] = rnd.up(1.0 - hi)
-    return c_lo, c_hi, f_lo, f_hi
+            self.reg_hi[v] = keys[-1]
 
 
-def _grid(lo: int, hi: int, rnd: _Rounding, limit: int = 500_000) -> List[int]:
-    if lo == rnd.one_idx:
-        return [rnd.one_idx]
-    if hi == rnd.one_idx:
-        # Activation can reach exactly 1 (p=1 chains); keep the band plus 1.
-        hi_reg = min(int(math.ceil(1.0 / rnd.delta)), lo + limit)
-        return list(range(lo, hi_reg + 1)) + [rnd.one_idx]
-    if hi - lo > limit:
-        raise MemoryError(
-            "DP-Boost grid too fine; increase epsilon (grid width "
-            f"{hi - lo} exceeds {limit})"
+def _lookup(
+    keys: np.ndarray,
+    lo: np.ndarray,
+    last: np.ndarray,
+    size: np.ndarray,
+    reg_hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clamp ``keys`` into a grid and return ``(position, valid)``.
+
+    Mirrors the oracle's ``min(max(key, keys[0]), keys[-1])`` clamp; a
+    clamped key landing in the gap between ``reg_hi`` and ``last`` is not
+    on the grid (``valid`` False; the oracle's dict probe would miss).
+    Positions are clipped in-range so callers can always gather/scatter
+    with them — invalid entries must be value-masked to −inf by the
+    caller.
+    """
+    clamped = np.clip(keys, lo, last)
+    pos = np.where(clamped == last, size - 1, clamped - lo)
+    valid = (clamped == last) | (clamped <= reg_hi)
+    return np.minimum(pos, size - 1), valid
+
+
+def _key_matrix(
+    meta: _GridMeta, nodes: np.ndarray, width: int
+) -> np.ndarray:
+    """Padded ``(len(nodes), width)`` key matrix of the nodes' grids.
+
+    Slot ``size-1`` carries ``last`` (the possibly-detached ONE); pad
+    slots repeat ``last`` — the table cells they address hold −inf so any
+    value computed from a pad key is max-ignored downstream.
+    """
+    ar = np.arange(width, dtype=np.int64)[None, :]
+    keys = meta.lo[nodes, None] + ar
+    keys = np.where(ar == meta.size[nodes, None] - 1, meta.last[nodes, None], keys)
+    return np.minimum(keys, meta.last[nodes, None])
+
+
+def _segment_plan(flat_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort plan for segment-max scatters: (order, segment starts, keys)."""
+    order = np.argsort(flat_keys, kind="stable")
+    sk = flat_keys[order]
+    starts = np.flatnonzero(np.r_[True, sk[1:] != sk[:-1]])
+    return order, starts, sk[starts]
+
+
+def _f_chunks(total_f: int, per_f_elems: int):
+    chunk = max(1, _F_CHUNK_ELEMS // max(per_f_elems, 1))
+    for f0 in range(0, total_f, chunk):
+        yield f0, min(f0 + chunk, total_f)
+
+
+def _stack_children(
+    tables: Dict[int, _NodeTable], kids: np.ndarray, k: int, cm: int, fm: int
+) -> np.ndarray:
+    """Stack child tables into one dense ``(L, k+1, cm, fm)`` block.
+
+    Pad cells stay −inf, so padded positions never win a max downstream.
+    """
+    out = np.full((len(kids), k + 1, cm, fm), NEG_INF)
+    for i, c in enumerate(kids):
+        tv = tables[int(c)].values
+        out[i, :, : tv.shape[1], : tv.shape[2]] = tv
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched fills (one shape class at a time)
+# ----------------------------------------------------------------------
+def _fill_leaves_batch(
+    tree: BidirectedTree,
+    nodes: np.ndarray,
+    k: int,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    plane: np.ndarray,
+    fg: _GridMeta,
+) -> None:
+    """All leaves of one shape class at once (c grid is a single key)."""
+    fw = plane.shape[3]
+    fvals = _value_vec(_key_matrix(fg, nodes, fw), rnd)          # (L, Fw)
+    cval = np.where(tree.plan().seeds_mask[nodes], 1.0, 0.0)[:, None]
+    apv = ap0[nodes][:, None]
+    v0 = np.maximum(
+        1.0 - (1.0 - cval) * (1.0 - fvals * tree.p_down[nodes][:, None]) - apv,
+        0.0,
+    )
+    v1 = np.maximum(
+        1.0 - (1.0 - cval) * (1.0 - fvals * tree.pp_down[nodes][:, None]) - apv,
+        0.0,
+    )
+    plane[:, 0, 0, :] = v0
+    plane[:, 1:, 0, :] = np.maximum(v0, v1)[:, None, :]
+
+
+def _fill_one_batch(
+    tree: BidirectedTree,
+    nodes: np.ndarray,
+    k: int,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    plane: np.ndarray,
+    tables: Dict[int, _NodeTable],
+    cg: _GridMeta,
+    fg: _GridMeta,
+) -> None:
+    """All single-child nodes of one shape class at once."""
+    L = len(nodes)
+    c1 = np.fromiter((tree.children[v][0] for v in nodes), np.int64, count=L)
+    c1sz = int(cg.size[c1].max())
+    f1sz = int(fg.size[c1].max())
+    vals1 = _stack_children(tables, c1, k, c1sz, f1sz)           # (L, k+1, C1, F1)
+    cvals1 = _value_vec(_key_matrix(cg, c1, c1sz), rnd)          # (L, C1)
+    fw = plane.shape[3]
+    fvals = _value_vec(_key_matrix(fg, nodes, fw), rnd)          # (L, Fw)
+    apv = ap0[nodes]
+    own_sz = plane.shape[2]
+    n_col = nodes[:, None]
+
+    for b in (0, 1):
+        pb1 = (tree.pp_up if b else tree.p_up)[c1]
+        pdv = (tree.pp_down if b else tree.p_down)[nodes]
+        own_key = _down_vec(cvals1 * pb1[:, None], rnd)          # (L, C1)
+        own_clamped = np.clip(own_key, cg.lo[n_col], cg.last[n_col])
+        own_pos, own_valid = _lookup(
+            own_key, cg.lo[n_col], cg.last[n_col], cg.size[n_col], cg.reg_hi[n_col]
         )
-    return list(range(lo, hi + 1))
+        own_val = _value_vec(own_clamped, rnd)                   # (L, C1)
+        order, starts, seg_keys = _segment_plan(
+            (np.arange(L)[:, None] * own_sz + own_pos).ravel()
+        )
+        seg_l = seg_keys // own_sz
+        seg_p = seg_keys % own_sz
+        T = k + 1 - b
+        kap = np.arange(b, k + 1)
+
+        parent_miss_all = 1.0 - fvals * pdv[:, None]             # (L, Fw)
+        for f0, f1e in _f_chunks(fw, (k + 1) * L * c1sz):
+            pm = parent_miss_all[:, f0:f1e]
+            fc = f1e - f0
+            f1_key = _down_vec(1.0 - pm, rnd)                    # (L, Fc)
+            f1_pos, f1_valid = _lookup(
+                f1_key, fg.lo[c1, None], fg.last[c1, None],
+                fg.size[c1, None], fg.reg_hi[c1, None],
+            )
+            gathered = np.take_along_axis(
+                vals1, f1_pos[:, None, None, :], axis=3
+            )                                                    # (L, k+1, C1, Fc)
+            gathered = np.where(f1_valid[:, None, None, :], gathered, NEG_INF)
+            boost_terms = np.maximum(
+                1.0 - (1.0 - own_val[:, :, None]) * pm[:, None, :]
+                - apv[:, None, None],
+                0.0,
+            )                                                    # (L, C1, Fc)
+            boost_terms = np.where(own_valid[:, :, None], boost_terms, NEG_INF)
+            totals = gathered[:, :T] + boost_terms[:, None]      # (L, T, C1, Fc)
+            arr = totals.transpose(0, 2, 1, 3).reshape(L * c1sz, T, fc)[order]
+            segmax = np.maximum.reduceat(arr, starts, axis=0)    # (S, T, Fc)
+            cur = plane[seg_l[:, None], kap[None, :], seg_p[:, None], f0:f1e]
+            plane[seg_l[:, None], kap[None, :], seg_p[:, None], f0:f1e] = (
+                np.maximum(cur, segmax)
+            )
+
+
+def _fill_two_batch(
+    tree: BidirectedTree,
+    nodes: np.ndarray,
+    k: int,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    plane: np.ndarray,
+    tables: Dict[int, _NodeTable],
+    cg: _GridMeta,
+    fg: _GridMeta,
+) -> None:
+    """All two-child nodes of one shape class at once (the hot fill)."""
+    L = len(nodes)
+    c1 = np.fromiter((tree.children[v][0] for v in nodes), np.int64, count=L)
+    c2 = np.fromiter((tree.children[v][1] for v in nodes), np.int64, count=L)
+    c1sz = int(cg.size[c1].max())
+    c2sz = int(cg.size[c2].max())
+    f1sz = int(fg.size[c1].max())
+    f2sz = int(fg.size[c2].max())
+    vals1 = _stack_children(tables, c1, k, c1sz, f1sz)           # (L, k+1, C1, F1)
+    vals2 = _stack_children(tables, c2, k, c2sz, f2sz)           # (L, k+1, C2, F2)
+    cvals1 = _value_vec(_key_matrix(cg, c1, c1sz), rnd)          # (L, C1)
+    cvals2 = _value_vec(_key_matrix(cg, c2, c2sz), rnd)          # (L, C2)
+    fw = plane.shape[3]
+    fvals = _value_vec(_key_matrix(fg, nodes, fw), rnd)          # (L, Fw)
+    apv = ap0[nodes]
+    own_sz = plane.shape[2]
+    n_col = nodes[:, None, None]
+
+    for b in (0, 1):
+        pb1 = (tree.pp_up if b else tree.p_up)[c1]
+        pb2 = (tree.pp_up if b else tree.p_up)[c2]
+        pdv = (tree.pp_down if b else tree.p_down)[nodes]
+        miss1 = 1.0 - cvals1 * pb1[:, None]                      # (L, C1)
+        miss2 = 1.0 - cvals2 * pb2[:, None]                      # (L, C2)
+        own_key = _down_vec(1.0 - miss1[:, :, None] * miss2[:, None, :], rnd)
+        own_clamped = np.clip(own_key, cg.lo[n_col], cg.last[n_col])
+        own_pos, own_valid = _lookup(
+            own_key, cg.lo[n_col], cg.last[n_col], cg.size[n_col], cg.reg_hi[n_col]
+        )
+        # NOTE: the oracle's two-child fill derives the boost value as
+        # key·δ without the min(·, 1) of _Rounding.value — replicated
+        # exactly to stay bit-identical.
+        own_cval = np.where(
+            own_clamped == rnd.one_idx, 1.0, own_clamped * rnd.delta
+        )                                                        # (L, C1, C2)
+        order, starts, seg_keys = _segment_plan(
+            (np.arange(L)[:, None, None] * own_sz + own_pos).ravel()
+        )
+        seg_l = seg_keys // own_sz
+        seg_p = seg_keys % own_sz
+        T = k + 1 - b
+        kap = np.arange(b, k + 1)
+
+        parent_miss_all = 1.0 - fvals * pdv[:, None]             # (L, Fw)
+        for f0, f1e in _f_chunks(fw, 3 * (k + 1) * L * c1sz * c2sz):
+            pm = parent_miss_all[:, f0:f1e]
+            fc = f1e - f0
+            # Child-facing f requirements: the parent side plus the
+            # *other* child.
+            f1_req = _down_vec(1.0 - pm[:, :, None] * miss2[:, None, :], rnd)
+            f2_req = _down_vec(1.0 - pm[:, :, None] * miss1[:, None, :], rnd)
+            f1_pos, f1_valid = _lookup(
+                f1_req, fg.lo[c1, None, None], fg.last[c1, None, None],
+                fg.size[c1, None, None], fg.reg_hi[c1, None, None],
+            )                                                    # (L, Fc, C2)
+            f2_pos, f2_valid = _lookup(
+                f2_req, fg.lo[c2, None, None], fg.last[c2, None, None],
+                fg.size[c2, None, None], fg.reg_hi[c2, None, None],
+            )                                                    # (L, Fc, C1)
+            # A1[l, κ, i, j, f] = g'(c1, κ, c_i, f1(f, j)); A2 likewise
+            # with children swapped, then aligned to (L, κ, C1, C2, Fc).
+            idx1 = f1_pos.transpose(0, 2, 1).reshape(L, 1, 1, c2sz * fc)
+            A1 = np.take_along_axis(vals1, idx1, axis=3).reshape(
+                L, k + 1, c1sz, c2sz, fc
+            )
+            A1 = np.where(
+                f1_valid.transpose(0, 2, 1)[:, None, None, :, :], A1, NEG_INF
+            )
+            idx2 = f2_pos.transpose(0, 2, 1).reshape(L, 1, 1, c1sz * fc)
+            A2 = np.take_along_axis(vals2, idx2, axis=3).reshape(
+                L, k + 1, c2sz, c1sz, fc
+            )
+            A2 = np.where(
+                f2_valid.transpose(0, 2, 1)[:, None, None, :, :], A2, NEG_INF
+            )
+            A2 = A2.transpose(0, 1, 3, 2, 4)                     # (L, κ, C1, C2, Fc)
+
+            # (max,+) combine over κ1 + κ2 = t — the vectorized form of
+            # the oracle's budget-split enumeration, accumulated in place
+            # (order-independent maxima).
+            V = np.full((T, L, c1sz, c2sz, fc), NEG_INF)
+            for t in range(T):
+                vt = V[t]
+                for k1 in range(t + 1):
+                    np.maximum(vt, A1[:, k1] + A2[:, t - k1], out=vt)
+
+            boost_mat = np.maximum(
+                1.0 - (1.0 - own_cval[:, :, :, None]) * pm[:, None, None, :]
+                - apv[:, None, None, None],
+                0.0,
+            )                                                    # (L, C1, C2, Fc)
+            boost_mat = np.where(own_valid[:, :, :, None], boost_mat, NEG_INF)
+
+            totals = V.transpose(1, 0, 2, 3, 4) + boost_mat[:, None]
+            arr = totals.transpose(0, 2, 3, 1, 4).reshape(
+                L * c1sz * c2sz, T, fc
+            )[order]
+            segmax = np.maximum.reduceat(arr, starts, axis=0)    # (S, T, Fc)
+            cur = plane[seg_l[:, None], kap[None, :], seg_p[:, None], f0:f1e]
+            plane[seg_l[:, None], kap[None, :], seg_p[:, None], f0:f1e] = (
+                np.maximum(cur, segmax)
+            )
+
+
+def _fill_seed_vec(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+) -> None:
+    """Seed-node fill: budget (max,+) fold over the per-child bests.
+
+    The oracle's budget-split loops become an antidiagonal index plan —
+    ``folded[t]`` is the max of ``combined[:t+1] + nxt[t::-1]``.
+    """
+    kids = tree.children[v]
+    best = [_child_best_for_seed_parent(tables[c], rnd, k) for c in kids]
+    combined = best[0].copy()
+    for nxt in best[1:]:
+        folded = np.full(k + 1, NEG_INF)
+        for t in range(k + 1):
+            folded[t] = np.max(combined[: t + 1] + nxt[t::-1])
+        combined = folded
+    # Budget monotonicity: allow leaving budget unused.
+    combined = np.maximum.accumulate(combined)
+    table.values[:, table.c_pos[rnd.one_idx], :] = combined[:, None]
+
+
+def _clamp_pos_1d(
+    keys: np.ndarray, grid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``_clamp_key`` + dict probe over one grid, via ``searchsorted``."""
+    clamped = np.clip(keys, grid[0], grid[-1])
+    pos = np.minimum(np.searchsorted(grid, clamped), len(grid) - 1)
+    return pos, grid[pos] == clamped
+
+
+def _fill_general_vec(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    """Fan-out ≥ 3 (Algorithm 7) on dense ``(z, κ, x)`` planes.
+
+    The oracle's dict-of-dicts helper levels become dense arrays over the
+    z grid × budget × the exact set of reachable x keys (unreachable
+    states hold −inf, so maxima agree with the sparse oracle bit-for-bit).
+    """
+    kids = tree.children[v]
+    d = len(kids)
+    f_keys = np.asarray(table.f_keys, dtype=np.int64)
+    own_c_grid = np.asarray(table.c_keys, dtype=np.int64)
+    apv = float(ap0[v])
+
+    for b in (0, 1):
+        pb = [(tree.pp_up[c] if b else tree.p_up[c]) for c in kids]
+        pb_uv = tree.pp_down[v] if b else tree.p_down[v]
+
+        # y-range per level (suffix activation band), right to left —
+        # same scalar recurrence as the oracle so the z grids match.
+        y_lo = [0.0] * (d + 1)
+        y_hi = [0.0] * (d + 1)
+        y_lo[d] = rnd.value(int(f_keys[0])) * tree.p_down[v]
+        y_hi[d] = rnd.value(int(f_keys[-1])) * tree.pp_down[v]
+        for i in range(d - 1, 0, -1):
+            child = kids[i]
+            ct = tables[child]
+            y_lo[i] = 1.0 - (1.0 - y_lo[i + 1]) * (
+                1.0 - rnd.value(ct.c_keys[0]) * tree.p_up[child]
+            )
+            y_hi[i] = 1.0 - (1.0 - y_hi[i + 1]) * (
+                1.0 - rnd.value(ct.c_keys[-1]) * tree.pp_up[child]
+            )
+        grids = {
+            i: (
+                f_keys
+                if i == d
+                else np.asarray(
+                    _grid(rnd.down(y_lo[i]), rnd.up(y_hi[i]), rnd), dtype=np.int64
+                )
+            )
+            for i in range(1, d + 1)
+        }
+
+        # Level 1.
+        ct = tables[kids[0]]
+        z1 = grids[1]
+        zv = _value_vec(z1, rnd)
+        y1 = zv * pb_uv if d == 1 else zv
+        fk = np.asarray(ct.f_keys, dtype=np.int64)
+        fpos1, fvalid1 = _clamp_pos_1d(_down_vec(y1, rnd), fk)
+        sel = ct.values[:, :, fpos1]                             # (κ, C, Z1)
+        sel = np.where(fvalid1[None, None, :], sel, NEG_INF)
+        ck = np.asarray(ct.c_keys, dtype=np.int64)
+        x1 = _down_vec(_value_vec(ck, rnd) * pb[0], rnd)          # (C,)
+        xs = np.unique(x1)
+        order_c, starts_c, _ = _segment_plan(np.searchsorted(xs, x1))
+        segmax = np.maximum.reduceat(sel[:, order_c, :], starts_c, axis=1)
+        H = np.full((len(z1), k + 1, len(xs)), NEG_INF)          # (Z, κ, X)
+        H[:, b:, :] = segmax[: k + 1 - b].transpose(2, 0, 1)
+
+        # Levels 2..d: combine child i into the running (z, κ, x) plane.
+        for i in range(2, d + 1):
+            child = kids[i - 1]
+            ct = tables[child]
+            zi = grids[i]
+            zv = _value_vec(zi, rnd)
+            y_i = zv * pb_uv if i == d else zv                   # (Z,)
+            ck = np.asarray(ct.c_keys, dtype=np.int64)
+            cvals = _value_vec(ck, rnd)
+            miss = 1.0 - cvals * pb[i - 1]                       # (C,)
+            zprev = grids[i - 1]
+            zp_pos, zp_valid = _clamp_pos_1d(
+                _down_vec(1.0 - (1.0 - y_i)[:, None] * miss[None, :], rnd), zprev
+            )                                                    # (Z, C)
+            xprev_vals = _value_vec(xs, rnd)                     # (Xp,)
+            fk = np.asarray(ct.f_keys, dtype=np.int64)
+            f_pos, f_valid = _clamp_pos_1d(
+                _down_vec(
+                    1.0 - (1.0 - xprev_vals)[None, :] * (1.0 - y_i)[:, None], rnd
+                ),
+                fk,
+            )                                                    # (Z, Xp)
+            x_new = _down_vec(
+                1.0 - (1.0 - xprev_vals)[:, None] * miss[None, :], rnd
+            )                                                    # (Xp, C)
+            xs_i = np.unique(x_new)
+
+            est = len(zi) * len(ck) * (k + 1) * len(xs)
+            if est > _GENERAL_DENSE_LIMIT:
+                # Too wide to densify — run the whole node on the oracle
+                # fill (identical values) and bail out of this b pass.
+                table.values[:] = NEG_INF
+                _fill_internal_general(tree, v, k, table, tables, rnd, ap0)
+                return
+
+            P = H[zp_pos]                                        # (Z, C, κ, Xp)
+            P = np.where(zp_valid[:, :, None, None], P, NEG_INF)
+            Pt = P.transpose(0, 3, 2, 1)                         # (Z, Xp, κ, C)
+            CV = ct.values[:, :, f_pos]                          # (κ, C, Z, Xp)
+            CV = np.where(f_valid[None, None, :, :], CV, NEG_INF)
+            CVt = CV.transpose(2, 3, 0, 1)                       # (Z, Xp, κ, C)
+
+            R = np.full((k + 1, len(zi), len(xs), len(ck)), NEG_INF)
+            for t in range(k + 1):
+                rt = R[t]
+                for ki in range(t + 1):
+                    np.maximum(rt, Pt[:, :, t - ki, :] + CVt[:, :, ki, :], out=rt)
+
+            order_x, starts_x, _ = _segment_plan(
+                np.searchsorted(xs_i, x_new).ravel()
+            )
+            rf = R.reshape(k + 1, len(zi), len(xs) * len(ck))[:, :, order_x]
+            segm = np.maximum.reduceat(rf, starts_x, axis=2)     # (κ, Z, Xi)
+            H = segm.transpose(1, 0, 2).copy()                   # (Z, κ, Xi)
+            xs = xs_i
+
+        # Final: z axis is v's own f grid; map x → own c and add the
+        # boost term.
+        cpos, cvalid = _clamp_pos_1d(xs, own_c_grid)             # (X,)
+        parent_miss = 1.0 - _value_vec(f_keys, rnd) * pb_uv      # (F,)
+        own_cval = _value_vec(np.clip(xs, own_c_grid[0], own_c_grid[-1]), rnd)
+        boost = np.maximum(
+            1.0 - (1.0 - own_cval)[None, :] * parent_miss[:, None] - apv, 0.0
+        )                                                        # (F, X)
+        boost = np.where(cvalid[None, :], boost, NEG_INF)
+        totals = H + boost[:, None, :]                           # (F, κ, X)
+        order_f, starts_f, seg_c = _segment_plan(cpos)
+        segm = np.maximum.reduceat(totals[:, :, order_f], starts_f, axis=2)
+        cur = table.values[:, seg_c, :]                          # (κ, S, F)
+        table.values[:, seg_c, :] = np.maximum(cur, segm.transpose(1, 2, 0))
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _p2(x: int) -> int:
+    """Round up to a power of two (shape-class quantization)."""
+    return 1 << (int(x) - 1).bit_length()
+
+
+def _view_table(
+    plane: np.ndarray, row: int, c_keys: List[int], f_keys: List[int]
+) -> _NodeTable:
+    """A ``_NodeTable`` whose value array is a view into a class plane."""
+    t = object.__new__(_NodeTable)
+    t.c_keys = c_keys
+    t.f_keys = f_keys
+    t.c_pos = {c: j for j, c in enumerate(c_keys)}
+    t.f_pos = {f: j for j, f in enumerate(f_keys)}
+    t.values = plane[row, :, : len(c_keys), : len(f_keys)]
+    return t
+
+
+def _fill_tables_vectorized(
+    tree: BidirectedTree,
+    k: int,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    c_lo: np.ndarray,
+    c_hi: np.ndarray,
+    f_lo: np.ndarray,
+    f_hi: np.ndarray,
+) -> Tuple[Dict[int, _NodeTable], int]:
+    """Build every node table bottom-up on shape-class planes."""
+    n = tree.n
+    plan = tree.plan()
+    c_grids: List[List[int]] = [[] for _ in range(n)]
+    f_grids: List[List[int]] = [[] for _ in range(n)]
+    cg = _GridMeta(n)
+    fg = _GridMeta(n)
+    for v in range(n):
+        c_grids[v] = _grid(int(c_lo[v]), int(c_hi[v]), rnd)
+        f_grids[v] = _grid(int(f_lo[v]), int(f_hi[v]), rnd)
+        cg.record(v, c_grids[v])
+        fg.record(v, f_grids[v])
+
+    tables: Dict[int, _NodeTable] = {}
+    total_entries = 0
+
+    for d in range(len(plan.levels) - 1, -1, -1):
+        # Group the level's nodes into batchable shape classes (see the
+        # module docstring for why pow2 classes rather than one plane per
+        # level).  Seeds and fan-out ≥ 3 nodes are rare and stay
+        # per-node.
+        groups: Dict[tuple, List[int]] = {}
+        singles: List[int] = []
+        for v in plan.levels[d]:
+            v = int(v)
+            kids = tree.children[v]
+            if not kids:
+                key = ("leaf", _p2(fg.size[v]))
+            elif plan.seeds_mask[v] or len(kids) > 2:
+                singles.append(v)
+                continue
+            elif len(kids) == 1:
+                key = (
+                    "one",
+                    _p2(cg.size[v]), _p2(fg.size[v]),
+                    _p2(cg.size[kids[0]]), _p2(fg.size[kids[0]]),
+                )
+            else:
+                key = (
+                    "two",
+                    _p2(cg.size[v]), _p2(fg.size[v]),
+                    _p2(cg.size[kids[0]]), _p2(fg.size[kids[0]]),
+                    _p2(cg.size[kids[1]]), _p2(fg.size[kids[1]]),
+                )
+            groups.setdefault(key, []).append(v)
+
+        for key, members in groups.items():
+            nodes = np.asarray(members, dtype=np.int64)
+            cmax = int(cg.size[nodes].max())
+            fmax = int(fg.size[nodes].max())
+            plane = np.full((len(nodes), k + 1, cmax, fmax), NEG_INF)
+            for i, v in enumerate(members):
+                tables[v] = _view_table(plane, i, c_grids[v], f_grids[v])
+                total_entries += tables[v].values.size
+            if key[0] == "leaf":
+                _fill_leaves_batch(tree, nodes, k, rnd, ap0, plane, fg)
+            elif key[0] == "one":
+                _fill_one_batch(tree, nodes, k, rnd, ap0, plane, tables, cg, fg)
+            else:
+                _fill_two_batch(tree, nodes, k, rnd, ap0, plane, tables, cg, fg)
+
+        for v in singles:
+            table = _NodeTable(k, c_grids[v], f_grids[v])
+            tables[v] = table
+            total_entries += table.values.size
+            if plan.seeds_mask[v]:
+                _fill_seed_vec(tree, v, k, table, tables, rnd)
+            else:
+                _fill_general_vec(tree, v, k, table, tables, rnd, ap0)
+
+    return tables, total_entries
 
 
 def dp_boost(
@@ -204,13 +687,14 @@ def dp_boost(
     k: int,
     epsilon: float = 0.5,
     delta_override: Optional[float] = None,
+    method: str = "vectorized",
 ) -> DPBoostResult:
     """Run DP-Boost and return a ``(1 − ε)``-approximate boost set.
 
     Parameters
     ----------
     tree:
-        A bidirected tree whose rooting has at most two children per node.
+        A bidirected tree; any fan-out is supported.
     k:
         Boost budget.
     epsilon:
@@ -219,7 +703,16 @@ def dp_boost(
     delta_override:
         Directly set the rounding parameter δ (testing/ablation hook);
         bypasses Equation 13.
+    method:
+        ``"vectorized"`` (default) runs the level-batched numpy fills;
+        ``"legacy"`` is the escape hatch to the pinned loop oracle
+        (:func:`repro.trees.reference.legacy_dp_boost`).  Both produce
+        bit-identical tables and therefore identical selections.
     """
+    if method == "legacy":
+        return legacy_dp_boost(tree, k, epsilon, delta_override)
+    if method != "vectorized":
+        raise ValueError(f"unknown dp_boost method: {method!r}")
     if k <= 0:
         raise ValueError("k must be positive")
     if not 0.0 < epsilon:
@@ -245,643 +738,9 @@ def dp_boost(
     rnd = _Rounding(delta_param)
 
     c_lo, c_hi, f_lo, f_hi = _compute_ranges(tree, rnd)
-
-    tables: Dict[int, _NodeTable] = {}
-    total_entries = 0
-
-    for v in reversed(tree.order):
-        c_keys = _grid(int(c_lo[v]), int(c_hi[v]), rnd)
-        f_keys = _grid(int(f_lo[v]), int(f_hi[v]), rnd)
-        table = _NodeTable(k, c_keys, f_keys)
-        kids = tree.children[v]
-
-        if not kids:
-            _fill_leaf(tree, v, k, table, rnd, ap0)
-        elif v in tree.seeds:
-            _fill_seed(tree, v, k, table, tables, rnd)
-        else:
-            _fill_internal(tree, v, k, table, tables, rnd, ap0)
-
-        tables[v] = table
-        total_entries += table.values.size
-        # Children tables of v are no longer needed for value computation,
-        # but are kept for backtracking (memory is fine at these sizes).
-
-    root_table = tables[tree.root]
-    froot = root_table.f_pos[0] if 0 in root_table.f_pos else 0
-    root_vals = root_table.values[:, :, froot]
-    best_flat = int(np.argmax(root_vals))
-    best_kappa, best_cpos = np.unravel_index(best_flat, root_vals.shape)
-    dp_value = float(root_vals[best_kappa, best_cpos])
-    if dp_value == NEG_INF or dp_value <= 0.0:
-        return DPBoostResult([], max(dp_value, 0.0), 0.0, delta_param, total_entries)
-
-    boost: set[int] = set()
-    _backtrack(
-        tree,
-        tree.root,
-        int(best_kappa),
-        root_table.c_keys[best_cpos],
-        root_table.f_keys[froot],
-        tables,
-        rnd,
-        ap0,
-        k,
-        boost,
+    tables, total_entries = _fill_tables_vectorized(
+        tree, k, rnd, ap0, c_lo, c_hi, f_lo, f_hi
     )
-    exact = compute_tree_state(tree, boost).sigma - base_state.sigma
-    return DPBoostResult(sorted(boost), dp_value, float(exact), delta_param, total_entries)
-
-
-# ----------------------------------------------------------------------
-# Table fills
-# ----------------------------------------------------------------------
-def _leaf_value(
-    tree: BidirectedTree, v: int, b: int, cval: float, fval: float, ap0: np.ndarray
-) -> float:
-    p_in = tree.pp_down[v] if b else tree.p_down[v]
-    return max(1.0 - (1.0 - cval) * (1.0 - fval * p_in) - float(ap0[v]), 0.0)
-
-
-def _fill_leaf(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    rnd: _Rounding,
-    ap0: np.ndarray,
-) -> None:
-    cval = 1.0 if v in tree.seeds else 0.0
-    c_pos = 0  # leaf c grid is a single value by construction
-    for fi, f_key in enumerate(table.f_keys):
-        fval = rnd.value(f_key)
-        v0 = _leaf_value(tree, v, 0, cval, fval, ap0)
-        v1 = _leaf_value(tree, v, 1, cval, fval, ap0)
-        table.values[0, c_pos, fi] = v0
-        for kappa in range(1, k + 1):
-            table.values[kappa, c_pos, fi] = max(v0, v1)
-
-
-def _child_best_for_seed_parent(
-    child_table: _NodeTable, rnd: _Rounding, k: int
-) -> np.ndarray:
-    """``max_c g'(child, κ, c, f=1)`` per κ (children of seeds see f = 1)."""
-    fpos = child_table.f_pos.get(rnd.one_idx)
-    if fpos is None:
-        return np.full(k + 1, NEG_INF)
-    return child_table.values[:, :, fpos].max(axis=1)
-
-
-def _fill_seed(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-) -> None:
-    kids = tree.children[v]
-    best = [_child_best_for_seed_parent(tables[c], rnd, k) for c in kids]
-    # Fold children with a max-plus convolution over the budget (any
-    # fan-out): combined[t] = max over splits of the per-child bests.
-    combined = best[0].copy()
-    for nxt in best[1:]:
-        folded = np.full(k + 1, NEG_INF)
-        for k1 in range(k + 1):
-            if combined[k1] == NEG_INF:
-                continue
-            for k2 in range(k + 1 - k1):
-                if nxt[k2] == NEG_INF:
-                    continue
-                s = combined[k1] + nxt[k2]
-                if s > folded[k1 + k2]:
-                    folded[k1 + k2] = s
-        combined = folded
-    # Budget monotonicity: allow leaving budget unused.
-    for kappa in range(1, k + 1):
-        combined[kappa] = max(combined[kappa], combined[kappa - 1])
-    c_pos = table.c_pos[rnd.one_idx]
-    for fi in range(len(table.f_keys)):
-        table.values[:, c_pos, fi] = combined
-
-
-def _fill_internal(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    ap0: np.ndarray,
-) -> None:
-    kids = tree.children[v]
-    if len(kids) == 1:
-        _fill_internal_one(tree, v, k, table, tables[kids[0]], kids[0], rnd, ap0)
-    elif len(kids) == 2:
-        _fill_internal_two(tree, v, k, table, tables, rnd, ap0)
-    else:
-        _fill_internal_general(tree, v, k, table, tables, rnd, ap0)
-
-
-def _fill_internal_one(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    child_table: _NodeTable,
-    child: int,
-    rnd: _Rounding,
-    ap0: np.ndarray,
-) -> None:
-    c1_vals = np.array([rnd.value(c) for c in child_table.c_keys])
-    for b in (0, 1):
-        p_up_child = tree.pp_up[child] if b else tree.p_up[child]
-        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
-        # Own rounded c per child c choice (independent of f).
-        own_c = [rnd.down(val * p_up_child) for val in c1_vals]
-        own_c = [min(max(c, table.c_keys[0]), table.c_keys[-1]) for c in own_c]
-        own_c_pos = np.array([table.c_pos[c] for c in own_c])
-        own_c_val = np.array([rnd.value(c) for c in own_c])
-        for fi, f_key in enumerate(table.f_keys):
-            fval = rnd.value(f_key)
-            parent_miss = 1.0 - fval * p_down_v
-            f1 = rnd.down(1.0 - parent_miss)
-            f1 = min(max(f1, child_table.f_keys[0]), child_table.f_keys[-1])
-            f1_pos = child_table.f_pos.get(f1)
-            if f1_pos is None:
-                continue
-            child_vals = child_table.values[:, :, f1_pos]  # (k+1, C1)
-            boost_terms = np.maximum(
-                1.0 - (1.0 - own_c_val) * parent_miss - float(ap0[v]), 0.0
-            )
-            for kappa1 in range(k + 1 - b):
-                kappa = kappa1 + b
-                row = child_vals[kappa1]
-                finite = row > NEG_INF
-                if not finite.any():
-                    continue
-                totals = row + boost_terms
-                for idx in np.nonzero(finite)[0]:
-                    pos = own_c_pos[idx]
-                    if totals[idx] > table.values[kappa, pos, fi]:
-                        table.values[kappa, pos, fi] = totals[idx]
-
-
-def _fill_internal_two(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    ap0: np.ndarray,
-) -> None:
-    c1, c2 = tree.children[v]
-    t1, t2 = tables[c1], tables[c2]
-    v1_vals = np.array([rnd.value(c) for c in t1.c_keys])
-    v2_vals = np.array([rnd.value(c) for c in t2.c_keys])
-    n1, n2 = len(t1.c_keys), len(t2.c_keys)
-
-    for b in (0, 1):
-        pb1 = tree.pp_up[c1] if b else tree.p_up[c1]
-        pb2 = tree.pp_up[c2] if b else tree.p_up[c2]
-        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
-
-        # Own c depends on (c1, c2) only.
-        miss1 = 1.0 - v1_vals * pb1  # (n1,)
-        miss2 = 1.0 - v2_vals * pb2  # (n2,)
-        own_val_mat = 1.0 - np.outer(miss1, miss2)  # (n1, n2)
-        own_key_mat = np.empty((n1, n2), dtype=np.int64)
-        for i in range(n1):
-            for j in range(n2):
-                key = rnd.down(own_val_mat[i, j])
-                own_key_mat[i, j] = min(max(key, table.c_keys[0]), table.c_keys[-1])
-
-        for fi, f_key in enumerate(table.f_keys):
-            fval = rnd.value(f_key)
-            parent_miss = 1.0 - fval * p_down_v
-
-            # Child-facing f values: f_vi combines the parent side and the
-            # *other* child.
-            f1_req = [
-                rnd.down(1.0 - parent_miss * miss2[j]) for j in range(n2)
-            ]
-            f2_req = [
-                rnd.down(1.0 - parent_miss * miss1[i]) for i in range(n1)
-            ]
-            f1_pos = np.array(
-                [
-                    t1.f_pos.get(min(max(f, t1.f_keys[0]), t1.f_keys[-1]), -1)
-                    for f in f1_req
-                ]
-            )
-            f2_pos = np.array(
-                [
-                    t2.f_pos.get(min(max(f, t2.f_keys[0]), t2.f_keys[-1]), -1)
-                    for f in f2_req
-                ]
-            )
-            if (f1_pos < 0).all() or (f2_pos < 0).all():
-                continue
-
-            # A1[κ1, i, j] = g'(c1, κ1, c_i, f1(j)); A2[κ2, i, j] likewise.
-            A1 = t1.values[:, :, np.clip(f1_pos, 0, None)]  # (k+1, n1, n2)
-            A1 = np.where(f1_pos[None, None, :] >= 0, A1, NEG_INF)
-            A2 = t2.values[:, :, np.clip(f2_pos, 0, None)]  # (k+1, n2, n1)
-            A2 = np.where(f2_pos[None, None, :] >= 0, A2, NEG_INF)
-            A2 = A2.transpose(0, 2, 1)  # -> (k+1, n1, n2)
-
-            # Max-plus combine over κ1 + κ2 = t.
-            V = np.full((k + 1, n1, n2), NEG_INF)
-            for t in range(k + 1 - b):
-                for k1 in range(t + 1):
-                    cand = A1[k1] + A2[t - k1]
-                    np.maximum(V[t], cand, out=V[t])
-
-            own_cvals = np.where(
-                own_key_mat == rnd.one_idx, 1.0, own_key_mat * rnd.delta
-            )
-            boost_mat = np.maximum(
-                1.0 - (1.0 - own_cvals) * parent_miss - float(ap0[v]), 0.0
-            )
-
-            for t in range(k + 1 - b):
-                total = V[t] + boost_mat
-                kappa = t + b
-                finite = V[t] > NEG_INF
-                if not finite.any():
-                    continue
-                idx_i, idx_j = np.nonzero(finite)
-                for i, j in zip(idx_i, idx_j):
-                    pos = table.c_pos[int(own_key_mat[i, j])]
-                    if total[i, j] > table.values[kappa, pos, fi]:
-                        table.values[kappa, pos, fi] = total[i, j]
-
-
-# ----------------------------------------------------------------------
-# General fan-out (Appendix B): sequential child combination
-# ----------------------------------------------------------------------
-def _clamp_key(key: int, keys: List[int]) -> int:
-    """Clamp a derived rounded key into a grid (monotone grids, ONE last)."""
-    if key <= keys[0]:
-        return keys[0]
-    if key >= keys[-1]:
-        return keys[-1]
-    return key
-
-
-def _general_levels(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    b: int,
-    f_keys: List[int],
-):
-    """Helper tables ``h(b, i, κ, x_i, z_i)`` of the appendix's Algorithm 7.
-
-    Children are combined left to right.  ``x_i`` is the rounded probability
-    that ``v`` is activated by its first ``i`` subtrees; ``z_i`` is the
-    suffix linkage value (``z_d`` is ``v``'s own ``f`` key, and for ``i<d``
-    ``z_i = y_i``, the rounded probability that ``v`` is activated by the
-    parent side plus children ``i+1..d``).  Each level is a dict
-    ``z_key -> {(κ, x_key): (value, choice)}`` with
-    ``choice = (κ_i, c_key_i, f_key_vi, prev_key, z_prev)`` for backtracking.
-    """
-    kids = tree.children[v]
-    d = len(kids)
-    pb = [
-        (tree.pp_up[c] if b else tree.p_up[c]) for c in kids
-    ]
-    pb_uv = tree.pp_down[v] if b else tree.p_down[v]
-
-    # y-range per level (suffix activation band), computed right to left.
-    y_lo = [0.0] * (d + 1)
-    y_hi = [0.0] * (d + 1)
-    y_lo[d] = rnd.value(f_keys[0]) * tree.p_down[v]
-    y_hi[d] = rnd.value(f_keys[-1]) * tree.pp_down[v]
-    for i in range(d - 1, 0, -1):
-        child = kids[i]  # child i+1 in 1-based terms
-        ct = tables[child]
-        c_lo_val = rnd.value(ct.c_keys[0])
-        c_hi_val = rnd.value(ct.c_keys[-1])
-        y_lo[i] = 1.0 - (1.0 - y_lo[i + 1]) * (1.0 - c_lo_val * tree.p_up[child])
-        y_hi[i] = 1.0 - (1.0 - y_hi[i + 1]) * (1.0 - c_hi_val * tree.pp_up[child])
-
-    def z_grid(i: int) -> List[int]:
-        if i == d:
-            return f_keys
-        return _grid(rnd.down(y_lo[i]), rnd.up(y_hi[i]), rnd)
-
-    grids = {i: z_grid(i) for i in range(1, d + 1)}
-
-    # Level 1.
-    levels: List[Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]]] = []
-    child = kids[0]
-    ct = tables[child]
-    level1: Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]] = {}
-    for z1 in grids[1]:
-        y1 = rnd.value(z1) * pb_uv if d == 1 else rnd.value(z1)
-        f_v1 = _clamp_key(rnd.down(y1), ct.f_keys)
-        f_pos = ct.f_pos[f_v1]
-        bucket = level1.setdefault(z1, {})
-        for ci, c_key in enumerate(ct.c_keys):
-            x1 = rnd.down(rnd.value(c_key) * pb[0])
-            for kappa1 in range(k + 1 - b):
-                val = ct.values[kappa1, ci, f_pos]
-                if val == NEG_INF:
-                    continue
-                state = (kappa1 + b, x1)
-                prev = bucket.get(state)
-                if prev is None or val > prev[0]:
-                    bucket[state] = (
-                        val,
-                        (kappa1, c_key, f_v1, None, None),
-                    )
-    levels.append(level1)
-
-    # Levels 2..d.
-    for i in range(2, d + 1):
-        child = kids[i - 1]
-        ct = tables[child]
-        level_i: Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]] = {}
-        prev_level = levels[-1]
-        for z_i in grids[i]:
-            y_i = rnd.value(z_i) * pb_uv if i == d else rnd.value(z_i)
-            bucket = level_i.setdefault(z_i, {})
-            for ci, c_key in enumerate(ct.c_keys):
-                c_val = rnd.value(c_key)
-                miss = 1.0 - c_val * pb[i - 1]
-                z_prev = _clamp_key(
-                    rnd.down(1.0 - (1.0 - y_i) * miss), grids[i - 1]
-                )
-                prev_bucket = prev_level.get(z_prev)
-                if not prev_bucket:
-                    continue
-                for (kappa_prev, x_prev), (val_prev, _choice) in prev_bucket.items():
-                    x_prev_val = rnd.value(x_prev)
-                    f_vi = _clamp_key(
-                        rnd.down(1.0 - (1.0 - x_prev_val) * (1.0 - y_i)),
-                        ct.f_keys,
-                    )
-                    f_pos = ct.f_pos[f_vi]
-                    x_i = rnd.down(1.0 - (1.0 - x_prev_val) * miss)
-                    for kappa_i in range(k + 1 - kappa_prev):
-                        val = ct.values[kappa_i, ci, f_pos]
-                        if val == NEG_INF:
-                            continue
-                        state = (kappa_prev + kappa_i, x_i)
-                        total = val_prev + val
-                        existing = bucket.get(state)
-                        if existing is None or total > existing[0]:
-                            bucket[state] = (
-                                total,
-                                (kappa_i, c_key, f_vi, (kappa_prev, x_prev), z_prev),
-                            )
-        levels.append(level_i)
-    return levels
-
-
-def _fill_internal_general(
-    tree: BidirectedTree,
-    v: int,
-    k: int,
-    table: _NodeTable,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    ap0: np.ndarray,
-) -> None:
-    for b in (0, 1):
-        pb_uv = tree.pp_down[v] if b else tree.p_down[v]
-        levels = _general_levels(tree, v, k, tables, rnd, b, table.f_keys)
-        final = levels[-1]
-        for fi, f_key in enumerate(table.f_keys):
-            fval = rnd.value(f_key)
-            parent_miss = 1.0 - fval * pb_uv
-            bucket = final.get(f_key, {})
-            for (kappa, x_d), (val, _choice) in bucket.items():
-                c_key = _clamp_key(x_d, table.c_keys)
-                c_pos = table.c_pos[c_key]
-                boost_term = max(
-                    1.0 - (1.0 - rnd.value(c_key)) * parent_miss - float(ap0[v]),
-                    0.0,
-                )
-                total = val + boost_term
-                if total > table.values[kappa, c_pos, fi]:
-                    table.values[kappa, c_pos, fi] = total
-
-
-def _backtrack_general(
-    tree: BidirectedTree,
-    v: int,
-    kappa: int,
-    c_key: int,
-    f_key: int,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    ap0: np.ndarray,
-    k: int,
-    boost: set,
-    target: float,
-) -> bool:
-    """Recover the choice achieving ``target`` at a general fan-out node."""
-    table = tables[v]
-    kids = tree.children[v]
-    for b in (0, 1):
-        if b > kappa:
-            continue
-        pb_uv = tree.pp_down[v] if b else tree.p_down[v]
-        parent_miss = 1.0 - rnd.value(f_key) * pb_uv
-        levels = _general_levels(tree, v, k, tables, rnd, b, table.f_keys)
-        bucket = levels[-1].get(f_key, {})
-        for (kap, x_d), (val, _choice) in bucket.items():
-            if kap != kappa or _clamp_key(x_d, table.c_keys) != c_key:
-                continue
-            boost_term = max(
-                1.0 - (1.0 - rnd.value(c_key)) * parent_miss - float(ap0[v]), 0.0
-            )
-            if abs(val + boost_term - target) > 1e-9:
-                continue
-            # Walk the levels back, recursing into each child.
-            if b:
-                boost.add(v)
-            state = (kap, x_d)
-            z = f_key
-            for i in range(len(kids), 0, -1):
-                entry = levels[i - 1][z][state]
-                _val, (kappa_i, c_key_i, f_key_vi, prev_state, z_prev) = entry
-                _backtrack(
-                    tree,
-                    kids[i - 1],
-                    kappa_i,
-                    c_key_i,
-                    f_key_vi,
-                    tables,
-                    rnd,
-                    ap0,
-                    k,
-                    boost,
-                )
-                if prev_state is None:
-                    break
-                state = prev_state
-                z = z_prev
-            return True
-    return False
-
-
-# ----------------------------------------------------------------------
-# Backtracking
-# ----------------------------------------------------------------------
-def _backtrack(
-    tree: BidirectedTree,
-    v: int,
-    kappa: int,
-    c_key: int,
-    f_key: int,
-    tables: Dict[int, _NodeTable],
-    rnd: _Rounding,
-    ap0: np.ndarray,
-    k: int,
-    boost: set,
-) -> None:
-    table = tables[v]
-    target = table.values[kappa, table.c_pos[c_key], table.f_pos[f_key]]
-    if target == NEG_INF:
-        return
-    kids = tree.children[v]
-    fval = rnd.value(f_key)
-
-    if not kids:
-        cval = 1.0 if v in tree.seeds else 0.0
-        if kappa > 0:
-            v0 = _leaf_value(tree, v, 0, cval, fval, ap0)
-            v1 = _leaf_value(tree, v, 1, cval, fval, ap0)
-            if v1 > v0 + 1e-12:
-                boost.add(v)
-        return
-
-    if v in tree.seeds:
-        best = [_child_best_for_seed_parent(tables[c], rnd, k) for c in kids]
-        best_sum = NEG_INF
-        best_split = None
-        # The fill step allowed unused budget, so consider all totals <= κ.
-        for total in range(kappa + 1):
-            for split in _budget_splits(total, len(kids)):
-                s = sum(best[i][split[i]] for i in range(len(kids)))
-                if s > best_sum:
-                    best_sum = s
-                    best_split = split
-        if best_split is None:
-            return
-        for i, child in enumerate(kids):
-            ct = tables[child]
-            fpos = ct.f_pos.get(rnd.one_idx)
-            if fpos is None:
-                continue
-            col = ct.values[best_split[i], :, fpos]
-            cpos = int(np.argmax(col))
-            if col[cpos] == NEG_INF:
-                continue
-            _backtrack(
-                tree, child, best_split[i], ct.c_keys[cpos], rnd.one_idx,
-                tables, rnd, ap0, k, boost,
-            )
-        return
-
-    if len(kids) >= 3:
-        _backtrack_general(
-            tree, v, kappa, c_key, f_key, tables, rnd, ap0, k, boost, target
-        )
-        return
-
-    # Non-seed internal node: re-enumerate combos to find one achieving target.
-    for b in (0, 1):
-        if b > kappa:
-            continue
-        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
-        parent_miss = 1.0 - fval * p_down_v
-        if len(kids) == 1:
-            child = kids[0]
-            ct = tables[child]
-            pb1 = tree.pp_up[child] if b else tree.p_up[child]
-            f1 = rnd.down(1.0 - parent_miss)
-            f1 = min(max(f1, ct.f_keys[0]), ct.f_keys[-1])
-            f1p = ct.f_pos.get(f1)
-            if f1p is None:
-                continue
-            for ci, ckey in enumerate(ct.c_keys):
-                own = rnd.down(rnd.value(ckey) * pb1)
-                own = min(max(own, tables[v].c_keys[0]), tables[v].c_keys[-1])
-                if own != c_key:
-                    continue
-                child_val = ct.values[kappa - b, ci, f1p]
-                if child_val == NEG_INF:
-                    continue
-                bt = max(
-                    1.0 - (1.0 - rnd.value(own)) * parent_miss - float(ap0[v]), 0.0
-                )
-                if abs(child_val + bt - target) < 1e-9:
-                    if b:
-                        boost.add(v)
-                    _backtrack(
-                        tree, child, kappa - b, ckey, ct.f_keys[f1p],
-                        tables, rnd, ap0, k, boost,
-                    )
-                    return
-        else:
-            ch1, ch2 = kids
-            t1, t2 = tables[ch1], tables[ch2]
-            pb1 = tree.pp_up[ch1] if b else tree.p_up[ch1]
-            pb2 = tree.pp_up[ch2] if b else tree.p_up[ch2]
-            for i, ck1 in enumerate(t1.c_keys):
-                m1 = 1.0 - rnd.value(ck1) * pb1
-                f2 = rnd.down(1.0 - parent_miss * m1)
-                f2 = min(max(f2, t2.f_keys[0]), t2.f_keys[-1])
-                f2p = t2.f_pos.get(f2)
-                if f2p is None:
-                    continue
-                for j, ck2 in enumerate(t2.c_keys):
-                    m2 = 1.0 - rnd.value(ck2) * pb2
-                    own = rnd.down(1.0 - m1 * m2)
-                    own = min(max(own, tables[v].c_keys[0]), tables[v].c_keys[-1])
-                    if own != c_key:
-                        continue
-                    f1 = rnd.down(1.0 - parent_miss * m2)
-                    f1 = min(max(f1, t1.f_keys[0]), t1.f_keys[-1])
-                    f1p = t1.f_pos.get(f1)
-                    if f1p is None:
-                        continue
-                    bt = max(
-                        1.0 - (1.0 - rnd.value(own)) * parent_miss - float(ap0[v]),
-                        0.0,
-                    )
-                    for k1 in range(kappa - b + 1):
-                        k2 = kappa - b - k1
-                        val1 = t1.values[k1, i, f1p]
-                        val2 = t2.values[k2, j, f2p]
-                        if val1 == NEG_INF or val2 == NEG_INF:
-                            continue
-                        if abs(val1 + val2 + bt - target) < 1e-9:
-                            if b:
-                                boost.add(v)
-                            _backtrack(
-                                tree, ch1, k1, ck1, t1.f_keys[f1p],
-                                tables, rnd, ap0, k, boost,
-                            )
-                            _backtrack(
-                                tree, ch2, k2, ck2, t2.f_keys[f2p],
-                                tables, rnd, ap0, k, boost,
-                            )
-                            return
-
-
-def _budget_splits(total: int, parts: int):
-    """All ways to split ``total`` into ``parts`` non-negative integers."""
-    if parts == 1:
-        yield (total,)
-        return
-    for first in range(total + 1):
-        for rest in _budget_splits(total - first, parts - 1):
-            yield (first,) + rest
+    return finish_dp(
+        tree, k, tables, rnd, ap0, base_state, delta_param, total_entries
+    )

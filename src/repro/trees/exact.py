@@ -6,10 +6,20 @@ Implements the three-step O(n) computation:
 2. marginal-seed gains ``g_B(u\\v)`` (Lemma 6),
 3. ``σ_S(B)`` and ``σ_S(B ∪ {u})`` for every node ``u`` (Lemma 7).
 
-The recursions of the paper are realized as two array passes over a rooted
-tree (an "up" pass over subtrees and a "down" pass over the complements)
-with prefix/suffix products replacing the division tricks of Equations
-(9)/(11) — numerically safer when factors reach zero, same O(n) bound.
+The recursions of the paper are realized as level-batched numpy passes
+over a rooted tree (an "up" pass over subtrees and a "down" pass over the
+complements) with prefix/suffix products replacing the division tricks of
+Equations (9)/(11) — numerically safer when factors reach zero, same O(n)
+bound.
+
+Vectorization contract: every pass iterates child *slots* sequentially
+(padded slots contribute the exact identities 1.0 / 0.0), so products and
+sums accumulate in the same order — and therefore to the same IEEE-754
+bits — as the scalar loops preserved in
+:func:`repro.trees.reference.legacy_compute_tree_state`.  Greedy-Boost
+tie-breaks and the DP-Boost rounding parameter depend on these values
+bit-for-bit, so the equality is asserted in ``tests/test_dp_internals.py``
+rather than merely approximated.
 
 Notation mapping (``par`` is the parent of ``v`` under the rooting):
 
@@ -49,196 +59,232 @@ class TreeComputation:
     sigma_with: np.ndarray
 
 
-def _probs_into(tree: BidirectedTree, boost: AbstractSet[int]) -> tuple[np.ndarray, np.ndarray]:
+def _probs_into(
+    tree: BidirectedTree, boost_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-node incoming edge probabilities given ``B``.
 
-    Returns ``(from_parent, from_child_up)`` where ``from_parent[v]`` is
-    ``p^B_{par(v), v}`` and ``from_child_up[v]`` is ``p^B_{v, par(v)}`` (the
+    Returns ``(from_parent, into_parent)`` where ``from_parent[v]`` is
+    ``p^B_{par(v), v}`` and ``into_parent[v]`` is ``p^B_{v, par(v)}`` (the
     probability *v* uses when influencing its parent — depends on whether
     the parent is boosted).
     """
-    n = tree.n
-    from_parent = np.empty(n)
-    into_parent = np.empty(n)
-    for v in range(n):
-        boosted_v = v in boost
-        from_parent[v] = tree.pp_down[v] if boosted_v else tree.p_down[v]
-        par = int(tree.parent[v])
-        boosted_par = par in boost if par >= 0 else False
-        into_parent[v] = tree.pp_up[v] if boosted_par else tree.p_up[v]
+    from_parent = np.where(boost_mask, tree.pp_down, tree.p_down)
+    par_boosted = boost_mask[tree.parent] & (tree.parent >= 0)
+    into_parent = np.where(par_boosted, tree.pp_up, tree.p_up)
     return from_parent, into_parent
+
+
+def _term_vec(
+    g: np.ndarray, ap_val: np.ndarray, p_out: np.ndarray, p_in: np.ndarray
+) -> np.ndarray:
+    """Vector form of ``p^B_{u,w} g_B(w\\u) / (1 − ap_B(w\\u) p^B_{w,u})``.
+
+    Matches the scalar guards (``g <= 0`` or ``denom <= 1e-15`` → 0)
+    elementwise; the division only contributes where the guards pass.
+    """
+    denom = 1.0 - ap_val * p_in
+    ok = (g > 0.0) & (denom > 1e-15)
+    safe = np.where(ok, denom, 1.0)
+    return np.where(ok, p_out * g / safe, 0.0)
 
 
 def compute_tree_state(tree: BidirectedTree, boost: AbstractSet[int]) -> TreeComputation:
     """Run the full three-step computation for boost set ``B`` in O(n)."""
     boost_set = frozenset(int(b) for b in boost)
     n = tree.n
-    seeds = tree.seeds
-    from_parent, into_parent = _probs_into(tree, boost_set)
+    plan = tree.plan()
+    seeds_mask = plan.seeds_mask
+
+    boost_mask = np.zeros(n, dtype=bool)
+    if boost_set:
+        boost_mask[list(boost_set)] = True
+    from_parent, into_parent = _probs_into(tree, boost_mask)
 
     up = np.zeros(n)
     down = np.zeros(n)
-    ap = np.zeros(n)
     gup = np.zeros(n)
     gdown = np.zeros(n)
 
-    order = tree.order  # parents before children
+    levels = plan.levels
+    kids_mat = plan.kids_mat
+    nkids = plan.nkids
 
     # ------------------------------------------------------------------
-    # Up pass: ap_B(v \ parent) over subtrees, leaves first.
+    # Up pass: ap_B(v \ parent) over subtrees, leaves first.  Padded child
+    # slots multiply by exactly 1.0, preserving the scalar product order.
     # ------------------------------------------------------------------
-    for v in reversed(order):
-        if v in seeds:
-            up[v] = 1.0
-            continue
-        prod = 1.0
-        for c in tree.children[v]:
-            prod *= 1.0 - up[c] * into_parent[c]
-        up[v] = 1.0 - prod
+    for lvl in reversed(levels):
+        smax = int(nkids[lvl].max())
+        prod = np.ones(len(lvl))
+        if smax:
+            km = kids_mat[lvl][:, :smax]
+            for s in range(smax):
+                c = km[:, s]
+                factor = np.where(c >= 0, 1.0 - up[c] * into_parent[c], 1.0)
+                prod = prod * factor
+        up[lvl] = np.where(seeds_mask[lvl], 1.0, 1.0 - prod)
 
     # ------------------------------------------------------------------
     # Down pass: ap_B(parent \ v) via prefix/suffix products (Equation 8
-    # without the division of Equation 9).
+    # without the division of Equation 9), one level at a time.
     # ------------------------------------------------------------------
-    for u in order:
-        kids = tree.children[u]
-        if not kids:
+    for lvl in levels:
+        sub = lvl[nkids[lvl] > 0]
+        if not len(sub):
             continue
-        if u in seeds:
-            for v in kids:
-                down[v] = 1.0
+        seed_sub = sub[seeds_mask[sub]]
+        if len(seed_sub):
+            kc = kids_mat[seed_sub]
+            down[kc[kc >= 0]] = 1.0
+        ns = sub[~seeds_mask[sub]]
+        if not len(ns):
             continue
-        par_factor = 1.0
-        if tree.parent[u] >= 0:
-            par_factor = 1.0 - down[u] * from_parent[u]
-        factors = [1.0 - up[c] * into_parent[c] for c in kids]
-        prefix = np.empty(len(kids) + 1)
-        prefix[0] = 1.0
-        for i, f in enumerate(factors):
-            prefix[i + 1] = prefix[i] * f
-        suffix = 1.0
-        # iterate right-to-left so suffix excludes the current child
-        down_vals = [0.0] * len(kids)
-        for i in range(len(kids) - 1, -1, -1):
-            down_vals[i] = 1.0 - par_factor * prefix[i] * suffix
-            suffix *= factors[i]
-        for i, v in enumerate(kids):
-            down[v] = down_vals[i]
+        smax = int(nkids[ns].max())
+        km = kids_mat[ns][:, :smax]
+        par_factor = np.where(
+            plan.has_parent[ns], 1.0 - down[ns] * from_parent[ns], 1.0
+        )
+        valid = km >= 0
+        factors = np.where(valid, 1.0 - up[km] * into_parent[km], 1.0)
+        prefix = np.empty((len(ns), smax + 1))
+        prefix[:, 0] = 1.0
+        for s in range(smax):
+            prefix[:, s + 1] = prefix[:, s] * factors[:, s]
+        suffix = np.ones(len(ns))
+        vals = np.empty((len(ns), smax))
+        for s in range(smax - 1, -1, -1):
+            vals[:, s] = 1.0 - par_factor * prefix[:, s] * suffix
+            suffix = suffix * factors[:, s]
+        down[km[valid]] = vals[valid]
 
     # ------------------------------------------------------------------
-    # ap_B(u) for every node (Equation 7).
+    # ap_B(u) for every node (Equation 7) — all nodes at once; the parent
+    # factor multiplies first, children follow in slot order.
     # ------------------------------------------------------------------
-    for u in range(n):
-        if u in seeds:
-            ap[u] = 1.0
-            continue
-        prod = 1.0
-        if tree.parent[u] >= 0:
-            prod *= 1.0 - down[u] * from_parent[u]
-        for c in tree.children[u]:
-            prod *= 1.0 - up[c] * into_parent[c]
-        ap[u] = 1.0 - prod
+    prod = np.where(plan.has_parent, 1.0 - down * from_parent, 1.0)
+    for s in range(plan.max_kids):
+        c = kids_mat[:, s]
+        prod = prod * np.where(c >= 0, 1.0 - up[c] * into_parent[c], 1.0)
+    ap = np.where(seeds_mask, 1.0, 1.0 - prod)
 
     # ------------------------------------------------------------------
     # Gain up pass: g_B(v \ parent) (Equation 10 restricted to subtrees).
+    # Padded slots add exactly 0.0.
     # ------------------------------------------------------------------
-    def _term(g_val: float, ap_val: float, p_out: float, p_in: float) -> float:
-        """One summand p^B_{u,w} g_B(w\\u) / (1 − ap_B(w\\u) p^B_{w,u})."""
-        if g_val <= 0.0:
-            return 0.0
-        denom = 1.0 - ap_val * p_in
-        if denom <= 1e-15:
-            return 0.0
-        return p_out * g_val / denom
-
-    for v in reversed(order):
-        if v in seeds:
-            gup[v] = 0.0
-            continue
-        total = 1.0
-        for c in tree.children[v]:
-            total += _term(gup[c], up[c], from_parent[c], into_parent[c])
-        gup[v] = (1.0 - up[v]) * total
+    for lvl in reversed(levels):
+        smax = int(nkids[lvl].max())
+        total = np.ones(len(lvl))
+        if smax:
+            km = kids_mat[lvl][:, :smax]
+            for s in range(smax):
+                c = km[:, s]
+                t = np.where(
+                    c >= 0,
+                    _term_vec(gup[c], up[c], from_parent[c], into_parent[c]),
+                    0.0,
+                )
+                total = total + t
+        gup[lvl] = np.where(seeds_mask[lvl], 0.0, (1.0 - up[lvl]) * total)
 
     # ------------------------------------------------------------------
     # Gain down pass: g_B(parent \ v) via prefix/suffix sums.
     # ------------------------------------------------------------------
-    for u in order:
-        kids = tree.children[u]
-        if not kids:
+    for lvl in levels:
+        sub = lvl[nkids[lvl] > 0]
+        if not len(sub):
             continue
-        if u in seeds:
-            for v in kids:
-                gdown[v] = 0.0
+        seed_sub = sub[seeds_mask[sub]]
+        if len(seed_sub):
+            kc = kids_mat[seed_sub]
+            gdown[kc[kc >= 0]] = 0.0
+        ns = sub[~seeds_mask[sub]]
+        if not len(ns):
             continue
-        par_term = 0.0
-        if tree.parent[u] >= 0:
-            par_term = _term(gdown[u], down[u], into_parent[u], from_parent[u])
-        terms = [
-            _term(gup[c], up[c], from_parent[c], into_parent[c]) for c in kids
-        ]
-        prefix_sum = np.empty(len(kids) + 1)
-        prefix_sum[0] = 0.0
-        for i, t in enumerate(terms):
-            prefix_sum[i + 1] = prefix_sum[i] + t
-        suffix_sum = 0.0
-        g_vals = [0.0] * len(kids)
-        for i in range(len(kids) - 1, -1, -1):
-            others = par_term + prefix_sum[i] + suffix_sum
-            g_vals[i] = (1.0 - down[kids[i]]) * (1.0 + others)
-            suffix_sum += terms[i]
-        for i, v in enumerate(kids):
-            gdown[v] = g_vals[i]
+        smax = int(nkids[ns].max())
+        km = kids_mat[ns][:, :smax]
+        par_term = np.where(
+            plan.has_parent[ns],
+            _term_vec(gdown[ns], down[ns], into_parent[ns], from_parent[ns]),
+            0.0,
+        )
+        valid = km >= 0
+        terms = np.where(
+            valid, _term_vec(gup[km], up[km], from_parent[km], into_parent[km]), 0.0
+        )
+        prefix_sum = np.empty((len(ns), smax + 1))
+        prefix_sum[:, 0] = 0.0
+        for s in range(smax):
+            prefix_sum[:, s + 1] = prefix_sum[:, s] + terms[:, s]
+        suffix_sum = np.zeros(len(ns))
+        g_vals = np.empty((len(ns), smax))
+        for s in range(smax - 1, -1, -1):
+            others = par_term + prefix_sum[:, s] + suffix_sum
+            g_vals[:, s] = (1.0 - down[km[:, s]]) * (1.0 + others)
+            suffix_sum = suffix_sum + terms[:, s]
+        gdown[km[valid]] = g_vals[valid]
 
     # ------------------------------------------------------------------
-    # σ_S(B) and σ_S(B ∪ {u}) (Lemma 7).
+    # σ_S(B) and σ_S(B ∪ {u}) (Lemma 7).  Neighbour slots: children in
+    # order, pads (identity 1.0 factors), then the parent — exactly the
+    # children-then-parent order of the scalar loop, so every prefix and
+    # suffix product matches bitwise.
     # ------------------------------------------------------------------
     sigma_val = float(ap.sum())
-    sigma_with = np.full(n, sigma_val)
-    for u in range(n):
-        if u in seeds or u in boost_set:
-            continue
-        # Boosted incoming probabilities (u joins B, so edges *into* u use p').
-        par = int(tree.parent[u])
-        neigh: list[int] = list(tree.children[u]) + ([par] if par >= 0 else [])
-        ap_wu = [up[c] for c in tree.children[u]] + ([down[u]] if par >= 0 else [])
-        # Edge child c -> u is c's "up" edge; edge parent -> u is u's "down" edge.
-        p_in_boosted = [tree.pp_up[c] for c in tree.children[u]] + (
-            [tree.pp_down[u]] if par >= 0 else []
+    s1 = plan.max_kids + 1
+    par_slot = plan.max_kids
+    kvalid = kids_mat >= 0
+
+    ap_wu = np.empty((n, s1))
+    p_in_b = np.empty((n, s1))
+    ap_wu[:, :par_slot] = np.where(kvalid, up[kids_mat], 0.0)
+    p_in_b[:, :par_slot] = np.where(kvalid, tree.pp_up[kids_mat], 0.0)
+    ap_wu[:, par_slot] = down
+    p_in_b[:, par_slot] = tree.pp_down
+
+    slot_valid = np.empty((n, s1), dtype=bool)
+    slot_valid[:, :par_slot] = kvalid
+    slot_valid[:, par_slot] = plan.has_parent
+    factors = np.where(slot_valid, 1.0 - ap_wu * p_in_b, 1.0)
+
+    pref = np.empty((n, s1 + 1))
+    pref[:, 0] = 1.0
+    for s in range(s1):
+        pref[:, s + 1] = pref[:, s] * factors[:, s]
+    sufx = np.empty((n, s1 + 1))
+    sufx[:, s1] = 1.0
+    for s in range(s1 - 1, -1, -1):
+        sufx[:, s] = sufx[:, s + 1] * factors[:, s]
+
+    delta_ap_u = (1.0 - pref[:, s1]) - ap
+
+    # Per-slot quantities of the contribution sum.
+    ap_u_minus_v = np.empty((n, s1))
+    ap_u_minus_v[:, :par_slot] = np.where(kvalid, down[kids_mat], 0.0)
+    ap_u_minus_v[:, par_slot] = up
+    p_uv = np.empty((n, s1))
+    p_uv[:, :par_slot] = np.where(
+        kvalid & boost_mask[kids_mat], tree.pp_down[kids_mat], 0.0
+    ) + np.where(kvalid & ~boost_mask[kids_mat], tree.p_down[kids_mat], 0.0)
+    par_safe = np.where(plan.has_parent, tree.parent, 0)
+    p_uv[:, par_slot] = np.where(
+        boost_mask[par_safe] & plan.has_parent, tree.pp_up, tree.p_up
+    )
+    g_vu = np.empty((n, s1))
+    g_vu[:, :par_slot] = np.where(kvalid, gup[kids_mat], 0.0)
+    g_vu[:, par_slot] = gdown
+
+    total = sigma_val + delta_ap_u
+    for s in range(s1):
+        delta_ap_uv = (1.0 - pref[:, s] * sufx[:, s + 1]) - ap_u_minus_v[:, s]
+        contrib = np.where(
+            slot_valid[:, s] & (delta_ap_uv > 0.0),
+            p_uv[:, s] * delta_ap_uv * g_vu[:, s],
+            0.0,
         )
-        factors = [1.0 - a * pb for a, pb in zip(ap_wu, p_in_boosted)]
-        prod_all = 1.0
-        for f in factors:
-            prod_all *= f
-        delta_ap_u = (1.0 - prod_all) - ap[u]
-
-        # Δap_B(u \ v) for each neighbour via prefix/suffix products.
-        msize = len(neigh)
-        pref = np.empty(msize + 1)
-        pref[0] = 1.0
-        for i, f in enumerate(factors):
-            pref[i + 1] = pref[i] * f
-        sufx = np.empty(msize + 1)
-        sufx[msize] = 1.0
-        for i in range(msize - 1, -1, -1):
-            sufx[i] = sufx[i + 1] * factors[i]
-
-        total = sigma_val + delta_ap_u
-        for i, v in enumerate(neigh):
-            # ap_B(u \ v): "down" value for child v, "up" value when v is parent.
-            ap_u_minus_v = down[v] if v != par else up[u]
-            delta_ap_uv = (1.0 - pref[i] * sufx[i + 1]) - ap_u_minus_v
-            if delta_ap_uv <= 0.0:
-                continue
-            # p^B_{u,v}: out-probability toward v, depends on v's boost status.
-            if v != par:
-                p_uv = tree.pp_down[v] if v in boost_set else tree.p_down[v]
-                g_vu = gup[v]
-            else:
-                p_uv = tree.pp_up[u] if v in boost_set else tree.p_up[u]
-                g_vu = gdown[u]
-            total += p_uv * delta_ap_uv * g_vu
-        sigma_with[u] = total
+        total = total + contrib
+    eligible = ~seeds_mask & ~boost_mask
+    sigma_with = np.where(eligible, total, sigma_val)
 
     return TreeComputation(
         boost=boost_set,

@@ -44,16 +44,16 @@ def greedy_boost(tree: BidirectedTree, k: int) -> GreedyBoostResult:
     boost: set[int] = set()
     sigma_current = sigma_empty
 
+    seeds_arr = tree.plan().seeds_arr
     for _ in range(k):
         state = compute_tree_state(tree, boost)
         sigma_current = state.sigma
         gains = state.sigma_with - sigma_current
         # Seeds and already-boosted nodes have zero gain by construction;
         # mask them anyway for deterministic tie-breaks.
-        for v in tree.seeds:
-            gains[v] = -np.inf
-        for v in boost:
-            gains[v] = -np.inf
+        gains[seeds_arr] = -np.inf
+        if boost:
+            gains[np.fromiter(boost, dtype=np.int64, count=len(boost))] = -np.inf
         best = int(np.argmax(gains))
         if gains[best] <= 1e-15:
             break

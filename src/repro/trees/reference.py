@@ -1,0 +1,1098 @@
+"""Seeded loop oracles for the tree subsystem (pinned, do not optimize).
+
+Like :mod:`repro.engine.reference`, this module preserves the original
+per-node Python-loop implementations exactly as they shipped, so the
+vectorized rewrites in :mod:`repro.trees.dp` / :mod:`repro.trees.exact` /
+:mod:`repro.trees.bidirected` can be checked against them value-for-value:
+
+* :func:`legacy_dp_boost` — the 887-line per-node DP-Boost fill loops,
+* :func:`legacy_compute_tree_state` — the scalar three-step exact
+  computation of Section VI-A,
+* :func:`legacy_reachability_weight` — the DFS path-product sum of
+  Equation 13's denominator.
+
+The rounding machinery (:class:`_Rounding`, :class:`_NodeTable`,
+:func:`_grid`, :func:`_compute_ranges`) and the backtracking routines are
+*shared* with the vectorized path: both fills produce bit-identical
+tables, so one backtrack serves both and selections match exactly.
+
+One deliberate deviation from verbatim: ``legacy_dp_boost`` derives its
+rounding parameter δ from the *shared* :func:`reachability_weight` (the
+vectorized one in :mod:`repro.trees.bidirected`) rather than the DFS loop
+kept here.  The two weights agree mathematically but sum in different
+orders; sharing one δ keeps the legacy and vectorized grids — and hence
+every table value — bit-identical, which is what the parity gates assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .bidirected import BidirectedTree, reachability_weight
+from .exact import TreeComputation, compute_tree_state
+from .greedy import greedy_boost
+
+__all__ = [
+    "DPBoostResult",
+    "legacy_dp_boost",
+    "legacy_compute_tree_state",
+    "legacy_reachability_weight",
+]
+
+NEG_INF = float("-inf")
+
+
+@dataclass
+class DPBoostResult:
+    """Outcome of DP-Boost.
+
+    ``dp_value`` is the rounded objective (a certified lower bound on the
+    achievable boost); ``boost`` is the exact ``Δ_S`` of the returned set,
+    which is always ``>= dp_value`` up to floating error.
+    """
+
+    boost_set: List[int]
+    dp_value: float
+    boost: float
+    delta_param: float
+    table_entries: int
+
+
+def legacy_reachability_weight(tree: BidirectedTree) -> float:
+    """``Σ_u Σ_v p(u → v)`` with all edges boosted — DFS loop version.
+
+    Kept as the oracle for the closed-form two-pass version in
+    :func:`repro.trees.bidirected.reachability_weight`.
+    """
+    n = tree.n
+    # Undirected adjacency with the boosted probability of the directed edge
+    # leaving each node.
+    adj: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    for v in range(n):
+        u = int(tree.parent[v])
+        if u < 0:
+            continue
+        adj[v].append((u, float(tree.pp_up[v])))   # v -> parent
+        adj[u].append((v, float(tree.pp_down[v])))  # parent -> v
+    total = float(n)
+    for start in range(n):
+        stack: List[Tuple[int, int, float]] = [(start, -1, 1.0)]
+        while stack:
+            x, came_from, prod = stack.pop()
+            for y, p_edge in adj[x]:
+                if y == came_from:
+                    continue
+                prod_y = prod * p_edge
+                if prod_y <= 0.0:
+                    continue
+                total += prod_y
+                stack.append((y, x, prod_y))
+    return total
+
+
+class _Rounding:
+    """Down/up rounding to multiples of δ with 1.0 as a special value."""
+
+    __slots__ = ("delta", "one_idx")
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+        self.one_idx = int(math.ceil(1.0 / delta)) + 2
+
+    def down(self, x: float) -> int:
+        if x >= 1.0 - 1e-12:
+            return self.one_idx
+        if x <= 0.0:
+            return 0
+        return int(math.floor(x / self.delta + 1e-9))
+
+    def up(self, x: float) -> int:
+        if x >= 1.0 - 1e-12:
+            return self.one_idx
+        if x <= 0.0:
+            return 0
+        return int(math.ceil(x / self.delta - 1e-9))
+
+    def value(self, idx: int) -> float:
+        if idx == self.one_idx:
+            return 1.0
+        return min(idx * self.delta, 1.0)
+
+
+class _NodeTable:
+    """DP table of one node: value array over (κ, c, f) with index maps."""
+
+    __slots__ = ("c_keys", "f_keys", "c_pos", "f_pos", "values")
+
+    def __init__(self, k: int, c_keys: List[int], f_keys: List[int]) -> None:
+        self.c_keys = c_keys
+        self.f_keys = f_keys
+        self.c_pos = {c: i for i, c in enumerate(c_keys)}
+        self.f_pos = {f: i for i, f in enumerate(f_keys)}
+        self.values = np.full((k + 1, len(c_keys), len(f_keys)), NEG_INF)
+
+
+def _compute_ranges(
+    tree: BidirectedTree, rnd: _Rounding
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reachable rounded ranges for ``c`` and ``f`` per node (refinement)."""
+    n = tree.n
+    c_lo = np.zeros(n, dtype=np.int64)
+    c_hi = np.zeros(n, dtype=np.int64)
+    f_lo = np.zeros(n, dtype=np.int64)
+    f_hi = np.zeros(n, dtype=np.int64)
+
+    for v in reversed(tree.order):
+        if v in tree.seeds:
+            c_lo[v] = c_hi[v] = rnd.one_idx
+        elif not tree.children[v]:
+            c_lo[v] = c_hi[v] = 0
+        else:
+            lo = 1.0
+            hi = 1.0
+            for c in tree.children[v]:
+                lo *= 1.0 - rnd.value(int(c_lo[c])) * tree.p_up[c]
+                hi *= 1.0 - rnd.value(int(c_hi[c])) * tree.pp_up[c]
+            c_lo[v] = rnd.down(1.0 - lo)
+            c_hi[v] = rnd.up(1.0 - hi)
+
+    f_lo[tree.root] = 0
+    f_hi[tree.root] = 0
+    for v in tree.order:
+        kids = tree.children[v]
+        if not kids:
+            continue
+        if v in tree.seeds:
+            for c in kids:
+                f_lo[c] = f_hi[c] = rnd.one_idx
+            continue
+        par_lo = rnd.value(int(f_lo[v])) * tree.p_down[v]
+        par_hi = rnd.value(int(f_hi[v])) * tree.pp_down[v]
+        for i, ci in enumerate(kids):
+            lo = 1.0 - par_lo
+            hi = 1.0 - par_hi
+            for j, cj in enumerate(kids):
+                if j == i:
+                    continue
+                lo *= 1.0 - rnd.value(int(c_lo[cj])) * tree.p_up[cj]
+                hi *= 1.0 - rnd.value(int(c_hi[cj])) * tree.pp_up[cj]
+            f_lo[ci] = rnd.down(1.0 - lo)
+            f_hi[ci] = rnd.up(1.0 - hi)
+    return c_lo, c_hi, f_lo, f_hi
+
+
+def _grid(lo: int, hi: int, rnd: _Rounding, limit: int = 500_000) -> List[int]:
+    if lo == rnd.one_idx:
+        return [rnd.one_idx]
+    if hi == rnd.one_idx:
+        # Activation can reach exactly 1 (p=1 chains); keep the band plus 1.
+        hi_reg = min(int(math.ceil(1.0 / rnd.delta)), lo + limit)
+        return list(range(lo, hi_reg + 1)) + [rnd.one_idx]
+    if hi - lo > limit:
+        raise MemoryError(
+            "DP-Boost grid too fine; increase epsilon (grid width "
+            f"{hi - lo} exceeds {limit})"
+        )
+    return list(range(lo, hi + 1))
+
+
+def legacy_dp_boost(
+    tree: BidirectedTree,
+    k: int,
+    epsilon: float = 0.5,
+    delta_override: Optional[float] = None,
+) -> DPBoostResult:
+    """DP-Boost with the original per-node Python fill loops (the oracle).
+
+    Same contract as :func:`repro.trees.dp.dp_boost`; kept verbatim so
+    every vectorized fill can be checked table-for-table against it.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0.0 < epsilon:
+        raise ValueError("epsilon must be positive")
+
+    base_state = compute_tree_state(tree, frozenset())
+    ap0 = base_state.ap
+
+    if delta_override is not None:
+        delta_param = float(delta_override)
+    else:
+        lb = greedy_boost(tree, k).boost
+        weight = reachability_weight(tree)
+        delta_param = epsilon * max(lb, 1.0) / weight
+        # General fan-out (Appendix B): a node with d children chains d - 1
+        # intermediate roundings, so divide δ by the worst chain length to
+        # keep the total per-node rounding loss within the ε budget.  This
+        # replaces the appendix's per-level δ/(d-2) with one uniform grid —
+        # slightly finer, same (1 − ε) guarantee.
+        d_max = tree.max_children()
+        if d_max > 2:
+            delta_param /= d_max - 1
+    rnd = _Rounding(delta_param)
+
+    c_lo, c_hi, f_lo, f_hi = _compute_ranges(tree, rnd)
+
+    tables: Dict[int, _NodeTable] = {}
+    total_entries = 0
+
+    for v in reversed(tree.order):
+        c_keys = _grid(int(c_lo[v]), int(c_hi[v]), rnd)
+        f_keys = _grid(int(f_lo[v]), int(f_hi[v]), rnd)
+        table = _NodeTable(k, c_keys, f_keys)
+        kids = tree.children[v]
+
+        if not kids:
+            _fill_leaf(tree, v, k, table, rnd, ap0)
+        elif v in tree.seeds:
+            _fill_seed(tree, v, k, table, tables, rnd)
+        else:
+            _fill_internal(tree, v, k, table, tables, rnd, ap0)
+
+        tables[v] = table
+        total_entries += table.values.size
+        # Children tables of v are no longer needed for value computation,
+        # but are kept for backtracking (memory is fine at these sizes).
+
+    return finish_dp(tree, k, tables, rnd, ap0, base_state, delta_param, total_entries)
+
+
+def finish_dp(
+    tree: BidirectedTree,
+    k: int,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    base_state: TreeComputation,
+    delta_param: float,
+    total_entries: int,
+) -> DPBoostResult:
+    """Shared epilogue: root argmax, backtrack, exact re-evaluation.
+
+    Both fill paths produce bit-identical tables, so running one epilogue
+    over either keeps the returned selections identical too.
+    """
+    root_table = tables[tree.root]
+    froot = root_table.f_pos[0] if 0 in root_table.f_pos else 0
+    root_vals = root_table.values[:, :, froot]
+    best_flat = int(np.argmax(root_vals))
+    best_kappa, best_cpos = np.unravel_index(best_flat, root_vals.shape)
+    dp_value = float(root_vals[best_kappa, best_cpos])
+    if dp_value == NEG_INF or dp_value <= 0.0:
+        return DPBoostResult([], max(dp_value, 0.0), 0.0, delta_param, total_entries)
+
+    boost: set[int] = set()
+    _backtrack(
+        tree,
+        tree.root,
+        int(best_kappa),
+        root_table.c_keys[best_cpos],
+        root_table.f_keys[froot],
+        tables,
+        rnd,
+        ap0,
+        k,
+        boost,
+    )
+    exact = compute_tree_state(tree, boost).sigma - base_state.sigma
+    return DPBoostResult(sorted(boost), dp_value, float(exact), delta_param, total_entries)
+
+
+# ----------------------------------------------------------------------
+# Table fills
+# ----------------------------------------------------------------------
+def _leaf_value(
+    tree: BidirectedTree, v: int, b: int, cval: float, fval: float, ap0: np.ndarray
+) -> float:
+    p_in = tree.pp_down[v] if b else tree.p_down[v]
+    return max(1.0 - (1.0 - cval) * (1.0 - fval * p_in) - float(ap0[v]), 0.0)
+
+
+def _fill_leaf(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    cval = 1.0 if v in tree.seeds else 0.0
+    c_pos = 0  # leaf c grid is a single value by construction
+    for fi, f_key in enumerate(table.f_keys):
+        fval = rnd.value(f_key)
+        v0 = _leaf_value(tree, v, 0, cval, fval, ap0)
+        v1 = _leaf_value(tree, v, 1, cval, fval, ap0)
+        table.values[0, c_pos, fi] = v0
+        for kappa in range(1, k + 1):
+            table.values[kappa, c_pos, fi] = max(v0, v1)
+
+
+def _child_best_for_seed_parent(
+    child_table: _NodeTable, rnd: _Rounding, k: int
+) -> np.ndarray:
+    """``max_c g'(child, κ, c, f=1)`` per κ (children of seeds see f = 1)."""
+    fpos = child_table.f_pos.get(rnd.one_idx)
+    if fpos is None:
+        return np.full(k + 1, NEG_INF)
+    return child_table.values[:, :, fpos].max(axis=1)
+
+
+def _fill_seed(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+) -> None:
+    kids = tree.children[v]
+    best = [_child_best_for_seed_parent(tables[c], rnd, k) for c in kids]
+    # Fold children with a max-plus convolution over the budget (any
+    # fan-out): combined[t] = max over splits of the per-child bests.
+    combined = best[0].copy()
+    for nxt in best[1:]:
+        folded = np.full(k + 1, NEG_INF)
+        for k1 in range(k + 1):
+            if combined[k1] == NEG_INF:
+                continue
+            for k2 in range(k + 1 - k1):
+                if nxt[k2] == NEG_INF:
+                    continue
+                s = combined[k1] + nxt[k2]
+                if s > folded[k1 + k2]:
+                    folded[k1 + k2] = s
+        combined = folded
+    # Budget monotonicity: allow leaving budget unused.
+    for kappa in range(1, k + 1):
+        combined[kappa] = max(combined[kappa], combined[kappa - 1])
+    c_pos = table.c_pos[rnd.one_idx]
+    for fi in range(len(table.f_keys)):
+        table.values[:, c_pos, fi] = combined
+
+
+def _fill_internal(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    kids = tree.children[v]
+    if len(kids) == 1:
+        _fill_internal_one(tree, v, k, table, tables[kids[0]], kids[0], rnd, ap0)
+    elif len(kids) == 2:
+        _fill_internal_two(tree, v, k, table, tables, rnd, ap0)
+    else:
+        _fill_internal_general(tree, v, k, table, tables, rnd, ap0)
+
+
+def _fill_internal_one(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    child_table: _NodeTable,
+    child: int,
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    c1_vals = np.array([rnd.value(c) for c in child_table.c_keys])
+    for b in (0, 1):
+        p_up_child = tree.pp_up[child] if b else tree.p_up[child]
+        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
+        # Own rounded c per child c choice (independent of f).
+        own_c = [rnd.down(val * p_up_child) for val in c1_vals]
+        own_c = [min(max(c, table.c_keys[0]), table.c_keys[-1]) for c in own_c]
+        own_c_pos = np.array([table.c_pos[c] for c in own_c])
+        own_c_val = np.array([rnd.value(c) for c in own_c])
+        for fi, f_key in enumerate(table.f_keys):
+            fval = rnd.value(f_key)
+            parent_miss = 1.0 - fval * p_down_v
+            f1 = rnd.down(1.0 - parent_miss)
+            f1 = min(max(f1, child_table.f_keys[0]), child_table.f_keys[-1])
+            f1_pos = child_table.f_pos.get(f1)
+            if f1_pos is None:
+                continue
+            child_vals = child_table.values[:, :, f1_pos]  # (k+1, C1)
+            boost_terms = np.maximum(
+                1.0 - (1.0 - own_c_val) * parent_miss - float(ap0[v]), 0.0
+            )
+            for kappa1 in range(k + 1 - b):
+                kappa = kappa1 + b
+                row = child_vals[kappa1]
+                finite = row > NEG_INF
+                if not finite.any():
+                    continue
+                totals = row + boost_terms
+                for idx in np.nonzero(finite)[0]:
+                    pos = own_c_pos[idx]
+                    if totals[idx] > table.values[kappa, pos, fi]:
+                        table.values[kappa, pos, fi] = totals[idx]
+
+
+def _fill_internal_two(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    c1, c2 = tree.children[v]
+    t1, t2 = tables[c1], tables[c2]
+    v1_vals = np.array([rnd.value(c) for c in t1.c_keys])
+    v2_vals = np.array([rnd.value(c) for c in t2.c_keys])
+    n1, n2 = len(t1.c_keys), len(t2.c_keys)
+
+    for b in (0, 1):
+        pb1 = tree.pp_up[c1] if b else tree.p_up[c1]
+        pb2 = tree.pp_up[c2] if b else tree.p_up[c2]
+        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
+
+        # Own c depends on (c1, c2) only.
+        miss1 = 1.0 - v1_vals * pb1  # (n1,)
+        miss2 = 1.0 - v2_vals * pb2  # (n2,)
+        own_val_mat = 1.0 - np.outer(miss1, miss2)  # (n1, n2)
+        own_key_mat = np.empty((n1, n2), dtype=np.int64)
+        for i in range(n1):
+            for j in range(n2):
+                key = rnd.down(own_val_mat[i, j])
+                own_key_mat[i, j] = min(max(key, table.c_keys[0]), table.c_keys[-1])
+
+        for fi, f_key in enumerate(table.f_keys):
+            fval = rnd.value(f_key)
+            parent_miss = 1.0 - fval * p_down_v
+
+            # Child-facing f values: f_vi combines the parent side and the
+            # *other* child.
+            f1_req = [
+                rnd.down(1.0 - parent_miss * miss2[j]) for j in range(n2)
+            ]
+            f2_req = [
+                rnd.down(1.0 - parent_miss * miss1[i]) for i in range(n1)
+            ]
+            f1_pos = np.array(
+                [
+                    t1.f_pos.get(min(max(f, t1.f_keys[0]), t1.f_keys[-1]), -1)
+                    for f in f1_req
+                ]
+            )
+            f2_pos = np.array(
+                [
+                    t2.f_pos.get(min(max(f, t2.f_keys[0]), t2.f_keys[-1]), -1)
+                    for f in f2_req
+                ]
+            )
+            if (f1_pos < 0).all() or (f2_pos < 0).all():
+                continue
+
+            # A1[κ1, i, j] = g'(c1, κ1, c_i, f1(j)); A2[κ2, i, j] likewise.
+            A1 = t1.values[:, :, np.clip(f1_pos, 0, None)]  # (k+1, n1, n2)
+            A1 = np.where(f1_pos[None, None, :] >= 0, A1, NEG_INF)
+            A2 = t2.values[:, :, np.clip(f2_pos, 0, None)]  # (k+1, n2, n1)
+            A2 = np.where(f2_pos[None, None, :] >= 0, A2, NEG_INF)
+            A2 = A2.transpose(0, 2, 1)  # -> (k+1, n1, n2)
+
+            # Max-plus combine over κ1 + κ2 = t.
+            V = np.full((k + 1, n1, n2), NEG_INF)
+            for t in range(k + 1 - b):
+                for k1 in range(t + 1):
+                    cand = A1[k1] + A2[t - k1]
+                    np.maximum(V[t], cand, out=V[t])
+
+            own_cvals = np.where(
+                own_key_mat == rnd.one_idx, 1.0, own_key_mat * rnd.delta
+            )
+            boost_mat = np.maximum(
+                1.0 - (1.0 - own_cvals) * parent_miss - float(ap0[v]), 0.0
+            )
+
+            for t in range(k + 1 - b):
+                total = V[t] + boost_mat
+                kappa = t + b
+                finite = V[t] > NEG_INF
+                if not finite.any():
+                    continue
+                idx_i, idx_j = np.nonzero(finite)
+                for i, j in zip(idx_i, idx_j):
+                    pos = table.c_pos[int(own_key_mat[i, j])]
+                    if total[i, j] > table.values[kappa, pos, fi]:
+                        table.values[kappa, pos, fi] = total[i, j]
+
+
+# ----------------------------------------------------------------------
+# General fan-out (Appendix B): sequential child combination
+# ----------------------------------------------------------------------
+def _clamp_key(key: int, keys: List[int]) -> int:
+    """Clamp a derived rounded key into a grid (monotone grids, ONE last)."""
+    if key <= keys[0]:
+        return keys[0]
+    if key >= keys[-1]:
+        return keys[-1]
+    return key
+
+
+def _general_levels(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    b: int,
+    f_keys: List[int],
+):
+    """Helper tables ``h(b, i, κ, x_i, z_i)`` of the appendix's Algorithm 7.
+
+    Children are combined left to right.  ``x_i`` is the rounded probability
+    that ``v`` is activated by its first ``i`` subtrees; ``z_i`` is the
+    suffix linkage value (``z_d`` is ``v``'s own ``f`` key, and for ``i<d``
+    ``z_i = y_i``, the rounded probability that ``v`` is activated by the
+    parent side plus children ``i+1..d``).  Each level is a dict
+    ``z_key -> {(κ, x_key): (value, choice)}`` with
+    ``choice = (κ_i, c_key_i, f_key_vi, prev_key, z_prev)`` for backtracking.
+    """
+    kids = tree.children[v]
+    d = len(kids)
+    pb = [
+        (tree.pp_up[c] if b else tree.p_up[c]) for c in kids
+    ]
+    pb_uv = tree.pp_down[v] if b else tree.p_down[v]
+
+    # y-range per level (suffix activation band), computed right to left.
+    y_lo = [0.0] * (d + 1)
+    y_hi = [0.0] * (d + 1)
+    y_lo[d] = rnd.value(f_keys[0]) * tree.p_down[v]
+    y_hi[d] = rnd.value(f_keys[-1]) * tree.pp_down[v]
+    for i in range(d - 1, 0, -1):
+        child = kids[i]  # child i+1 in 1-based terms
+        ct = tables[child]
+        c_lo_val = rnd.value(ct.c_keys[0])
+        c_hi_val = rnd.value(ct.c_keys[-1])
+        y_lo[i] = 1.0 - (1.0 - y_lo[i + 1]) * (1.0 - c_lo_val * tree.p_up[child])
+        y_hi[i] = 1.0 - (1.0 - y_hi[i + 1]) * (1.0 - c_hi_val * tree.pp_up[child])
+
+    def z_grid(i: int) -> List[int]:
+        if i == d:
+            return f_keys
+        return _grid(rnd.down(y_lo[i]), rnd.up(y_hi[i]), rnd)
+
+    grids = {i: z_grid(i) for i in range(1, d + 1)}
+
+    # Level 1.
+    levels: List[Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]]] = []
+    child = kids[0]
+    ct = tables[child]
+    level1: Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]] = {}
+    for z1 in grids[1]:
+        y1 = rnd.value(z1) * pb_uv if d == 1 else rnd.value(z1)
+        f_v1 = _clamp_key(rnd.down(y1), ct.f_keys)
+        f_pos = ct.f_pos[f_v1]
+        bucket = level1.setdefault(z1, {})
+        for ci, c_key in enumerate(ct.c_keys):
+            x1 = rnd.down(rnd.value(c_key) * pb[0])
+            for kappa1 in range(k + 1 - b):
+                val = ct.values[kappa1, ci, f_pos]
+                if val == NEG_INF:
+                    continue
+                state = (kappa1 + b, x1)
+                prev = bucket.get(state)
+                if prev is None or val > prev[0]:
+                    bucket[state] = (
+                        val,
+                        (kappa1, c_key, f_v1, None, None),
+                    )
+    levels.append(level1)
+
+    # Levels 2..d.
+    for i in range(2, d + 1):
+        child = kids[i - 1]
+        ct = tables[child]
+        level_i: Dict[int, Dict[Tuple[int, int], Tuple[float, tuple]]] = {}
+        prev_level = levels[-1]
+        for z_i in grids[i]:
+            y_i = rnd.value(z_i) * pb_uv if i == d else rnd.value(z_i)
+            bucket = level_i.setdefault(z_i, {})
+            for ci, c_key in enumerate(ct.c_keys):
+                c_val = rnd.value(c_key)
+                miss = 1.0 - c_val * pb[i - 1]
+                z_prev = _clamp_key(
+                    rnd.down(1.0 - (1.0 - y_i) * miss), grids[i - 1]
+                )
+                prev_bucket = prev_level.get(z_prev)
+                if not prev_bucket:
+                    continue
+                for (kappa_prev, x_prev), (val_prev, _choice) in prev_bucket.items():
+                    x_prev_val = rnd.value(x_prev)
+                    f_vi = _clamp_key(
+                        rnd.down(1.0 - (1.0 - x_prev_val) * (1.0 - y_i)),
+                        ct.f_keys,
+                    )
+                    f_pos = ct.f_pos[f_vi]
+                    x_i = rnd.down(1.0 - (1.0 - x_prev_val) * miss)
+                    for kappa_i in range(k + 1 - kappa_prev):
+                        val = ct.values[kappa_i, ci, f_pos]
+                        if val == NEG_INF:
+                            continue
+                        state = (kappa_prev + kappa_i, x_i)
+                        total = val_prev + val
+                        existing = bucket.get(state)
+                        if existing is None or total > existing[0]:
+                            bucket[state] = (
+                                total,
+                                (kappa_i, c_key, f_vi, (kappa_prev, x_prev), z_prev),
+                            )
+        levels.append(level_i)
+    return levels
+
+
+def _fill_internal_general(
+    tree: BidirectedTree,
+    v: int,
+    k: int,
+    table: _NodeTable,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+) -> None:
+    for b in (0, 1):
+        pb_uv = tree.pp_down[v] if b else tree.p_down[v]
+        levels = _general_levels(tree, v, k, tables, rnd, b, table.f_keys)
+        final = levels[-1]
+        for fi, f_key in enumerate(table.f_keys):
+            fval = rnd.value(f_key)
+            parent_miss = 1.0 - fval * pb_uv
+            bucket = final.get(f_key, {})
+            for (kappa, x_d), (val, _choice) in bucket.items():
+                c_key = _clamp_key(x_d, table.c_keys)
+                c_pos = table.c_pos[c_key]
+                boost_term = max(
+                    1.0 - (1.0 - rnd.value(c_key)) * parent_miss - float(ap0[v]),
+                    0.0,
+                )
+                total = val + boost_term
+                if total > table.values[kappa, c_pos, fi]:
+                    table.values[kappa, c_pos, fi] = total
+
+
+def _backtrack_general(
+    tree: BidirectedTree,
+    v: int,
+    kappa: int,
+    c_key: int,
+    f_key: int,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    k: int,
+    boost: set,
+    target: float,
+) -> bool:
+    """Recover the choice achieving ``target`` at a general fan-out node."""
+    table = tables[v]
+    kids = tree.children[v]
+    for b in (0, 1):
+        if b > kappa:
+            continue
+        pb_uv = tree.pp_down[v] if b else tree.p_down[v]
+        parent_miss = 1.0 - rnd.value(f_key) * pb_uv
+        levels = _general_levels(tree, v, k, tables, rnd, b, table.f_keys)
+        bucket = levels[-1].get(f_key, {})
+        for (kap, x_d), (val, _choice) in bucket.items():
+            if kap != kappa or _clamp_key(x_d, table.c_keys) != c_key:
+                continue
+            boost_term = max(
+                1.0 - (1.0 - rnd.value(c_key)) * parent_miss - float(ap0[v]), 0.0
+            )
+            if abs(val + boost_term - target) > 1e-9:
+                continue
+            # Walk the levels back, recursing into each child.
+            if b:
+                boost.add(v)
+            state = (kap, x_d)
+            z = f_key
+            for i in range(len(kids), 0, -1):
+                entry = levels[i - 1][z][state]
+                _val, (kappa_i, c_key_i, f_key_vi, prev_state, z_prev) = entry
+                _backtrack(
+                    tree,
+                    kids[i - 1],
+                    kappa_i,
+                    c_key_i,
+                    f_key_vi,
+                    tables,
+                    rnd,
+                    ap0,
+                    k,
+                    boost,
+                )
+                if prev_state is None:
+                    break
+                state = prev_state
+                z = z_prev
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Backtracking
+# ----------------------------------------------------------------------
+def _backtrack(
+    tree: BidirectedTree,
+    v: int,
+    kappa: int,
+    c_key: int,
+    f_key: int,
+    tables: Dict[int, _NodeTable],
+    rnd: _Rounding,
+    ap0: np.ndarray,
+    k: int,
+    boost: set,
+) -> None:
+    table = tables[v]
+    target = table.values[kappa, table.c_pos[c_key], table.f_pos[f_key]]
+    if target == NEG_INF:
+        return
+    kids = tree.children[v]
+    fval = rnd.value(f_key)
+
+    if not kids:
+        cval = 1.0 if v in tree.seeds else 0.0
+        if kappa > 0:
+            v0 = _leaf_value(tree, v, 0, cval, fval, ap0)
+            v1 = _leaf_value(tree, v, 1, cval, fval, ap0)
+            if v1 > v0 + 1e-12:
+                boost.add(v)
+        return
+
+    if v in tree.seeds:
+        best = [_child_best_for_seed_parent(tables[c], rnd, k) for c in kids]
+        best_sum = NEG_INF
+        best_split = None
+        # The fill step allowed unused budget, so consider all totals <= κ.
+        for total in range(kappa + 1):
+            for split in _budget_splits(total, len(kids)):
+                s = sum(best[i][split[i]] for i in range(len(kids)))
+                if s > best_sum:
+                    best_sum = s
+                    best_split = split
+        if best_split is None:
+            return
+        for i, child in enumerate(kids):
+            ct = tables[child]
+            fpos = ct.f_pos.get(rnd.one_idx)
+            if fpos is None:
+                continue
+            col = ct.values[best_split[i], :, fpos]
+            cpos = int(np.argmax(col))
+            if col[cpos] == NEG_INF:
+                continue
+            _backtrack(
+                tree, child, best_split[i], ct.c_keys[cpos], rnd.one_idx,
+                tables, rnd, ap0, k, boost,
+            )
+        return
+
+    if len(kids) >= 3:
+        _backtrack_general(
+            tree, v, kappa, c_key, f_key, tables, rnd, ap0, k, boost, target
+        )
+        return
+
+    # Non-seed internal node: re-enumerate combos to find one achieving target.
+    for b in (0, 1):
+        if b > kappa:
+            continue
+        p_down_v = tree.pp_down[v] if b else tree.p_down[v]
+        parent_miss = 1.0 - fval * p_down_v
+        if len(kids) == 1:
+            child = kids[0]
+            ct = tables[child]
+            pb1 = tree.pp_up[child] if b else tree.p_up[child]
+            f1 = rnd.down(1.0 - parent_miss)
+            f1 = min(max(f1, ct.f_keys[0]), ct.f_keys[-1])
+            f1p = ct.f_pos.get(f1)
+            if f1p is None:
+                continue
+            for ci, ckey in enumerate(ct.c_keys):
+                own = rnd.down(rnd.value(ckey) * pb1)
+                own = min(max(own, tables[v].c_keys[0]), tables[v].c_keys[-1])
+                if own != c_key:
+                    continue
+                child_val = ct.values[kappa - b, ci, f1p]
+                if child_val == NEG_INF:
+                    continue
+                bt = max(
+                    1.0 - (1.0 - rnd.value(own)) * parent_miss - float(ap0[v]), 0.0
+                )
+                if abs(child_val + bt - target) < 1e-9:
+                    if b:
+                        boost.add(v)
+                    _backtrack(
+                        tree, child, kappa - b, ckey, ct.f_keys[f1p],
+                        tables, rnd, ap0, k, boost,
+                    )
+                    return
+        else:
+            ch1, ch2 = kids
+            t1, t2 = tables[ch1], tables[ch2]
+            pb1 = tree.pp_up[ch1] if b else tree.p_up[ch1]
+            pb2 = tree.pp_up[ch2] if b else tree.p_up[ch2]
+            for i, ck1 in enumerate(t1.c_keys):
+                m1 = 1.0 - rnd.value(ck1) * pb1
+                f2 = rnd.down(1.0 - parent_miss * m1)
+                f2 = min(max(f2, t2.f_keys[0]), t2.f_keys[-1])
+                f2p = t2.f_pos.get(f2)
+                if f2p is None:
+                    continue
+                for j, ck2 in enumerate(t2.c_keys):
+                    m2 = 1.0 - rnd.value(ck2) * pb2
+                    own = rnd.down(1.0 - m1 * m2)
+                    own = min(max(own, tables[v].c_keys[0]), tables[v].c_keys[-1])
+                    if own != c_key:
+                        continue
+                    f1 = rnd.down(1.0 - parent_miss * m2)
+                    f1 = min(max(f1, t1.f_keys[0]), t1.f_keys[-1])
+                    f1p = t1.f_pos.get(f1)
+                    if f1p is None:
+                        continue
+                    bt = max(
+                        1.0 - (1.0 - rnd.value(own)) * parent_miss - float(ap0[v]),
+                        0.0,
+                    )
+                    for k1 in range(kappa - b + 1):
+                        k2 = kappa - b - k1
+                        val1 = t1.values[k1, i, f1p]
+                        val2 = t2.values[k2, j, f2p]
+                        if val1 == NEG_INF or val2 == NEG_INF:
+                            continue
+                        if abs(val1 + val2 + bt - target) < 1e-9:
+                            if b:
+                                boost.add(v)
+                            _backtrack(
+                                tree, ch1, k1, ck1, t1.f_keys[f1p],
+                                tables, rnd, ap0, k, boost,
+                            )
+                            _backtrack(
+                                tree, ch2, k2, ck2, t2.f_keys[f2p],
+                                tables, rnd, ap0, k, boost,
+                            )
+                            return
+
+
+def _budget_splits(total: int, parts: int):
+    """All ways to split ``total`` into ``parts`` non-negative integers."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _budget_splits(total - first, parts - 1):
+            yield (first,) + rest
+
+
+# ----------------------------------------------------------------------
+# Exact computation (Section VI-A) — scalar loop oracle
+# ----------------------------------------------------------------------
+def _legacy_probs_into(tree, boost):
+    """Per-node incoming edge probabilities given ``B`` (loop version)."""
+    n = tree.n
+    from_parent = np.empty(n)
+    into_parent = np.empty(n)
+    for v in range(n):
+        boosted_v = v in boost
+        from_parent[v] = tree.pp_down[v] if boosted_v else tree.p_down[v]
+        par = int(tree.parent[v])
+        boosted_par = par in boost if par >= 0 else False
+        into_parent[v] = tree.pp_up[v] if boosted_par else tree.p_up[v]
+    return from_parent, into_parent
+
+
+def legacy_compute_tree_state(tree: BidirectedTree, boost) -> TreeComputation:
+    """The original scalar three-step computation (oracle for ``exact``)."""
+    boost_set = frozenset(int(b) for b in boost)
+    n = tree.n
+    seeds = tree.seeds
+    from_parent, into_parent = _legacy_probs_into(tree, boost_set)
+
+    up = np.zeros(n)
+    down = np.zeros(n)
+    ap = np.zeros(n)
+    gup = np.zeros(n)
+    gdown = np.zeros(n)
+
+    order = tree.order  # parents before children
+
+    # ------------------------------------------------------------------
+    # Up pass: ap_B(v \ parent) over subtrees, leaves first.
+    # ------------------------------------------------------------------
+    for v in reversed(order):
+        if v in seeds:
+            up[v] = 1.0
+            continue
+        prod = 1.0
+        for c in tree.children[v]:
+            prod *= 1.0 - up[c] * into_parent[c]
+        up[v] = 1.0 - prod
+
+    # ------------------------------------------------------------------
+    # Down pass: ap_B(parent \ v) via prefix/suffix products (Equation 8
+    # without the division of Equation 9).
+    # ------------------------------------------------------------------
+    for u in order:
+        kids = tree.children[u]
+        if not kids:
+            continue
+        if u in seeds:
+            for v in kids:
+                down[v] = 1.0
+            continue
+        par_factor = 1.0
+        if tree.parent[u] >= 0:
+            par_factor = 1.0 - down[u] * from_parent[u]
+        factors = [1.0 - up[c] * into_parent[c] for c in kids]
+        prefix = np.empty(len(kids) + 1)
+        prefix[0] = 1.0
+        for i, f in enumerate(factors):
+            prefix[i + 1] = prefix[i] * f
+        suffix = 1.0
+        # iterate right-to-left so suffix excludes the current child
+        down_vals = [0.0] * len(kids)
+        for i in range(len(kids) - 1, -1, -1):
+            down_vals[i] = 1.0 - par_factor * prefix[i] * suffix
+            suffix *= factors[i]
+        for i, v in enumerate(kids):
+            down[v] = down_vals[i]
+
+    # ------------------------------------------------------------------
+    # ap_B(u) for every node (Equation 7).
+    # ------------------------------------------------------------------
+    for u in range(n):
+        if u in seeds:
+            ap[u] = 1.0
+            continue
+        prod = 1.0
+        if tree.parent[u] >= 0:
+            prod *= 1.0 - down[u] * from_parent[u]
+        for c in tree.children[u]:
+            prod *= 1.0 - up[c] * into_parent[c]
+        ap[u] = 1.0 - prod
+
+    # ------------------------------------------------------------------
+    # Gain up pass: g_B(v \ parent) (Equation 10 restricted to subtrees).
+    # ------------------------------------------------------------------
+    def _term(g_val: float, ap_val: float, p_out: float, p_in: float) -> float:
+        """One summand p^B_{u,w} g_B(w\\u) / (1 − ap_B(w\\u) p^B_{w,u})."""
+        if g_val <= 0.0:
+            return 0.0
+        denom = 1.0 - ap_val * p_in
+        if denom <= 1e-15:
+            return 0.0
+        return p_out * g_val / denom
+
+    for v in reversed(order):
+        if v in seeds:
+            gup[v] = 0.0
+            continue
+        total = 1.0
+        for c in tree.children[v]:
+            total += _term(gup[c], up[c], from_parent[c], into_parent[c])
+        gup[v] = (1.0 - up[v]) * total
+
+    # ------------------------------------------------------------------
+    # Gain down pass: g_B(parent \ v) via prefix/suffix sums.
+    # ------------------------------------------------------------------
+    for u in order:
+        kids = tree.children[u]
+        if not kids:
+            continue
+        if u in seeds:
+            for v in kids:
+                gdown[v] = 0.0
+            continue
+        par_term = 0.0
+        if tree.parent[u] >= 0:
+            par_term = _term(gdown[u], down[u], into_parent[u], from_parent[u])
+        terms = [
+            _term(gup[c], up[c], from_parent[c], into_parent[c]) for c in kids
+        ]
+        prefix_sum = np.empty(len(kids) + 1)
+        prefix_sum[0] = 0.0
+        for i, t in enumerate(terms):
+            prefix_sum[i + 1] = prefix_sum[i] + t
+        suffix_sum = 0.0
+        g_vals = [0.0] * len(kids)
+        for i in range(len(kids) - 1, -1, -1):
+            others = par_term + prefix_sum[i] + suffix_sum
+            g_vals[i] = (1.0 - down[kids[i]]) * (1.0 + others)
+            suffix_sum += terms[i]
+        for i, v in enumerate(kids):
+            gdown[v] = g_vals[i]
+
+    # ------------------------------------------------------------------
+    # σ_S(B) and σ_S(B ∪ {u}) (Lemma 7).
+    # ------------------------------------------------------------------
+    sigma_val = float(ap.sum())
+    sigma_with = np.full(n, sigma_val)
+    for u in range(n):
+        if u in seeds or u in boost_set:
+            continue
+        # Boosted incoming probabilities (u joins B, so edges *into* u use p').
+        par = int(tree.parent[u])
+        neigh: list[int] = list(tree.children[u]) + ([par] if par >= 0 else [])
+        ap_wu = [up[c] for c in tree.children[u]] + ([down[u]] if par >= 0 else [])
+        # Edge child c -> u is c's "up" edge; edge parent -> u is u's "down" edge.
+        p_in_boosted = [tree.pp_up[c] for c in tree.children[u]] + (
+            [tree.pp_down[u]] if par >= 0 else []
+        )
+        factors = [1.0 - a * pb for a, pb in zip(ap_wu, p_in_boosted)]
+        prod_all = 1.0
+        for f in factors:
+            prod_all *= f
+        delta_ap_u = (1.0 - prod_all) - ap[u]
+
+        # Δap_B(u \ v) for each neighbour via prefix/suffix products.
+        msize = len(neigh)
+        pref = np.empty(msize + 1)
+        pref[0] = 1.0
+        for i, f in enumerate(factors):
+            pref[i + 1] = pref[i] * f
+        sufx = np.empty(msize + 1)
+        sufx[msize] = 1.0
+        for i in range(msize - 1, -1, -1):
+            sufx[i] = sufx[i + 1] * factors[i]
+
+        total = sigma_val + delta_ap_u
+        for i, v in enumerate(neigh):
+            # ap_B(u \ v): "down" value for child v, "up" value when v is parent.
+            ap_u_minus_v = down[v] if v != par else up[u]
+            delta_ap_uv = (1.0 - pref[i] * sufx[i + 1]) - ap_u_minus_v
+            if delta_ap_uv <= 0.0:
+                continue
+            # p^B_{u,v}: out-probability toward v, depends on v's boost status.
+            if v != par:
+                p_uv = tree.pp_down[v] if v in boost_set else tree.p_down[v]
+                g_vu = gup[v]
+            else:
+                p_uv = tree.pp_up[u] if v in boost_set else tree.p_up[u]
+                g_vu = gdown[u]
+            total += p_uv * delta_ap_uv * g_vu
+        sigma_with[u] = total
+
+    return TreeComputation(
+        boost=boost_set,
+        ap=ap,
+        up=up,
+        down=down,
+        gup=gup,
+        gdown=gdown,
+        sigma=sigma_val,
+        sigma_with=sigma_with,
+    )

@@ -368,3 +368,169 @@ class TestLifecycle:
         from repro.core import parallel
 
         assert not parallel.runtime_is_alive(graph)
+
+class TestTreeQueries:
+    """TreeQuery routing: envelope, cache, admission, legacy dispatch."""
+
+    @pytest.fixture(scope="class")
+    def tree_graph(self):
+        from repro.experiments.trees_exp import make_tree_workload
+
+        tree = make_tree_workload(63, 5, np.random.default_rng(0))
+        return tree.to_digraph(), sorted(tree.seeds)
+
+    def test_registered(self):
+        names = algorithm_names()
+        assert "tree_dp" in names
+        assert "tree_greedy" in names
+        assert "ppr" in names
+
+    def test_round_trip(self):
+        from repro.api import TreeQuery
+
+        q = TreeQuery(seeds=(4, 2), k=3, root=1, algorithm="tree_greedy",
+                      rng_seed=7, params={"method": "legacy"})
+        clone = query_from_dict(json.loads(json.dumps(q.to_dict())))
+        assert clone == q
+        assert q.seeds == (2, 4)
+
+    def test_validation(self):
+        from repro.api import TreeQuery
+
+        with pytest.raises(ValueError):
+            TreeQuery(seeds=(), k=1)
+        with pytest.raises(ValueError):
+            TreeQuery(seeds=(0,), k=0)
+        with pytest.raises(ValueError):
+            TreeQuery(seeds=(0,), k=1, root=-2)
+
+    def test_envelope_and_cache(self, tree_graph):
+        from repro.api import ResultCache, TreeQuery
+
+        graph, seeds = tree_graph
+        cache = ResultCache()
+        with Session(graph, cache=cache) as session:
+            q = TreeQuery(seeds=seeds, k=4, rng_seed=11)
+            first = session.run(q)
+            again = session.run(q)
+        assert again is first  # rng-pinned deterministic query hits the cache
+        assert cache.hits == 1
+        assert first.selected and len(first.selected) <= 4
+        assert first.estimates["boost"] >= first.estimates["dp_value"] - 1e-9
+        assert first.extra["table_entries"] > 0
+        assert first.fingerprint
+        json.dumps(first.to_dict())  # envelope serializes
+
+    def test_greedy_matches_dp_selection_quality(self, tree_graph):
+        from repro.api import TreeQuery
+
+        graph, seeds = tree_graph
+        with Session(graph) as session:
+            dp = session.run(TreeQuery(seeds=seeds, k=4, rng_seed=1))
+            greedy = session.run(
+                TreeQuery(seeds=seeds, k=4, algorithm="tree_greedy", rng_seed=1)
+            )
+        assert greedy.estimates["boost"] >= dp.estimates["boost"] * 0.95
+
+    def test_legacy_method_param(self, tree_graph):
+        from repro.api import TreeQuery
+
+        graph, seeds = tree_graph
+        with Session(graph) as session:
+            vec = session.run(TreeQuery(seeds=seeds, k=3, rng_seed=2))
+            legacy = session.run(
+                TreeQuery(seeds=seeds, k=3, rng_seed=2,
+                          params={"method": "legacy"})
+            )
+        assert legacy.selected == vec.selected
+        assert legacy.estimates == vec.estimates
+        # different params -> different semantic identity
+        assert legacy.fingerprint != vec.fingerprint
+
+    def test_admission_pricing(self, tree_graph):
+        from repro.api import TreeQuery, estimate_cost
+
+        graph, seeds = tree_graph
+        with Session(graph) as session:
+            dp_cost = estimate_cost(
+                session,
+                TreeQuery(seeds=seeds, k=4,
+                          budget=SamplingBudget(epsilon=0.2)),
+            )
+            greedy_cost = estimate_cost(
+                session,
+                TreeQuery(seeds=seeds, k=4, algorithm="tree_greedy"),
+            )
+        assert dp_cost.samples == 0 and greedy_cost.samples == 0
+        # DP tables scale with (1/eps)^2; greedy has a small constant.
+        assert dp_cost.units > greedy_cost.units
+        n, k = graph.n, 4
+        assert dp_cost.units == pytest.approx(n * (k + 1) * 25.0)
+        assert greedy_cost.units == pytest.approx(n * (k + 1) * 4.0)
+
+    def test_admission_rejects_fine_epsilon(self, tree_graph):
+        from repro.api import AdmissionPolicy, AdmissionRejected, TreeQuery
+
+        graph, seeds = tree_graph
+        policy = AdmissionPolicy(reject_units=graph.n * 5 * 10.0)
+        with Session(graph, admission=policy) as session:
+            with pytest.raises(AdmissionRejected):
+                session.run(
+                    TreeQuery(seeds=seeds, k=4,
+                              budget=SamplingBudget(epsilon=0.01))
+                )
+            # coarse epsilon fits under the same policy
+            ok = session.run(
+                TreeQuery(seeds=seeds, k=4,
+                          budget=SamplingBudget(epsilon=1.0))
+            )
+            assert ok.selected
+
+    def test_non_tree_graph_rejected(self, graph):
+        from repro.api import TreeQuery
+
+        with Session(graph) as session:
+            with pytest.raises(ValueError):
+                session.run(TreeQuery(seeds=(0, 1), k=2))
+
+    def test_run_many_overlap(self, tree_graph):
+        from repro.api import TreeQuery
+
+        graph, seeds = tree_graph
+        with Session(graph) as session:
+            queries = [
+                TreeQuery(seeds=seeds, k=k, rng_seed=k) for k in (1, 2, 3)
+            ]
+            batch = session.run_many(queries)
+            single = [session.run(q) for q in queries]
+        assert [r.selected for r in batch] == [r.selected for r in single]
+
+
+class TestPPRBaseline:
+    def test_ppr_envelope(self, graph):
+        from repro.baselines import ppr_baseline
+
+        q = BoostQuery(seeds=(0, 5), k=4, algorithm="ppr", rng_seed=3,
+                       budget=BUDGET, params={"evaluate": False})
+        with Session(graph) as session:
+            res = session.run(q)
+        assert res.selected == ppr_baseline(graph, {0, 5}, 4)
+        assert res.extra["candidate_sets"] == [res.selected]
+        assert not set(res.selected) & {0, 5}
+
+    def test_ppr_ranked(self, graph):
+        q = BoostQuery(seeds=(0, 5), k=4, algorithm="ppr", rng_seed=3,
+                       budget=BUDGET)
+        with Session(graph) as session:
+            res = session.run(q)
+        assert "boost" in res.estimates
+        assert len(res.selected) == 4
+
+    def test_ppr_differs_from_global_pagerank(self, graph):
+        from repro.baselines import pagerank_scores, ppr_scores
+
+        personalized = ppr_scores(graph, {3})
+        uniform = pagerank_scores(graph)
+        assert personalized.sum() == pytest.approx(1.0, abs=1e-3)
+        # restart mass concentrates on/near the seed
+        assert personalized[3] > uniform[3]

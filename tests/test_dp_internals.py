@@ -115,3 +115,51 @@ class TestGrid:
         rnd = _Rounding(1e-9)
         with pytest.raises(MemoryError):
             _grid(0, 10**9, rnd, limit=1000)
+
+
+class TestVectorizedHelpersMatchLoops:
+    """The vectorized tree passes vs their retained loop oracles.
+
+    ``reachability_weight`` (closed-form two-pass) and
+    ``compute_tree_state`` (level-batched three-step computation) must be
+    exactly equal to the O(n²) DFS / per-node loop versions pinned in
+    :mod:`repro.trees.reference` — they evaluate the same expression
+    trees, just batched.
+    """
+
+    def _random_tree(self, rng, n):
+        b = GraphBuilder(n)
+        for v in range(1, n):
+            par = int(rng.integers(0, v))
+            p = float(rng.uniform(0.05, 0.9))
+            b.add_edge(par, v, p, min(1.0, p + float(rng.uniform(0.05, 0.4))))
+            if rng.random() < 0.8:
+                p2 = float(rng.uniform(0.05, 0.9))
+                b.add_edge(v, par, p2, min(1.0, p2 + float(rng.uniform(0.05, 0.4))))
+        seeds = {0} | {int(v) for v in range(1, n) if rng.random() < 0.25}
+        return BidirectedTree(b.build(), seeds)
+
+    def test_reachability_weight_matches_legacy(self):
+        from repro.trees import reachability_weight
+        from repro.trees.reference import legacy_reachability_weight
+
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            tree = self._random_tree(rng, int(rng.integers(2, 40)))
+            assert reachability_weight(tree) == pytest.approx(
+                legacy_reachability_weight(tree), abs=1e-9
+            )
+
+    def test_compute_tree_state_matches_legacy(self):
+        from repro.trees import compute_tree_state, legacy_compute_tree_state
+
+        rng = np.random.default_rng(43)
+        for _ in range(10):
+            n = int(rng.integers(2, 30))
+            tree = self._random_tree(rng, n)
+            boost = {int(v) for v in range(n) if rng.random() < 0.2}
+            fast = compute_tree_state(tree, frozenset(boost))
+            slow = legacy_compute_tree_state(tree, frozenset(boost))
+            assert fast.sigma == slow.sigma
+            np.testing.assert_array_equal(fast.ap, slow.ap)
+            np.testing.assert_array_equal(fast.sigma_with, slow.sigma_with)

@@ -132,6 +132,63 @@ class TestTreeEdgeCases:
         assert result.boost == pytest.approx(0.0)
 
 
+def _random_bidirected_tree(rng, n):
+    """A random-topology tree: mixed fan-out (incl. >2), some one-way
+    edges, random seed set — the shapes that route through every fill
+    path of the vectorized DP (leaf/one/two/seed/general)."""
+    b = GraphBuilder(n)
+    for v in range(1, n):
+        par = int(rng.integers(0, v))
+        p = float(rng.uniform(0.05, 0.9))
+        b.add_edge(par, v, p, min(1.0, p + float(rng.uniform(0.05, 0.4))))
+        if rng.random() < 0.8:
+            p2 = float(rng.uniform(0.05, 0.9))
+            b.add_edge(v, par, p2, min(1.0, p2 + float(rng.uniform(0.05, 0.4))))
+    seeds = {0} | {int(v) for v in range(1, n) if rng.random() < 0.2}
+    return BidirectedTree(b.build(), seeds)
+
+
+class TestVectorizedDPParity:
+    """Property: the vectorized DP is *bit-identical* to the loop oracle.
+
+    The vectorized fills evaluate elementwise the exact IEEE expression
+    sequences of :func:`repro.trees.reference.legacy_dp_boost`, so
+    equality below is exact — boost-for-boost, table-entry counts, and
+    (because maxima see the same candidate sets with deterministic
+    tie-breaks) the chosen boost sets themselves.
+    """
+
+    def test_random_trees_match_legacy_exactly(self):
+        from repro.trees import legacy_dp_boost
+
+        rng = np.random.default_rng(20170815)
+        for trial in range(50):
+            n = int(rng.integers(4, 17))
+            tree = _random_bidirected_tree(rng, n)
+            k = int(rng.integers(1, 4))
+            for eps in (1.0, 0.5, 0.2):
+                vec = dp_boost(tree, k, epsilon=eps)
+                ref = legacy_dp_boost(tree, k, epsilon=eps)
+                ctx = f"trial={trial} n={n} k={k} eps={eps}"
+                assert vec.boost_set == ref.boost_set, ctx
+                assert vec.dp_value == ref.dp_value, ctx
+                assert vec.boost == ref.boost, ctx
+                assert vec.delta_param == ref.delta_param, ctx
+                assert vec.table_entries == ref.table_entries, ctx
+
+    def test_method_dispatch(self):
+        from repro.trees import legacy_dp_boost
+
+        rng = np.random.default_rng(5)
+        tree = _random_bidirected_tree(rng, 9)
+        via_param = dp_boost(tree, 2, epsilon=0.5, method="legacy")
+        direct = legacy_dp_boost(tree, 2, epsilon=0.5)
+        assert via_param.boost_set == direct.boost_set
+        assert via_param.dp_value == direct.dp_value
+        with pytest.raises(ValueError):
+            dp_boost(tree, 2, epsilon=0.5, method="nope")
+
+
 # ----------------------------------------------------------------------
 # Runtime supervision: worker death, retry, degradation, shm hygiene
 # ----------------------------------------------------------------------
