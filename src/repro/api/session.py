@@ -227,6 +227,21 @@ class Session:
         self._signature_version = -1
         self._signature()
 
+    @classmethod
+    def from_store(cls, path, mode: str = "mmap", **kwargs) -> "Session":
+        """Open a session directly on an on-disk graph store.
+
+        ``mode="mmap"`` (default) backs the graph — and the engine's
+        precomputed arrays, warmed here at open — by zero-copy views
+        over the store file, so session open cost and resident memory
+        are both independent of graph size; ``mode="memory"``
+        materializes the store into RAM first.  Remaining keyword
+        arguments go to the :class:`Session` constructor.
+        """
+        from ..storage import open_graph
+
+        return cls(open_graph(path, mode=mode), **kwargs)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -782,6 +797,12 @@ class Session:
                 "version": int(getattr(self.graph, "version", 0)),
             },
         }
+        storage_info = getattr(self.graph, "storage_info", None)
+        if storage_info is not None:
+            # Capacity planning: backend (mmap vs memory), logical array
+            # bytes, and how much of that is actually resident on the
+            # process heap (≈0 for pristine store-backed graphs).
+            out["storage"] = storage_info()
         if self.cache is not None:
             out["cache"] = self.cache.stats()
         if self.admission is not None:

@@ -7,9 +7,17 @@ Subcommands::
     python -m repro.cli compare  --dataset digg-like --k 25
     python -m repro.cli tree     --nodes 255 --k 8 --epsilon 0.5
     python -m repro.cli budget   --dataset flixster-like --cost-ratio 20
+    python -m repro.cli ingest   soc-digg.txt.gz digg.rpgs --prob wc --beta 2
     python -m repro.cli query    --dataset digg-like --file queries.json --json
+    python -m repro.cli query    --graph-store digg.rpgs --file queries.json
     python -m repro.cli serve    --dataset digg-like --cache-size 512
-    python -m repro.cli serve    --dataset digg-like --http 8321
+    python -m repro.cli serve    --graph-store digg.rpgs --http 8321
+
+The ``ingest`` subcommand converts an edge list — including gzip'd
+SNAP/Konect dumps with ``#``-comment headers and arbitrary node ids —
+into a binary graph store (:mod:`repro.storage`) in bounded memory;
+``query`` and ``serve`` then open the store zero-copy via ``np.memmap``
+with ``--graph-store`` instead of building a graph in RAM.
 
 Every subcommand accepts ``--seed`` for reproducibility; ``boost``,
 ``compare``, ``budget``, ``query`` and ``serve`` accept ``--workers N``
@@ -50,7 +58,7 @@ from pathlib import Path
 import numpy as np
 
 from .api import BoostQuery, EvalQuery, SamplingBudget, SeedQuery, Session, query_from_dict
-from .datasets import DATASETS, dataset_names, load_dataset
+from .datasets import DATASETS, dataset_names, load_dataset, load_graph
 from .engine import model_names
 from .experiments import (
     budget_allocation_experiment,
@@ -167,6 +175,42 @@ def _cmd_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_graph(args: argparse.Namespace):
+    """The graph a query/serve invocation runs on: ``--graph-store`` (a
+    binary store opened zero-copy via mmap) wins over ``--dataset``."""
+    store = getattr(args, "graph_store", None)
+    if store is not None:
+        return load_graph(store, seed=args.seed)
+    return load_dataset(args.dataset, seed=args.seed)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .storage import ingest_edge_list
+    from .storage.ingest import DEFAULT_CHUNK_EDGES
+
+    report = ingest_edge_list(
+        args.input,
+        store_path=args.output,
+        prob=args.prob,
+        beta=args.beta,
+        chunk_edges=args.chunk_edges or DEFAULT_CHUNK_EDGES,
+        include_engine=not args.no_engine,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"ingested  : {report.input_path}"
+          f"{' (gzip)' if report.gzipped else ''}")
+    print(f"store     : {report.store_path} ({report.file_bytes:,} bytes)")
+    print(f"graph     : n={report.n:,}  m={report.m:,}")
+    print(f"node ids  : {report.min_node_id}..{report.max_node_id} "
+          f"(remapped to 0..{report.n - 1})")
+    print(f"columns   : {report.columns}  prob={report.prob_mode}"
+          f"{'' if report.beta is None else f'  beta={report.beta}'}")
+    print(f"chunks    : {report.chunks}  comment lines: {report.comment_lines}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     text = sys.stdin.read() if args.file == "-" else Path(args.file).read_text()
     data = json.loads(text)
@@ -181,7 +225,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for entry in data
         ]
     queries = [query_from_dict(entry) for entry in data]
-    graph = load_dataset(args.dataset, seed=args.seed)
+    graph = _resolve_graph(args)
     rng = np.random.default_rng(args.seed)
     default_budget = SamplingBudget(
         max_samples=args.max_samples, mc_runs=args.mc_runs,
@@ -218,7 +262,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .api import AdmissionPolicy, ResultCache, serve_http, serve_ndjson
 
-    graph = load_dataset(args.dataset, seed=args.seed)
+    graph = _resolve_graph(args)
     default_budget = SamplingBudget(
         max_samples=args.max_samples, mc_runs=args.mc_runs,
         workers=args.workers,
@@ -242,8 +286,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.workers is not None and args.workers > 1:
             session.ensure_runtime(args.workers)
         if args.http is not None:
+            source = args.graph_store or args.dataset
             print(
-                f"serving {args.dataset} (n={graph.n}, m={graph.m}) on "
+                f"serving {source} (n={graph.n}, m={graph.m}) on "
                 f"http://{args.host}:{args.http} — POST /query, GET /stats",
                 file=sys.stderr,
             )
@@ -311,10 +356,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_budget.add_argument("--mc-runs", type=int, default=500)
     _add_workers(p_budget)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="convert an edge list (text or .gz, SNAP-style comments, "
+        "arbitrary node ids) into a binary graph store",
+    )
+    p_ingest.add_argument("input", help="edge-list file (plain or gzip'd)")
+    p_ingest.add_argument(
+        "output", nargs="?", default=None,
+        help="store path (default: input with .rpgs suffix)",
+    )
+    p_ingest.add_argument(
+        "--prob", default="auto",
+        help="probability model: auto (file columns, else weighted "
+        "cascade), wc, or const:<p>",
+    )
+    p_ingest.add_argument(
+        "--beta", type=float, default=None,
+        help="boost parameter: pp = 1-(1-p)^beta when the file has no pp "
+        "column (default: pp = p)",
+    )
+    p_ingest.add_argument(
+        "--chunk-edges", type=int, default=None,
+        help="edges per streaming chunk (the ingest memory knob)",
+    )
+    p_ingest.add_argument(
+        "--no-engine", action="store_true",
+        help="skip the persisted engine-precompute section (smaller file, "
+        "slower first query)",
+    )
+    p_ingest.add_argument(
+        "--json", action="store_true", help="print the ingest report as JSON"
+    )
+
     p_query = sub.add_parser(
         "query", help="answer a JSON batch of typed queries in one session"
     )
     p_query.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_query.add_argument(
+        "--graph-store", default=None, metavar="PATH",
+        help="open this binary graph store (mmap, zero-copy) instead of "
+        "building --dataset in RAM",
+    )
     p_query.add_argument(
         "--file", default="-",
         help="JSON file holding the query list ('-' reads stdin)",
@@ -340,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="keep one warm session serving NDJSON (stdin) or HTTP"
     )
     p_serve.add_argument("--dataset", choices=dataset_names(), default="digg-like")
+    p_serve.add_argument(
+        "--graph-store", default=None, metavar="PATH",
+        help="serve this binary graph store (mmap, zero-copy) instead of "
+        "building --dataset in RAM",
+    )
     p_serve.add_argument(
         "--http", type=int, default=None, metavar="PORT",
         help="serve the stdlib HTTP endpoint on PORT instead of stdin NDJSON",
@@ -391,6 +479,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "tree": _cmd_tree,
     "budget": _cmd_budget,
+    "ingest": _cmd_ingest,
     "query": _cmd_query,
     "serve": _cmd_serve,
 }

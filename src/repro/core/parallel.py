@@ -393,6 +393,21 @@ class _SharedGraphView:
         return a["src"], a["dst"], a["p"], a["pp"]
 
 
+def _publishable_store_path(graph) -> Optional[str]:
+    """The store path workers can attach to directly, if any.
+
+    Only **pristine** store-backed graphs qualify: ``version == 0``
+    means every array the workers would read is exactly what the file
+    holds.  After an in-place probability update the live arrays diverge
+    from the file (copy-on-write), so the runtime falls back to the
+    shared-memory publication of the current arrays.
+    """
+    path = getattr(graph, "store_path", None)
+    if path is None or getattr(graph, "version", 0) != 0:
+        return None
+    return path if os.path.exists(path) else None
+
+
 def _graph_arrays(graph: DiGraph) -> Dict[str, np.ndarray]:
     out = graph.out_csr()
     inc = graph.in_csr()
@@ -432,12 +447,21 @@ def _run_task(graph, kind: str, seed: int, size: int, params) -> List[np.ndarray
 
 
 def _worker_main(
-    shm_name, table, n, m, task_queue, result_queue, worker_id, generation
+    source, n, m, task_queue, result_queue, worker_id, generation
 ) -> None:
     plan = faults.plan_from_env()  # inherited at fork; None in production
     supervised = _supervision_enabled()
-    shm = shared_memory.SharedMemory(name=shm_name)  # attach: not re-tracked
-    view = _SharedGraphView(n, m, shm, _attach_arrays(shm, table))
+    if source[0] == "store":
+        # mmap-backed graph: attach by path.  Every worker maps the same
+        # file, so the page cache is shared across the pool and no copy
+        # of the graph is ever serialized or published.
+        from ..storage.store import open_graph
+
+        view = open_graph(source[1], mode="mmap")
+    else:
+        _tag, shm_name, table = source
+        shm = shared_memory.SharedMemory(name=shm_name)  # attach: not re-tracked
+        view = _SharedGraphView(n, m, shm, _attach_arrays(shm, table))
     SamplingEngine.for_graph(view)  # warm the engine once
     chunk_index = 0
     while True:
@@ -567,7 +591,17 @@ class SharedGraphRuntime:
         # alive, which the liveness sweep cannot see.
         self.task_timeout = task_timeout
         self._ctx = mp.get_context("fork")
-        self._shm, self._table = _publish_arrays(_graph_arrays(graph))
+        # Publication: pristine store-backed graphs are published *by
+        # path* — workers mmap the store file themselves, so pool startup
+        # copies nothing and all workers share one page-cache image.
+        # Everything else is copied once into a shared-memory segment.
+        store_path = _publishable_store_path(graph)
+        if store_path is not None:
+            self._shm = None
+            self._source: tuple = ("store", store_path)
+        else:
+            self._shm, table = _publish_arrays(_graph_arrays(graph))
+            self._source = ("shm", self._shm.name, table)
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
         self._closed = False
@@ -609,7 +643,7 @@ class SharedGraphRuntime:
         proc = self._ctx.Process(
             target=_worker_main,
             args=(
-                self._shm.name, self._table, self.graph.n, self.graph.m,
+                self._source, self.graph.n, self.graph.m,
                 self._tasks, self._results, slot, self._generation[slot],
             ),
             daemon=True,
@@ -620,6 +654,12 @@ class SharedGraphRuntime:
     @property
     def degraded(self) -> bool:
         return self._degraded
+
+    @property
+    def publication(self) -> str:
+        """How workers attach to the graph: ``"store"`` (mmap by path)
+        or ``"shm"`` (copied into a shared-memory segment)."""
+        return self._source[0]
 
     # ------------------------------------------------------------------
     # Tagged submission API
@@ -935,12 +975,13 @@ class SharedGraphRuntime:
         self._tasks.cancel_join_thread()
         self._results.close()
         self._results.cancel_join_thread()
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
-        _unregister_shm(self._shm.name)
+        if self._shm is not None:  # store-published runtimes own no segment
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            _unregister_shm(self._shm.name)
 
 
 _runtime: Optional[SharedGraphRuntime] = None

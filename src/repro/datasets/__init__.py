@@ -1,5 +1,6 @@
-"""Synthetic dataset stand-ins for the paper's evaluation networks."""
+"""Synthetic dataset stand-ins and real-dataset loaders."""
 
+from .loaders import load_graph
 from .synthetic import DATASETS, DatasetSpec, dataset_names, load_dataset
 
-__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "load_dataset"]
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "load_dataset", "load_graph"]

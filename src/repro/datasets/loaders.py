@@ -1,0 +1,47 @@
+"""One graph loader for every source kind the tooling accepts.
+
+``load_graph`` dispatches on what the argument *is* rather than making
+callers pick a loader:
+
+* a synthetic dataset name (``digg-like``, …) — built via
+  :func:`load_dataset`,
+* a path to a binary graph store (content-detected by magic) — opened
+  zero-copy via :func:`repro.storage.open_graph`,
+* a path to a plain or gzip'd edge list — parsed via
+  :func:`repro.graphs.io.read_edge_list`.
+
+This is the resolution behind ``repro query --graph-store`` / ``repro
+serve --graph-store`` and the recommended entry point for scripts.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..graphs.digraph import DiGraph
+from .synthetic import DATASETS, load_dataset
+
+__all__ = ["load_graph"]
+
+
+def load_graph(source, seed: int = 7, mode: str = "mmap") -> DiGraph:
+    """Load a graph from a dataset name, store file, or edge-list file.
+
+    ``mode`` applies to store files only: ``"mmap"`` (default) backs the
+    graph by views over the file, ``"memory"`` materializes it.
+    """
+    name = os.fspath(source)
+    if name in DATASETS:
+        return load_dataset(name, seed=seed)
+    if not os.path.exists(name):
+        raise FileNotFoundError(
+            f"{name!r} is neither a dataset name ({', '.join(DATASETS)}) "
+            f"nor an existing file"
+        )
+    from ..storage import is_store, open_graph
+
+    if is_store(name):
+        return open_graph(name, mode=mode)
+    from ..graphs.io import read_edge_list
+
+    return read_edge_list(name)

@@ -152,22 +152,35 @@ class SamplingEngine:
         self._edge_states = EdgeStateArray(src, dst, p, pp)
         # Lane-kernel precomputation: the seed-independent hash base of
         # every in-CSR position (source, head) and the integer Bernoulli
-        # thresholds round(p * 2^64) the RR lanes compare raw hashes to.
-        heads = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(self._in_indptr)
-        )
-        self._in_hash = edge_hash_base(self._in_nodes, heads)
-        thr = np.minimum(self._in_p * 2.0**64, np.nextafter(2.0**64, 0))
-        self._in_thr64 = thr.astype(np.uint64)
-        # Forward-cascade lane precomputation: the out-CSR row owner of
-        # every position (the edge's tail — the outgoing-boost model keys
-        # its thresholds on it), the hash base of each out position, and
-        # the per-node hash base behind LT's lane thresholds.
-        self._out_src = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(self._out_indptr)
-        )
-        self._out_hash = edge_hash_base(self._out_src, self._out_nodes)
-        self._node_hash = node_hash_base(np.arange(self.n, dtype=np.int64))
+        # thresholds round(p * 2^64) the RR lanes compare raw hashes to;
+        # plus, for forward cascades, the out-CSR row owner of every
+        # position (the edge's tail — the outgoing-boost model keys its
+        # thresholds on it), the hash base of each out position, and the
+        # per-node hash base behind LT's lane thresholds.  Store-backed
+        # graphs persist these five arrays (written with the same hashing
+        # functions, hence bit-identical), so opening a big store skips
+        # the O(m) warm-up — and, under mmap, never pages the arrays in
+        # until a traversal touches them.
+        pre_fn = getattr(graph, "engine_precompute", None)
+        pre = pre_fn() if pre_fn is not None else None
+        if pre is not None:
+            self._in_hash = pre["in_hash"]
+            self._in_thr64 = pre["in_thr64"]
+            self._out_src = pre["out_src"]
+            self._out_hash = pre["out_hash"]
+            self._node_hash = pre["node_hash"]
+        else:
+            heads = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self._in_indptr)
+            )
+            self._in_hash = edge_hash_base(self._in_nodes, heads)
+            thr = np.minimum(self._in_p * 2.0**64, np.nextafter(2.0**64, 0))
+            self._in_thr64 = thr.astype(np.uint64)
+            self._out_src = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self._out_indptr)
+            )
+            self._out_hash = edge_hash_base(self._out_src, self._out_nodes)
+            self._node_hash = node_hash_base(np.arange(self.n, dtype=np.int64))
         self._lane_visited: Optional[np.ndarray] = None
         self._lane_acc: Optional[np.ndarray] = None
         self._rr_dense: Optional[bool] = None  # learned on first lane batch

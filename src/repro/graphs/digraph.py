@@ -20,7 +20,8 @@ runtime key on.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, NamedTuple, Sequence, Tuple
+import mmap
+from typing import Dict, Iterable, Iterator, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +82,13 @@ class DiGraph:
         "_pp",
         "_version",
         "_engine_cache",
+        # Storage backend (out-of-core tier): the open GraphStore keeping
+        # an mmap-backed graph's pages alive, the store's precomputed
+        # engine arrays, and the dense-id -> original-id remap table.
+        # All None for ordinary in-memory graphs.
+        "_store",
+        "_engine_pre",
+        "_node_ids",
     )
 
     def __init__(
@@ -116,6 +124,9 @@ class DiGraph:
         self._p = prob
         self._pp = boosted
         self._version = 0
+        self._store = None
+        self._engine_pre = None
+        self._node_ids = None
 
         order = np.argsort(src, kind="stable")
         self._out_indptr = np.zeros(n + 1, dtype=np.int64)
@@ -138,13 +149,21 @@ class DiGraph:
     # ------------------------------------------------------------------
     # Pickling: drop the cached sampling engine — it is pure derived
     # state (stamp buffers) that receivers rebuild on first use, and it
-    # would otherwise dominate the serialized size.
+    # would otherwise dominate the serialized size.  The storage handle
+    # and its precompute views are dropped too (an open mmap does not
+    # travel between processes); the CSR arrays themselves pickle as
+    # plain in-memory copies, so a receiver gets a working — if no
+    # longer file-backed — graph.  Senders that want to keep the
+    # zero-copy property ship the store *path* instead (see
+    # :class:`repro.core.parallel.SharedGraphRuntime`).
     # ------------------------------------------------------------------
+    _UNPICKLED_SLOTS = frozenset(("_engine_cache", "_store", "_engine_pre"))
+
     def __getstate__(self):
         return {
             name: getattr(self, name)
             for name in self.__slots__
-            if name != "_engine_cache" and hasattr(self, name)
+            if name not in self._UNPICKLED_SLOTS and hasattr(self, name)
         }
 
     def __setstate__(self, state) -> None:
@@ -152,6 +171,10 @@ class DiGraph:
             setattr(self, name, value)
         if not hasattr(self, "_version"):  # pickles from pre-version builds
             self._version = 0
+        self._store = None
+        self._engine_pre = None
+        if not hasattr(self, "_node_ids"):  # pickles from pre-storage builds
+            self._node_ids = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -164,6 +187,122 @@ class DiGraph:
             return cls(n, [], [], [], [])
         src, dst, p, pp = zip(*edge_list)
         return cls(n, src, dst, p, pp)
+
+    @classmethod
+    def _from_store(
+        cls,
+        n: int,
+        m: int,
+        arrays: Dict[str, np.ndarray],
+        store=None,
+        engine_pre: Optional[Dict[str, np.ndarray]] = None,
+        node_ids: Optional[np.ndarray] = None,
+    ) -> "DiGraph":
+        """Adopt already-validated store arrays without copying.
+
+        The backend constructor :func:`repro.storage.open_graph` uses:
+        the store's CSR sections become the graph's arrays directly
+        (mmap views in ``mmap`` mode), skipping the ``__init__`` sort and
+        validation the store writer already performed.
+        """
+        graph = object.__new__(cls)
+        graph.n = int(n)
+        graph.m = int(m)
+        graph._src = arrays["src"]
+        graph._dst = arrays["dst"]
+        graph._p = arrays["p"]
+        graph._pp = arrays["pp"]
+        graph._out_indptr = arrays["out_indptr"]
+        graph._out_targets = arrays["out_nodes"]
+        graph._out_p = arrays["out_p"]
+        graph._out_pp = arrays["out_pp"]
+        graph._out_eid = arrays["out_eid"]
+        graph._in_indptr = arrays["in_indptr"]
+        graph._in_sources = arrays["in_nodes"]
+        graph._in_p = arrays["in_p"]
+        graph._in_pp = arrays["in_pp"]
+        graph._in_eid = arrays["in_eid"]
+        graph._version = 0
+        graph._engine_cache = None
+        graph._store = store
+        graph._engine_pre = dict(engine_pre) if engine_pre else None
+        graph._node_ids = node_ids
+        return graph
+
+    # ------------------------------------------------------------------
+    # Storage backend accessors
+    # ------------------------------------------------------------------
+    @property
+    def store_path(self) -> Optional[str]:
+        """Path of the backing graph store for mmap-backed graphs."""
+        return self._store.path if self._store is not None else None
+
+    @property
+    def node_ids(self) -> Optional[np.ndarray]:
+        """Dense-id → original-id remap table (store-opened graphs)."""
+        return self._node_ids
+
+    def engine_precompute(self) -> Optional[Dict[str, np.ndarray]]:
+        """The store's persisted engine warm-up arrays, when still valid.
+
+        Invalidated by :meth:`update_probabilities` (the thresholds
+        depend on ``p``); the engine then recomputes from the live
+        arrays as usual.
+        """
+        return self._engine_pre
+
+    def memory_bytes(self) -> int:
+        """Bytes of this graph's arrays resident on the process heap.
+
+        File-backed arrays (views whose base chain ends in an mmap) are
+        excluded — their pages live in the OS page cache, not the heap —
+        so for an mmap-opened store this is ~0 while
+        :meth:`array_bytes` still reports the full logical footprint.
+        Shared backing buffers are counted once.
+        """
+        total = 0
+        seen = set()
+        for arr in self._storage_arrays():
+            root = arr
+            while isinstance(root, np.ndarray) and root.base is not None:
+                root = root.base
+            if isinstance(root, (np.memmap, mmap.mmap)):
+                continue
+            key = id(root)
+            if key in seen:
+                continue
+            seen.add(key)
+            total += root.nbytes if isinstance(root, np.ndarray) else arr.nbytes
+        return int(total)
+
+    def array_bytes(self) -> int:
+        """Logical bytes of all graph arrays, regardless of backing."""
+        return int(sum(arr.nbytes for arr in self._storage_arrays()))
+
+    def storage_info(self) -> Dict[str, object]:
+        """Capacity-planning snapshot: backend, paths, byte counters."""
+        info: Dict[str, object] = {
+            "backend": "mmap" if self._store is not None else "memory",
+            "array_bytes": self.array_bytes(),
+            "resident_bytes": self.memory_bytes(),
+        }
+        if self._store is not None:
+            info["store_path"] = self._store.path
+            info["store_bytes"] = int(self._store.file_bytes)
+        return info
+
+    def _storage_arrays(self) -> Iterator[np.ndarray]:
+        for name in (
+            "_src", "_dst", "_p", "_pp",
+            "_out_indptr", "_out_targets", "_out_p", "_out_pp", "_out_eid",
+            "_in_indptr", "_in_sources", "_in_p", "_in_pp", "_in_eid",
+            "_node_ids",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None:
+                yield arr
+        if self._engine_pre:
+            yield from self._engine_pre.values()
 
     # ------------------------------------------------------------------
     # Topology accessors
@@ -288,13 +427,18 @@ class DiGraph:
         self._p = prob
         self._pp = boosted
         # Fresh CSR-aligned arrays (not in-place writes): anything holding
-        # the old views keeps a consistent pre-mutation snapshot.
+        # the old views keeps a consistent pre-mutation snapshot.  For
+        # mmap-backed graphs this is the copy-on-write step — the store
+        # file stays untouched (its views are read-only) and the updated
+        # probability arrays live on the heap from here on.
         self._out_p = prob[self._out_eid]
         self._out_pp = boosted[self._out_eid]
         self._in_p = prob[self._in_eid]
         self._in_pp = boosted[self._in_eid]
         self._version += 1
         self._engine_cache = None
+        # The store's persisted engine thresholds are keyed to the old p.
+        self._engine_pre = None
         return self._version
 
     # ------------------------------------------------------------------

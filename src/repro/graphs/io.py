@@ -6,6 +6,11 @@ Format (whitespace separated, ``#`` comments allowed)::
     u v p pp
 
 The header line is required so isolated trailing nodes survive round-trips.
+SNAP-style ``#`` comment headers (any number of lines, any content) are
+skipped, and gzip'd files are read transparently — detected by content
+(the gzip magic bytes), not filename, so a dump saved without its ``.gz``
+suffix still opens.  ``write_edge_list`` gzips when the path ends in
+``.gz``.
 
 Reading is vectorized: comment lines are parsed in one cheap scan (only
 they can carry the header), the data rows go through ``np.loadtxt``'s C
@@ -15,6 +20,7 @@ per-line Python parse for its precise error messages.
 
 from __future__ import annotations
 
+import gzip
 import io
 import os
 from typing import List, Tuple
@@ -25,10 +31,17 @@ from .digraph import DiGraph
 
 __all__ = ["write_edge_list", "read_edge_list"]
 
+_GZIP_MAGIC = b"\x1f\x8b"
+
 
 def write_edge_list(graph: DiGraph, path: str | os.PathLike) -> None:
-    """Write ``graph`` to ``path`` in the edge-list format."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write ``graph`` to ``path`` in the edge-list format.
+
+    A path ending in ``.gz`` is written gzip-compressed; reading is
+    symmetric (and content-detected, so renames are harmless).
+    """
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "wt", encoding="utf-8") as handle:
         handle.write(f"# n {graph.n}\n")
         for u, v, p, pp in graph.edges():
             handle.write(f"{u} {v} {p:.12g} {pp:.12g}\n")
@@ -59,9 +72,17 @@ def _parse_edges_slow(text: str) -> Tuple[List[int], List[int], List[float], Lis
 
 
 def read_edge_list(path: str | os.PathLike) -> DiGraph:
-    """Read a graph previously written by :func:`write_edge_list`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
+    """Read a graph previously written by :func:`write_edge_list`.
+
+    Transparently gunzips compressed files (content-detected) and skips
+    SNAP-style ``#`` comment headers; only a ``# n <count>`` comment is
+    interpreted (the node-count header).
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if raw[:2] == _GZIP_MAGIC:
+        raw = gzip.decompress(raw)
+    text = raw.decode("utf-8")
     n = None
     has_data = False
     for line in text.splitlines():

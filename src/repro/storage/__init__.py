@@ -1,0 +1,61 @@
+"""Out-of-core graph storage: binary mmap CSR stores + streaming ingest.
+
+The subsystem behind graphs larger than RAM:
+
+* :mod:`repro.storage.format` — the declared, versioned on-disk format
+  (magic + JSON header + 64-byte-aligned little-endian array sections).
+* :mod:`repro.storage.store` — :func:`open_graph` (zero-copy mmap or
+  in-memory), :func:`save_graph`, :class:`StoreWriter`.
+* :mod:`repro.storage.ingest` — :func:`ingest_edge_list`, the
+  bounded-memory converter from (gzip'd, comment-headed, arbitrary-id)
+  SNAP/Konect edge lists to stores; surfaced as ``repro ingest``.
+
+Stores carry the sampling engine's precomputed hash/threshold arrays, so
+an mmap-opened graph answers queries bit-identically to — and with far
+lower resident memory than — its in-memory twin (``benchmarks/
+bench_storage.py`` measures both properties).
+"""
+
+from .format import (
+    ALIGN,
+    FORMAT_VERSION,
+    MAGIC,
+    STORE_SUFFIX,
+    ArraySpec,
+    StoreFormatError,
+    StoreHeader,
+    engine_schema,
+    graph_schema,
+)
+from .ingest import IngestReport, ingest_edge_list, open_text_maybe_gzip
+from .store import (
+    GraphStore,
+    StoreWriter,
+    is_store,
+    open_graph,
+    open_store,
+    save_graph,
+    store_info,
+)
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ALIGN",
+    "STORE_SUFFIX",
+    "StoreFormatError",
+    "ArraySpec",
+    "StoreHeader",
+    "graph_schema",
+    "engine_schema",
+    "GraphStore",
+    "StoreWriter",
+    "open_store",
+    "open_graph",
+    "save_graph",
+    "store_info",
+    "is_store",
+    "IngestReport",
+    "ingest_edge_list",
+    "open_text_maybe_gzip",
+]

@@ -1,0 +1,333 @@
+"""The on-disk graph-store format: declared, versioned, schema-validated.
+
+A *graph store* is one binary file holding everything a
+:class:`~repro.graphs.digraph.DiGraph` (and its
+:class:`~repro.engine.SamplingEngine`) needs, laid out so that
+``np.memmap`` opens it zero-copy::
+
+    offset 0   magic          b"RPGSTOR1"            (8 bytes)
+    offset 8   format version uint32 little-endian   (currently 1)
+    offset 12  header length  uint32 little-endian   (JSON bytes)
+    offset 16  header         UTF-8 JSON             (see below)
+    ...        arrays         64-byte aligned little-endian sections
+
+The JSON header declares every array section explicitly — the
+format-first approach: a reader validates the declaration against the
+schema below *before* touching any data, so a truncated, reordered or
+foreign file fails with a :class:`StoreFormatError` naming the problem
+instead of producing a silently wrong graph::
+
+    {"n": ..., "m": ...,
+     "arrays": [{"name": ..., "dtype": "<i8", "shape": [...],
+                 "offset": ..., "nbytes": ...}, ...],
+     "meta": {...}}
+
+Array sections (``<`` = little-endian, fixed regardless of host):
+
+==============  ======  ========  ==============================================
+name            dtype   shape     contents
+==============  ======  ========  ==============================================
+node_ids        <i8     (n,)      original node id of each dense id (remap table)
+src, dst        <i8     (m,)      edge endpoints in insertion order
+p, pp           <f8     (m,)      base / boosted probabilities, insertion order
+out_indptr      <i8     (n+1,)    out-CSR row pointers
+out_nodes       <i8     (m,)      out-CSR targets
+out_p, out_pp   <f8     (m,)      out-CSR-aligned probabilities
+out_eid         <i8     (m,)      dense edge id of each out-CSR position
+in_indptr       <i8     (n+1,)    in-CSR row pointers
+in_nodes        <i8     (m,)      in-CSR sources
+in_p, in_pp     <f8     (m,)      in-CSR-aligned probabilities
+in_eid          <i8     (m,)      dense edge id of each in-CSR position
+==============  ======  ========  ==============================================
+
+plus the optional **engine section** — the sampling engine's per-graph
+precomputations, stored so that opening a big graph does not pay (or
+page in) an O(m) warm-up:
+
+==============  ======  ========  ==============================================
+out_src         <i8     (m,)      out-CSR row owner of each position (edge tail)
+out_hash        <u8     (m,)      splitmix64 hash base of each out position
+in_hash         <u8     (m,)      splitmix64 hash base of each in position
+in_thr64        <u8     (m,)      integer Bernoulli thresholds round(p · 2^64)
+node_hash       <u8     (n,)      per-node hash base (LT thresholds)
+==============  ======  ========  ==============================================
+
+The CSR arrays use the exact dtypes the in-memory
+:class:`~repro.graphs.digraph.DiGraph` builds, and the engine arrays are
+computed with the same :mod:`repro.engine.hashing` functions — which is
+what makes mmap-backed and in-memory query envelopes bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ALIGN",
+    "STORE_SUFFIX",
+    "StoreFormatError",
+    "ArraySpec",
+    "StoreHeader",
+    "graph_schema",
+    "engine_schema",
+    "build_header",
+    "read_header",
+]
+
+MAGIC = b"RPGSTOR1"
+FORMAT_VERSION = 1
+ALIGN = 64
+STORE_SUFFIX = ".rpgs"
+
+# Fixed prelude: magic + version + header length.
+_PRELUDE = struct.Struct("<8sII")
+
+
+class StoreFormatError(ValueError):
+    """A graph-store file violates the declared format."""
+
+
+def graph_schema(n: int, m: int) -> List[Tuple[str, str, Tuple[int, ...]]]:
+    """The required ``(name, dtype, shape)`` sections for an (n, m) graph."""
+    return [
+        ("node_ids", "<i8", (n,)),
+        ("src", "<i8", (m,)),
+        ("dst", "<i8", (m,)),
+        ("p", "<f8", (m,)),
+        ("pp", "<f8", (m,)),
+        ("out_indptr", "<i8", (n + 1,)),
+        ("out_nodes", "<i8", (m,)),
+        ("out_p", "<f8", (m,)),
+        ("out_pp", "<f8", (m,)),
+        ("out_eid", "<i8", (m,)),
+        ("in_indptr", "<i8", (n + 1,)),
+        ("in_nodes", "<i8", (m,)),
+        ("in_p", "<f8", (m,)),
+        ("in_pp", "<f8", (m,)),
+        ("in_eid", "<i8", (m,)),
+    ]
+
+
+def engine_schema(n: int, m: int) -> List[Tuple[str, str, Tuple[int, ...]]]:
+    """The optional engine-precompute sections for an (n, m) graph."""
+    return [
+        ("out_src", "<i8", (m,)),
+        ("out_hash", "<u8", (m,)),
+        ("in_hash", "<u8", (m,)),
+        ("in_thr64", "<u8", (m,)),
+        ("node_hash", "<u8", (n,)),
+    ]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One declared array section of a store file."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class StoreHeader:
+    """The parsed, validated header of a store file."""
+
+    n: int
+    m: int
+    arrays: Dict[str, ArraySpec]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    data_start: int = 0
+    total_bytes: int = 0
+
+    @property
+    def has_engine(self) -> bool:
+        return all(
+            name in self.arrays for name, _dt, _sh in engine_schema(self.n, self.m)
+        )
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) & ~(ALIGN - 1)
+
+
+def build_header(
+    n: int,
+    m: int,
+    include_engine: bool = True,
+    meta: Dict[str, Any] | None = None,
+) -> Tuple[bytes, StoreHeader]:
+    """Lay out a store for an (n, m) graph.
+
+    Returns the serialized prelude+JSON header bytes and the
+    :class:`StoreHeader` with every array's final offset — the writer
+    truncates the file to ``header.total_bytes`` and fills the sections.
+    """
+    if n <= 0:
+        raise StoreFormatError("graph store requires at least one node")
+    if m < 0:
+        raise StoreFormatError("negative edge count")
+    schema = graph_schema(n, m)
+    if include_engine:
+        schema = schema + engine_schema(n, m)
+    # Two-pass layout: the JSON length shifts the data start, and the JSON
+    # embeds the offsets, so compute with placeholder offsets first and
+    # reserve a stable header size.
+    specs: List[ArraySpec] = []
+    offset = 0
+    for name, dtype, shape in schema:
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        specs.append(ArraySpec(name, dtype, tuple(shape), offset, nbytes))
+        offset = _align(offset + nbytes)
+
+    def serialize(specs: Sequence[ArraySpec]) -> bytes:
+        doc = {
+            "n": int(n),
+            "m": int(m),
+            "arrays": [spec.to_dict() for spec in specs],
+            "meta": meta or {},
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    payload = serialize(specs)
+    data_start = _align(_PRELUDE.size + len(payload))
+    final = [
+        ArraySpec(s.name, s.dtype, s.shape, s.offset + data_start, s.nbytes)
+        for s in specs
+    ]
+    payload = serialize(final)
+    # Re-serializing with absolute offsets can grow the JSON (longer
+    # numbers); re-check until the data start is stable.
+    while _align(_PRELUDE.size + len(payload)) != data_start:
+        data_start = _align(_PRELUDE.size + len(payload))
+        final = [
+            ArraySpec(s.name, s.dtype, s.shape, s.offset + data_start, s.nbytes)
+            for s in specs
+        ]
+        payload = serialize(final)
+    header_bytes = _PRELUDE.pack(MAGIC, FORMAT_VERSION, len(payload)) + payload
+    header_bytes = header_bytes.ljust(data_start, b"\0")
+    total = final[-1].offset + final[-1].nbytes if final else data_start
+    header = StoreHeader(
+        n=int(n),
+        m=int(m),
+        arrays={spec.name: spec for spec in final},
+        meta=dict(meta or {}),
+        data_start=data_start,
+        total_bytes=max(total, data_start),
+    )
+    return header_bytes, header
+
+
+def _validate_schema(header: StoreHeader, file_size: int) -> None:
+    """Check the declared arrays against the format schema."""
+    n, m = header.n, header.m
+    required = {name: (dtype, shape) for name, dtype, shape in graph_schema(n, m)}
+    optional = {name: (dtype, shape) for name, dtype, shape in engine_schema(n, m)}
+    engine_present = [name for name in optional if name in header.arrays]
+    if engine_present and len(engine_present) != len(optional):
+        missing = sorted(set(optional) - set(engine_present))
+        raise StoreFormatError(f"partial engine section: missing {missing}")
+    for name, (dtype, shape) in required.items():
+        if name not in header.arrays:
+            raise StoreFormatError(f"missing required array {name!r}")
+    for name, spec in header.arrays.items():
+        expect = required.get(name) or optional.get(name)
+        if expect is None:
+            raise StoreFormatError(f"undeclared array name {name!r}")
+        dtype, shape = expect
+        if spec.dtype != dtype:
+            raise StoreFormatError(
+                f"array {name!r}: dtype {spec.dtype!r}, schema requires {dtype!r}"
+            )
+        if tuple(spec.shape) != tuple(shape):
+            raise StoreFormatError(
+                f"array {name!r}: shape {spec.shape}, schema requires {tuple(shape)}"
+            )
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        if spec.nbytes != nbytes:
+            raise StoreFormatError(f"array {name!r}: nbytes {spec.nbytes} != {nbytes}")
+        if spec.offset < header.data_start or spec.offset % 8 != 0:
+            raise StoreFormatError(f"array {name!r}: bad offset {spec.offset}")
+        if spec.offset + spec.nbytes > file_size:
+            raise StoreFormatError(
+                f"array {name!r} extends past end of file "
+                f"({spec.offset + spec.nbytes} > {file_size}): truncated store?"
+            )
+
+
+def read_header(path, file_size: int, raw: bytes) -> StoreHeader:
+    """Parse and validate the header bytes of a store file."""
+    if len(raw) < _PRELUDE.size:
+        raise StoreFormatError(f"{path}: too short to be a graph store")
+    magic, version, header_len = _PRELUDE.unpack_from(raw)
+    if magic != MAGIC:
+        raise StoreFormatError(f"{path}: bad magic {magic!r} (not a graph store)")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{path}: format version {version}, reader supports {FORMAT_VERSION}"
+        )
+    if len(raw) < _PRELUDE.size + header_len:
+        raise StoreFormatError(f"{path}: truncated header")
+    try:
+        doc = json.loads(raw[_PRELUDE.size : _PRELUDE.size + header_len])
+    except ValueError as exc:
+        raise StoreFormatError(f"{path}: unparseable header JSON: {exc}") from exc
+    try:
+        arrays = {
+            entry["name"]: ArraySpec(
+                name=str(entry["name"]),
+                dtype=str(entry["dtype"]),
+                shape=tuple(int(s) for s in entry["shape"]),
+                offset=int(entry["offset"]),
+                nbytes=int(entry["nbytes"]),
+            )
+            for entry in doc["arrays"]
+        }
+        header = StoreHeader(
+            n=int(doc["n"]),
+            m=int(doc["m"]),
+            arrays=arrays,
+            meta=dict(doc.get("meta", {})),
+            data_start=_align(_PRELUDE.size + header_len),
+            total_bytes=file_size,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreFormatError(f"{path}: malformed header: {exc!r}") from exc
+    if header.n <= 0 or header.m < 0:
+        raise StoreFormatError(f"{path}: invalid n={header.n}, m={header.m}")
+    _validate_schema(header, file_size)
+    return header
+
+
+def native_dtype(dtype: str) -> np.dtype:
+    """The native-endian dtype a declared little-endian section maps to.
+
+    On little-endian hosts (every supported platform) the declared and
+    native dtypes are byte-identical, so views are zero-copy; a
+    big-endian host would need a byteswapping copy, which
+    :func:`repro.storage.store.open_store` performs transparently.
+    """
+    return np.dtype(dtype).newbyteorder("=")
+
+
+def host_is_little_endian() -> bool:
+    return sys.byteorder == "little"

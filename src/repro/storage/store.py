@@ -1,0 +1,348 @@
+"""Open and write graph stores: zero-copy mmap views over the format.
+
+Reading:
+
+* :func:`open_store` maps a store file read-only and returns a
+  :class:`GraphStore` — the validated header plus one read-only array
+  view per declared section.
+* :func:`open_graph` wraps that into a :class:`~repro.graphs.DiGraph`:
+  ``mode="mmap"`` (default) hands the CSR views straight to the graph, so
+  opening a multi-gigabyte store costs a few page faults; pages load
+  lazily as queries traverse them.  ``mode="memory"`` materializes every
+  array into RAM first — the apples-to-apples in-memory baseline the
+  parity tests and ``bench_storage`` compare against.
+
+Writing:
+
+* :class:`StoreWriter` lays the file out from the schema, truncates it to
+  its final size up front, and hands out writable per-section memmaps —
+  the streaming ingest pipeline fills CSR buckets chunk by chunk without
+  ever holding an edge-order array in memory.
+* :func:`save_graph` is the one-shot form for graphs already in RAM.
+
+Both writers compute the engine-precompute section with the exact
+:mod:`repro.engine.hashing` functions the in-memory engine uses, so an
+mmap-opened graph samples bit-identically to its in-memory twin.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..engine.hashing import edge_hash_base, node_hash_base
+from ..graphs.digraph import DiGraph
+from .format import (
+    StoreFormatError,
+    StoreHeader,
+    build_header,
+    engine_schema,
+    graph_schema,
+    host_is_little_endian,
+    native_dtype,
+    read_header,
+)
+
+__all__ = [
+    "GraphStore",
+    "StoreWriter",
+    "open_store",
+    "open_graph",
+    "save_graph",
+    "is_store",
+    "store_info",
+]
+
+# Row-block size for the streaming engine-precompute fill: bounds writer
+# memory at O(block) regardless of edge count.
+_DERIVE_BLOCK = 1 << 20
+
+_GRAPH_ARRAY_NAMES = [name for name, _dt, _sh in graph_schema(1, 0)]
+_ENGINE_ARRAY_NAMES = [name for name, _dt, _sh in engine_schema(1, 0)]
+
+
+@dataclass
+class GraphStore:
+    """An open store: validated header + read-only array views.
+
+    Holding the store object keeps the underlying mapping alive; the
+    views inside any :class:`~repro.graphs.DiGraph` built from it hold a
+    reference too, so dropping the store early is safe.
+    """
+
+    path: str
+    header: StoreHeader
+    arrays: Dict[str, np.ndarray]
+    file_bytes: int
+
+    @property
+    def n(self) -> int:
+        return self.header.n
+
+    @property
+    def m(self) -> int:
+        return self.header.m
+
+    @property
+    def has_engine(self) -> bool:
+        return self.header.has_engine
+
+
+def is_store(path) -> bool:
+    """Whether ``path`` exists and starts with the graph-store magic."""
+    try:
+        with open(path, "rb") as handle:
+            from .format import MAGIC
+
+            return handle.read(len(MAGIC)) == MAGIC
+    except (OSError, IsADirectoryError):
+        return False
+
+
+def _views_over(buf: np.ndarray, header: StoreHeader) -> Dict[str, np.ndarray]:
+    """Per-section read-only views over the mapped file bytes."""
+    out: Dict[str, np.ndarray] = {}
+    for name, spec in header.arrays.items():
+        section = buf[spec.offset : spec.offset + spec.nbytes]
+        arr = section.view(native_dtype(spec.dtype)).reshape(spec.shape)
+        if not host_is_little_endian():  # pragma: no cover - exotic hosts
+            arr = section.view(np.dtype(spec.dtype)).reshape(spec.shape)
+            arr = arr.astype(native_dtype(spec.dtype))
+        out[name] = arr
+    return out
+
+
+def open_store(path, validate: bool = True) -> GraphStore:
+    """Map a store file read-only and validate its declaration.
+
+    ``validate`` additionally runs the cheap structural checks (indptr
+    endpoints) that catch a file whose header parses but whose data was
+    written by a crashed ingest.
+    """
+    path = os.fspath(path)
+    file_size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        raw = handle.read(1 << 16)
+    header = read_header(path, file_size, raw)
+    if header.data_start + 0 > file_size:
+        raise StoreFormatError(f"{path}: data section past end of file")
+    mm = np.memmap(path, dtype=np.uint8, mode="r")
+    arrays = _views_over(mm, header)
+    store = GraphStore(
+        path=path, header=header, arrays=arrays, file_bytes=file_size
+    )
+    if validate:
+        _validate_structure(store)
+    return store
+
+
+def _validate_structure(store: GraphStore) -> None:
+    """O(n) structural sanity of the CSR sections (no O(m) paging)."""
+    a = store.arrays
+    n, m = store.n, store.m
+    for side in ("out", "in"):
+        indptr = a[f"{side}_indptr"]
+        if indptr[0] != 0 or indptr[-1] != m:
+            raise StoreFormatError(
+                f"{store.path}: {side}_indptr endpoints "
+                f"({int(indptr[0])}, {int(indptr[-1])}) != (0, {m})"
+            )
+        if n <= (1 << 22) and not np.all(np.diff(indptr) >= 0):
+            # Full monotonicity is O(n); skip on huge graphs where the
+            # endpoint check already caught truncation.
+            raise StoreFormatError(f"{store.path}: {side}_indptr not monotone")
+
+
+def open_graph(path, mode: str = "mmap", validate: bool = True) -> DiGraph:
+    """Open a store as a :class:`~repro.graphs.DiGraph`.
+
+    ``mode="mmap"`` (default): the graph's CSR arrays — and the engine's
+    precomputed hash/threshold arrays, when the store carries them — are
+    read-only views over the mapping; nothing is copied and pages load on
+    first touch.  ``mode="memory"``: every array is materialized into
+    RAM (the in-memory baseline; the store file can be deleted after).
+    """
+    if mode not in ("mmap", "memory"):
+        raise ValueError("mode must be 'mmap' or 'memory'")
+    store = open_store(path, validate=validate)
+    arrays = store.arrays
+    if mode == "memory":
+        arrays = {name: np.array(arr, copy=True) for name, arr in arrays.items()}
+    pre = None
+    if store.has_engine:
+        pre = {name: arrays[name] for name in _ENGINE_ARRAY_NAMES}
+    return DiGraph._from_store(
+        store.n,
+        store.m,
+        arrays,
+        store=store if mode == "mmap" else None,
+        engine_pre=pre,
+        node_ids=arrays["node_ids"],
+    )
+
+
+def store_info(path) -> Dict[str, object]:
+    """Header-level facts about a store file (no data paging)."""
+    store = open_store(path, validate=False)
+    return {
+        "path": store.path,
+        "n": store.n,
+        "m": store.m,
+        "file_bytes": store.file_bytes,
+        "has_engine": store.has_engine,
+        "meta": dict(store.header.meta),
+    }
+
+
+class StoreWriter:
+    """Incrementally fill a store file in its final on-disk layout.
+
+    The constructor writes the header and truncates the file to its full
+    size; :meth:`array` returns a writable memmap of one declared
+    section, and :meth:`write` fills a whole section at once.  The
+    caller fills every graph section (the streaming ingest does so chunk
+    by chunk); :meth:`finalize_engine` then derives the engine section in
+    bounded row blocks, and :meth:`close` flushes.
+    """
+
+    def __init__(
+        self,
+        path,
+        n: int,
+        m: int,
+        include_engine: bool = True,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        header_bytes, self.header = build_header(
+            n, m, include_engine=include_engine, meta=meta
+        )
+        with open(self.path, "wb") as handle:
+            handle.write(header_bytes)
+            handle.truncate(self.header.total_bytes)
+        self._maps: Dict[str, np.memmap] = {}
+        self._closed = False
+
+    def array(self, name: str) -> np.ndarray:
+        """A writable view of the named section (cached per writer)."""
+        if self._closed:
+            raise RuntimeError("store writer is closed")
+        view = self._maps.get(name)
+        if view is None:
+            spec = self.header.arrays[name]
+            view = np.memmap(
+                self.path,
+                dtype=np.dtype(spec.dtype),
+                mode="r+",
+                offset=spec.offset,
+                shape=spec.shape,
+            )
+            self._maps[name] = view
+        return view
+
+    def write(self, name: str, values: np.ndarray) -> None:
+        """Fill a whole section from ``values`` (shape/dtype coerced)."""
+        spec = self.header.arrays[name]
+        arr = np.asarray(values).reshape(spec.shape)
+        self.array(name)[...] = arr
+
+    def finalize_engine(self, block: int = _DERIVE_BLOCK) -> None:
+        """Derive the engine-precompute section from the CSR sections.
+
+        Runs in O(block) memory: edge positions are processed in slabs,
+        with each slab's CSR row owner recovered by binary search on the
+        (in-RAM, O(n)) indptr arrays.  Uses the same hashing functions as
+        :class:`~repro.engine.batch.SamplingEngine`, so the stored arrays
+        are bit-identical to what an in-memory engine would compute.
+        """
+        if not self.header.has_engine:
+            return
+        n, m = self.header.n, self.header.m
+        out_indptr = np.array(self.array("out_indptr"), dtype=np.int64)
+        in_indptr = np.array(self.array("in_indptr"), dtype=np.int64)
+        out_nodes = self.array("out_nodes")
+        in_nodes = self.array("in_nodes")
+        in_p = self.array("in_p")
+        out_src = self.array("out_src")
+        out_hash = self.array("out_hash")
+        in_hash = self.array("in_hash")
+        in_thr64 = self.array("in_thr64")
+        thr_cap = np.nextafter(2.0**64, 0)
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            pos = np.arange(start, stop, dtype=np.int64)
+            rows_out = np.searchsorted(out_indptr, pos, side="right") - 1
+            out_src[start:stop] = rows_out
+            out_hash[start:stop] = edge_hash_base(
+                rows_out, np.asarray(out_nodes[start:stop])
+            )
+            rows_in = np.searchsorted(in_indptr, pos, side="right") - 1
+            in_hash[start:stop] = edge_hash_base(
+                np.asarray(in_nodes[start:stop]), rows_in
+            )
+            thr = np.minimum(np.asarray(in_p[start:stop]) * 2.0**64, thr_cap)
+            in_thr64[start:stop] = thr.astype(np.uint64)
+        self.write("node_hash", node_hash_base(np.arange(n, dtype=np.int64)))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._maps.values():
+            view.flush()
+        self._maps.clear()
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def save_graph(
+    graph: DiGraph,
+    path,
+    node_ids: Optional[np.ndarray] = None,
+    include_engine: bool = True,
+    meta: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Write an in-memory graph to a store file (one-shot writer).
+
+    ``node_ids`` is the dense-id → original-id remap table; identity when
+    omitted (the graph's ids are already the original ids).  Returns
+    :func:`store_info` of the written file.
+    """
+    if node_ids is None:
+        node_ids = np.arange(graph.n, dtype=np.int64)
+    else:
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.shape != (graph.n,):
+            raise ValueError(f"node_ids must have shape ({graph.n},)")
+    src, dst, p, pp = graph.edge_arrays()
+    out = graph.out_csr()
+    inc = graph.in_csr()
+    base_meta = {"writer": "save_graph"}
+    base_meta.update(meta or {})
+    with StoreWriter(
+        path, graph.n, graph.m, include_engine=include_engine, meta=base_meta
+    ) as writer:
+        writer.write("node_ids", node_ids)
+        writer.write("src", src)
+        writer.write("dst", dst)
+        writer.write("p", p)
+        writer.write("pp", pp)
+        writer.write("out_indptr", out.indptr)
+        writer.write("out_nodes", out.nodes)
+        writer.write("out_p", out.p)
+        writer.write("out_pp", out.pp)
+        writer.write("out_eid", out.eid)
+        writer.write("in_indptr", inc.indptr)
+        writer.write("in_nodes", inc.nodes)
+        writer.write("in_p", inc.p)
+        writer.write("in_pp", inc.pp)
+        writer.write("in_eid", inc.eid)
+        writer.finalize_engine()
+    return store_info(path)

@@ -1,5 +1,7 @@
 """Unit tests for repro.graphs.io."""
 
+import gzip
+
 import numpy as np
 import pytest
 
@@ -57,6 +59,49 @@ class TestRoundTrip:
         assert np.array_equal(d1, d2)
         np.testing.assert_allclose(p1, p2, rtol=1e-11, atol=0)
         np.testing.assert_allclose(pp1, pp2, rtol=1e-11, atol=0)
+
+
+class TestGzip:
+    def test_gz_round_trip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        g = learned_like(preferential_attachment(50, 2, rng), rng, 0.3)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # actually compressed
+        g2 = read_edge_list(path)
+        assert (g2.n, g2.m) == (g.n, g.m)
+        for e1, e2 in zip(g.edges(), g2.edges()):
+            assert e1[:2] == e2[:2]
+            assert e1[2] == pytest.approx(e2[2])
+
+    def test_content_detection_survives_rename(self, tmp_path):
+        """Detection is by gzip magic, not suffix: a .gz dump renamed to
+        .txt (the classic SNAP-download accident) still opens."""
+        g = DiGraph(3, [0, 1], [1, 2], [0.5, 0.4], [0.6, 0.5])
+        gz_path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, gz_path)
+        plain_path = tmp_path / "graph.txt"
+        gz_path.rename(plain_path)
+        assert read_edge_list(plain_path).m == 2
+
+    def test_snap_style_comment_header_in_gz(self, tmp_path):
+        path = tmp_path / "snap.txt.gz"
+        text = (
+            "# Directed graph (each unordered pair of nodes is saved once)\n"
+            "# FromNodeId\tToNodeId p pp\n"
+            "# n 4\n"
+            "0 1 0.5 0.6\n"
+            "2 3 0.25 0.4\n"
+        )
+        path.write_bytes(gzip.compress(text.encode()))
+        g = read_edge_list(path)
+        assert (g.n, g.m) == (4, 2)
+
+    def test_malformed_gz_line_still_named(self, tmp_path):
+        path = tmp_path / "bad.gz"
+        path.write_bytes(gzip.compress(b"# n 3\n0 1 0.5 0.6\n1 2 0.5\n"))
+        with pytest.raises(ValueError, match="malformed edge line"):
+            read_edge_list(path)
 
 
 class TestParsing:
