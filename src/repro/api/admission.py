@@ -102,6 +102,15 @@ def estimate_cost(session, query) -> QueryCost:
     budget = session.resolve_budget(query)
     avg_deg = m / n
     algorithm = query.algorithm
+    # Sampling capacity the session can actually bring to bear: remote
+    # host×worker capacity for a distributed session, the budget's local
+    # worker count otherwise (1 for plain serial sessions, so the
+    # pre-distributed unit scale is unchanged).  Units stay *relative*
+    # work per lane-second, which is what the thresholds price.
+    parallelism = 1.0
+    capacity_of = getattr(session, "effective_parallelism", None)
+    if callable(capacity_of):
+        parallelism = max(1.0, float(capacity_of(query)))
 
     if algorithm in _SAMPLING_ALGORITHMS:
         samples = int(budget.max_samples)
@@ -115,6 +124,11 @@ def estimate_cost(session, query) -> QueryCost:
             # Full PRR-graph assembly (phase 2 compression) roughly
             # doubles the per-sample work vs critical-set-only sampling.
             units *= 2.0
+        # Chunked sampling spreads across the session's whole capacity —
+        # a multi-host session must not spuriously reject work it can
+        # absorb (the selection phase stays local, hence the floor of
+        # one fully-serial sample's worth below).
+        units = max(units / parallelism, edges)
     elif algorithm == "evaluate":
         samples = int(budget.mc_runs)
         edges = float(m)  # a forward cascade can test every edge
@@ -154,7 +168,7 @@ def estimate_cost(session, query) -> QueryCost:
         # so a policy still bounds it, rather than waving it through.
         samples = int(budget.max_samples)
         edges = max(avg_deg, 1.0) * 4.0
-        units = samples * edges
+        units = max(samples * edges / parallelism, edges)
     return QueryCost(samples=samples, edges_per_sample=edges, units=units)
 
 
@@ -227,9 +241,10 @@ class AdmissionPolicy:
         ``None`` disables rejection.
     queue_units:
         Queries above this (but within ``reject_units``) are *queued*:
-        batch executors run them only after every admitted query of the
-        wave has finished, so heavy work never delays interactive
-        traffic.  ``None`` disables queueing.
+        batch executors start them only once the lane pool has drained
+        below its capacity — behind every admitted submission of the
+        wave — so heavy work never delays interactive traffic.
+        ``None`` disables queueing.
     max_samples, max_mc_runs:
         Hard caps on the respective budget fields, independent of the
         unit model — the blunt guardrails a public endpoint wants.
@@ -268,6 +283,12 @@ class AdmissionPolicy:
         few milliseconds), derives this machine's units-per-second, and
         converts the seconds budgets.  The probe consumes a private RNG
         stream, never the session's.
+
+        The probe runs on one serial lane, and :func:`estimate_cost`
+        divides sampling work by the session's effective host×worker
+        parallelism — so on a distributed session the thresholds price
+        *wall-clock* capacity (a query the cluster absorbs in
+        ``reject_seconds`` is admitted even though one lane could not).
         """
         import numpy as np
 

@@ -120,6 +120,84 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    # ------------------------------------------------------------------
+    # Persistence (NDJSON snapshots across server restarts)
+    # ------------------------------------------------------------------
+    def save(self, path) -> int:
+        """Snapshot every entry to ``path`` as NDJSON; returns the count.
+
+        One line per entry, LRU order (least recent first, so a later
+        :meth:`load` reconstructs the same eviction order)::
+
+            {"key": [fingerprint, graph_version, model, rng_seed,
+                     workers],
+             "result": {...QueryResult.to_dict()...}}
+
+        The write is atomic (temp file + rename): a SIGTERM snapshot
+        that dies mid-write never truncates the previous snapshot.
+        """
+        import json
+        import os
+
+        path = str(path)
+        with self._lock:
+            lines = [
+                json.dumps(
+                    {"key": list(key), "result": result.to_dict()},
+                    separators=(",", ":"),
+                )
+                for key, result in self._entries.items()
+            ]
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        os.replace(tmp, path)
+        return len(lines)
+
+    def load(self, path, graph_version: Optional[int] = None) -> Dict[str, int]:
+        """Merge a :meth:`save` snapshot into the cache.
+
+        ``graph_version`` (when given) is the currently-served graph's
+        version: entries snapshotted under any other version are
+        **dropped** — their results describe probabilities that no
+        longer exist, and version-keyed lookups could never hit them
+        anyway.  Returns ``{"loaded": ..., "dropped": ...}``.  Entries
+        beyond capacity evict LRU as usual; a missing file loads
+        nothing.
+        """
+        import json
+        import os
+
+        loaded = dropped = 0
+        if not os.path.exists(str(path)):
+            return {"loaded": 0, "dropped": 0}
+        with open(str(path), "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                raw_key = entry["key"]
+                if len(raw_key) != 5:
+                    dropped += 1
+                    continue
+                key: CacheKey = (
+                    str(raw_key[0]), int(raw_key[1]), str(raw_key[2]),
+                    int(raw_key[3]), int(raw_key[4]),
+                )
+                if graph_version is not None and key[1] != int(graph_version):
+                    dropped += 1
+                    continue
+                result = QueryResult.from_dict(entry["result"])
+                with self._lock:
+                    self._entries[key] = result
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                loaded += 1
+        return {"loaded": loaded, "dropped": dropped}
+
     def stats(self) -> Dict[str, Any]:
         """JSON-serializable counters for the serving front end."""
         with self._lock:

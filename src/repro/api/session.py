@@ -184,6 +184,14 @@ class Session:
         Lane threads :meth:`run_many` may use to overlap independent
         seeded queries (the pool is created lazily on the first
         overlapped batch).
+    hosts:
+        Optional worker-host endpoints (``"host:port,host:port"`` or a
+        sequence) running ``repro dist-worker`` on replicas of this
+        graph.  The session connects a
+        :class:`~repro.dist.DistributedRuntime` eagerly (handshake
+        failures raise here, not mid-query) and binds it to the graph,
+        after which every chunked sampling dispatch shards across the
+        hosts; results stay bit-identical to the local paths.
     """
 
     def __init__(
@@ -194,6 +202,7 @@ class Session:
         cache: Optional[ResultCache] = None,
         admission: Optional[AdmissionPolicy] = None,
         overlap_lanes: int = 4,
+        hosts=None,
     ) -> None:
         self.graph = graph
         self.default_budget = budget if budget is not None else SamplingBudget()
@@ -226,6 +235,13 @@ class Session:
         self._graph_signature: Dict[str, float] = {}
         self._signature_version = -1
         self._signature()
+        self._dist = None
+        if hosts:
+            from ..core.parallel import bind_distributed_runtime
+            from ..dist import DistributedRuntime
+
+            self._dist = DistributedRuntime(graph, hosts)
+            bind_distributed_runtime(graph, self._dist)
 
     @classmethod
     def from_store(cls, path, mode: str = "mmap", **kwargs) -> "Session":
@@ -276,6 +292,12 @@ class Session:
         self._candidates_cache.clear()
         self._tree_cache.clear()
         self._model_graphs.clear()
+        if self._dist is not None:
+            from ..core.parallel import unbind_distributed_runtime
+
+            unbind_distributed_runtime(self.graph)
+            self._dist.shutdown()
+            self._dist = None
         if self._manage_runtime:
             from ..core.parallel import shutdown_runtime_for
 
@@ -493,12 +515,33 @@ class Session:
         ``None`` means no pool is live for this session's graph (serial
         configurations, fork-less platforms, pre-warm-up, post-close) —
         which callers should read as "healthy, trivially": there are no
-        workers to lose.  See
+        workers to lose.  A ``hosts=`` session reports its distributed
+        runtime instead, with per-host counters.  See
         :class:`~repro.core.parallel.RuntimeHealth`.
         """
         from ..core.parallel import runtime_health
 
         return runtime_health(self.graph)
+
+    def effective_parallelism(self, query=None) -> int:
+        """How many sampling workers a query's chunks spread across.
+
+        The admission cost model divides sampling work by this: the
+        distributed runtime's summed remote capacity when hosts are
+        attached (and healthy), else the query budget's resolved local
+        worker count.  Always >= 1.
+        """
+        if self._dist is not None and self._dist.active:
+            capacity = int(self._dist.capacity)
+            if capacity > 0:
+                return capacity
+        from ..core.parallel import resolve_sampler_workers
+
+        budget = (
+            self.resolve_budget(query) if query is not None
+            else self.default_budget
+        )
+        return max(1, resolve_sampler_workers(budget.workers))
 
     # ------------------------------------------------------------------
     # Queries
@@ -510,6 +553,12 @@ class Session:
         from ..core.parallel import resolve_sampler_workers
 
         workers = resolve_sampler_workers(self.resolve_budget(query).workers)
+        if self._dist is not None:
+            # A hosts= session always samples through the chunked path,
+            # whose stream equals any local workers>1 run — key it as
+            # such so persisted entries stay honest about which stream
+            # they hold (host *count* never changes the stream).
+            workers = max(2, workers)
         return ResultCache.key_for(
             self.fingerprint_for(query),
             getattr(self.graph, "version", 0),
@@ -714,7 +763,12 @@ class Session:
         **Admission** (when a policy is installed): rejected queries
         raise by default; ``on_reject="envelope"`` slots a structured
         rejection envelope into their position instead.  "Queue"-classed
-        queries run last, after every admitted query has finished.
+        *seeded* queries drain asynchronously: they are queued on the
+        lane pool behind the admitted wave and start as soon as a lane
+        frees up, never before an admitted query would have used it
+        (envelopes are unchanged — seeded queries are pure functions of
+        their stream).  Unseeded queued queries still run at the batch
+        tail, preserving their ambient-RNG order.
 
         **Failures** (``on_error``): by default a deadline miss raises
         :exc:`QueryTimeout` and an algorithm exception propagates, both
@@ -759,14 +813,26 @@ class Session:
         if not overlap or len(lane_idx) < 2:
             lane_idx = []
         serial_idx = [i for i in admitted if i not in set(lane_idx)]
+        # Async admission drain: queued *seeded* queries go onto the lane
+        # pool behind the admitted submissions — the FIFO executor starts
+        # each one exactly when the pool drains below the lane capacity,
+        # instead of waiting for the whole batch tail.  Seeded queries
+        # are pure functions of their own stream, so starting them early
+        # cannot change any envelope; unseeded deferred queries keep the
+        # strict tail order because they consume the ambient ``rng``.
+        drain_idx = (
+            [i for i in deferred if batch[i].rng_seed is not None]
+            if overlap else []
+        )
+        tail_idx = [i for i in deferred if i not in set(drain_idx)]
 
         guard = on_error == "envelope"
         runner = self._guarded if guard else self._run_admitted
-        if lane_idx:
+        if lane_idx or drain_idx:
             pool = self._lanes()
             shared: Dict[tuple, Future] = {}
             pending: List[tuple] = []
-            for i in lane_idx:
+            for i in lane_idx + drain_idx:
                 key = self._cache_key(batch[i])
                 future = shared.get(key) if key is not None else None
                 if future is None:
@@ -780,7 +846,7 @@ class Session:
                 results[i] = future.result()
         for i in serial_idx:
             results[i] = runner(batch[i], rng=rng, started=started)
-        for i in deferred:
+        for i in tail_idx:
             results[i] = runner(batch[i], rng=rng, started=started)
         return results
 

@@ -12,6 +12,9 @@ Subcommands::
     python -m repro.cli query    --graph-store digg.rpgs --file queries.json
     python -m repro.cli serve    --dataset digg-like --cache-size 512
     python -m repro.cli serve    --graph-store digg.rpgs --http 8321
+    python -m repro.cli dist-worker --graph-store digg.rpgs --port 9123
+    python -m repro.cli serve    --graph-store digg.rpgs \
+                                 --hosts hostA:9123,hostB:9123
 
 The ``ingest`` subcommand converts an edge list — including gzip'd
 SNAP/Konect dumps with ``#``-comment headers and arbitrary node ids —
@@ -211,6 +214,32 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    """One worker host of the distributed sampling runtime.
+
+    Prints a one-line JSON ready message (bound host/port — with
+    ``--port 0`` that is how launchers learn the ephemeral port) to
+    stdout, then serves coordinator sessions until interrupted."""
+    from .dist import serve_worker
+
+    graph = _resolve_graph(args)
+
+    def ready(info):
+        print(json.dumps({"listening": info,
+                          "graph": {"n": int(graph.n), "m": int(graph.m)}}),
+              flush=True)
+
+    try:
+        stats = serve_worker(
+            graph, host=args.host, port=args.port, workers=args.workers,
+            max_sessions=args.max_sessions, ready=ready,
+        )
+    except KeyboardInterrupt:
+        return 0
+    print(json.dumps(stats), file=sys.stderr)
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     text = sys.stdin.read() if args.file == "-" else Path(args.file).read_text()
     data = json.loads(text)
@@ -231,7 +260,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         max_samples=args.max_samples, mc_runs=args.mc_runs,
         workers=args.workers,
     )
-    with Session(graph, budget=default_budget) as session:
+    with Session(graph, budget=default_budget, hosts=args.hosts) as session:
         if args.json:
             # NDJSON: one envelope per line, flushed as each query
             # completes, so downstream consumers stream instead of
@@ -280,9 +309,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_samples=args.cap_samples,
             max_mc_runs=args.cap_mc_runs,
         )
+    if cache is not None and args.cache_file is not None:
+        # Warm-start from the previous process's snapshot; entries from
+        # other graph versions are dropped (their probabilities are gone).
+        report = cache.load(
+            args.cache_file, graph_version=getattr(graph, "version", 0)
+        )
+        print(f"cache snapshot {args.cache_file}: loaded "
+              f"{report['loaded']}, dropped {report['dropped']} stale",
+              file=sys.stderr)
     with Session(
-        graph, budget=default_budget, cache=cache, admission=admission
+        graph, budget=default_budget, cache=cache, admission=admission,
+        hosts=args.hosts,
     ) as session:
+        if cache is not None and args.cache_file is not None:
+            _install_cache_snapshot_handler(cache, args.cache_file)
         if args.workers is not None and args.workers > 1:
             session.ensure_runtime(args.workers)
         if args.http is not None:
@@ -301,14 +342,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 session, sys.stdin, sys.stdout,
                 default_deadline_ms=args.deadline_ms,
             )
+    if cache is not None and args.cache_file is not None:
+        saved = cache.save(args.cache_file)
+        print(f"cache snapshot {args.cache_file}: saved {saved} entries",
+              file=sys.stderr)
     print(json.dumps(summary), file=sys.stderr)
     return 0
+
+
+def _install_cache_snapshot_handler(cache, path) -> None:
+    """Snapshot the result cache when the server is SIGTERM'd.
+
+    The handler persists the cache, runs the parallel runtime's normal
+    teardown (worker pools, shared-memory segments — the reaper the
+    runtime installs only claims the signal when it is unhandled, so
+    chaining it here keeps cleanup intact), then re-raises the default
+    disposition so the exit status still reports the signal.
+    """
+    import os
+    import signal
+
+    def _snapshot(signum, _frame):  # pragma: no cover - signal path
+        try:
+            cache.save(path)
+        finally:
+            from .core.parallel import reap_shm_segments, shutdown_runtime
+
+            shutdown_runtime()
+            reap_shm_segments()
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+    signal.signal(signal.SIGTERM, _snapshot)
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="sampling workers on the shared-memory runtime (default serial)",
+    )
+
+
+def _add_hosts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT,...",
+        help="shard chunked sampling across these repro dist-worker "
+        "hosts (comma-separated; each must serve a replica of the "
+        "same graph)",
     )
 
 
@@ -418,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
         "threshold; evaluate/mc_greedy accept all three)",
     )
     _add_workers(p_query)
+    _add_hosts(p_query)
 
     p_serve = sub.add_parser(
         "serve", help="keep one warm session serving NDJSON (stdin) or HTTP"
@@ -468,7 +549,38 @@ def build_parser() -> argparse.ArgumentParser:
         "deadline_ms inherit this; missed deadlines return the timeout "
         "envelope (HTTP 504)",
     )
+    p_serve.add_argument(
+        "--cache-file", default=None, metavar="PATH",
+        help="NDJSON result-cache snapshot: loaded at startup (stale "
+        "graph versions dropped), saved on SIGTERM and clean shutdown",
+    )
     _add_workers(p_serve)
+    _add_hosts(p_serve)
+
+    p_worker = sub.add_parser(
+        "dist-worker",
+        help="serve this machine as a distributed-sampling worker host",
+    )
+    p_worker.add_argument(
+        "--dataset", choices=dataset_names(), default="digg-like"
+    )
+    p_worker.add_argument(
+        "--graph-store", default=None, metavar="PATH",
+        help="serve this binary graph store replica (mmap, zero warm-up) "
+        "instead of building --dataset in RAM",
+    )
+    p_worker.add_argument("--host", default="127.0.0.1")
+    p_worker.add_argument(
+        "--port", type=int, default=9123,
+        help="listen port (0 = ephemeral; the bound port is printed in "
+        "the ready line)",
+    )
+    p_worker.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="exit after serving this many coordinator sessions "
+        "(default: serve forever)",
+    )
+    _add_workers(p_worker)
 
     return parser
 
@@ -482,6 +594,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "dist-worker": _cmd_dist_worker,
 }
 
 

@@ -105,7 +105,12 @@ class PRRSampler:
     def _draw(self, rng: np.random.Generator, count: int) -> int:
         """Grow the arena by ``count`` samples; returns the start index."""
         start = len(self.arena)
-        if self.workers > 1 and count >= PARALLEL_MIN_SAMPLES:
+        from .parallel import distributed_sampling_active
+
+        # Distributed-bound graphs always take the chunked path (see
+        # RRSampler._draw_csr) so host counts cannot change the stream.
+        chunked = self.workers > 1 or distributed_sampling_active(self.graph)
+        if chunked and count >= PARALLEL_MIN_SAMPLES:
             from .parallel import parallel_prr_payloads
 
             base = int(rng.integers(np.iinfo(np.int64).max))
@@ -168,7 +173,10 @@ class CriticalSetSampler:
     def _draw(self, rng: np.random.Generator, count: int):
         """``count`` samples as ``(status_codes, counts, values)`` CSR,
         with the diagnostics accumulated."""
-        if self.workers > 1 and count >= PARALLEL_MIN_SAMPLES:
+        from .parallel import distributed_sampling_active
+
+        chunked = self.workers > 1 or distributed_sampling_active(self.graph)
+        if chunked and count >= PARALLEL_MIN_SAMPLES:
             from .parallel import parallel_critical_csr
 
             base = int(rng.integers(np.iinfo(np.int64).max))

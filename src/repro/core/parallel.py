@@ -88,6 +88,11 @@ __all__ = [
     "SharedGraphRuntime",
     "RuntimeHealth",
     "runtime_health",
+    "bind_distributed_runtime",
+    "unbind_distributed_runtime",
+    "distributed_runtime_for",
+    "distributed_sampling_active",
+    "run_chunks_local",
     "get_runtime",
     "shutdown_runtime",
     "shutdown_runtime_for",
@@ -516,6 +521,11 @@ class RuntimeHealth:
     respawns, ``retries`` chunk re-enqueues, and ``degraded`` whether the
     runtime has given up on the pool and fallen back to the in-process
     serial path (results stay bit-identical — only throughput changes).
+
+    For the distributed runtime the same fields are reinterpreted at
+    host granularity — ``workers`` is the summed remote capacity,
+    ``restarts`` counts host losses, ``retries`` chunk re-assignments —
+    and ``hosts`` carries one counter dict per configured worker host.
     """
 
     workers: int
@@ -523,15 +533,19 @@ class RuntimeHealth:
     restarts: int
     retries: int
     degraded: bool
+    hosts: Optional[Tuple[Dict[str, Any], ...]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "workers": int(self.workers),
             "workers_alive": int(self.workers_alive),
             "restarts": int(self.restarts),
             "retries": int(self.retries),
             "degraded": bool(self.degraded),
         }
+        if self.hosts is not None:
+            out["hosts"] = [dict(h) for h in self.hosts]
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -1049,15 +1063,72 @@ def runtime_health(graph=None) -> Optional[RuntimeHealth]:
 
     ``None`` means no runtime is live (serial configurations, fork-less
     platforms, post-shutdown) — or, when ``graph`` is given, that the
-    live runtime serves a different graph.  The session/serving tiers
-    report this through ``Session.stats()`` and ``/healthz``.
+    live runtime serves a different graph.  A graph with a bound
+    distributed runtime reports that runtime's host-granular health
+    instead (see :mod:`repro.dist`).  The session/serving tiers report
+    this through ``Session.stats()`` and ``/healthz``.
     """
+    if graph is not None:
+        dist = distributed_runtime_for(graph)
+        if dist is not None:
+            return dist.health()
     rt = _runtime
     if rt is None or rt._closed:
         return None
     if graph is not None and rt.graph is not graph:
         return None
     return rt.health()
+
+
+# ----------------------------------------------------------------------
+# Distributed runtime binding
+# ----------------------------------------------------------------------
+# Graphs with a multi-host sampling runtime attached (repro.dist) are
+# registered here so the chunk executor below can route batch work to
+# the coordinator without this module ever importing repro.dist (dist
+# imports parallel for the chunking/payload contract — the dependency
+# only points one way).  The registry holds anything duck-typed like
+# DistributedRuntime: ``.run(kind, jobs, params)``, ``.active``,
+# ``.degraded`` and ``.health()``.
+_DIST_RUNTIMES: Dict[int, Any] = {}
+_DIST_LOCK = threading.Lock()
+
+
+def bind_distributed_runtime(graph, runtime) -> None:
+    """Route ``graph``'s chunked sampling through ``runtime``.
+
+    Subsequent multi-chunk dispatches (``parallel_rr_csr`` and friends)
+    go to the distributed coordinator instead of the local pool while
+    the binding holds.  One binding per graph; rebinding replaces."""
+    with _DIST_LOCK:
+        _DIST_RUNTIMES[id(graph)] = runtime
+
+
+def unbind_distributed_runtime(graph) -> bool:
+    """Drop ``graph``'s distributed binding (idempotent)."""
+    with _DIST_LOCK:
+        return _DIST_RUNTIMES.pop(id(graph), None) is not None
+
+
+def distributed_runtime_for(graph) -> Optional[Any]:
+    """The distributed runtime bound to ``graph``, if any (even a
+    degraded one — the sampler dispatch gate keys off the *binding* so a
+    session keeps drawing the chunked stream after degradation)."""
+    with _DIST_LOCK:
+        return _DIST_RUNTIMES.get(id(graph))
+
+
+def distributed_sampling_active(graph) -> bool:
+    """Whether samplers should take the chunked path for ``graph``
+    regardless of their local ``workers`` setting.
+
+    True whenever a distributed runtime is bound — including after it
+    degraded to the local fallback — so every query of a ``hosts=``
+    session draws the same chunk-seeded sample stream.  (Chunked results
+    are a pure function of ``(count, master_seed)``, so this stream is
+    identical to any local ``workers > 1`` run.)
+    """
+    return distributed_runtime_for(graph) is not None
 
 
 # LIFO atexit: the reaper is registered first so it runs *after* the
@@ -1074,11 +1145,30 @@ def _run_chunks(
     params: tuple,
     workers: int,
 ) -> List[List[np.ndarray]]:
-    """Run chunk jobs on the shared runtime, or serially in-process when
-    ``workers <= 1`` / no fork — same chunks, same seeds, same results,
-    and the serial path never touches pool or shared-memory machinery.
-    A **degraded** runtime (supervision gave up on its pool) is bypassed
-    the same way: the serial path is the graceful floor."""
+    """Run chunk jobs on the distributed runtime (when one is bound to
+    ``graph``), else the local shared runtime, else serially in-process —
+    same chunks, same seeds, same results on every path.  A **degraded**
+    runtime (supervision gave up on its hosts/pool) is bypassed the same
+    way: the next tier down is the graceful floor."""
+    dist = distributed_runtime_for(graph)
+    if dist is not None and len(jobs) > 1 and getattr(dist, "active", False):
+        return dist.run(kind, jobs, params)
+    return run_chunks_local(graph, kind, jobs, params, workers)
+
+
+def run_chunks_local(
+    graph: DiGraph,
+    kind: str,
+    jobs: Sequence[Tuple[int, int, int]],
+    params: tuple,
+    workers: int,
+) -> List[List[np.ndarray]]:
+    """Run chunk jobs on the local shared runtime, or serially in-process
+    when ``workers <= 1`` / no fork — never through a distributed
+    binding.  This is what ``repro dist-worker`` hosts (and the
+    coordinator's degraded fallback) call, so a worker process that
+    happens to share an interpreter with a coordinator can never bounce
+    its own chunks back over the wire."""
     if workers > 1 and fork_available() and len(jobs) > 1:
         rt = get_runtime(graph, workers)
         if not rt.degraded:

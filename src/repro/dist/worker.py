@@ -1,0 +1,215 @@
+"""Host-side server of the distributed sampling runtime.
+
+``repro dist-worker --graph-store graph.rpgs --port 9123`` runs one of
+these per worker host.  The worker opens its replica of the graph
+locally — for a store-backed graph that is an mmap open with zero
+warm-up, because the store persists the engine precompute — and serves
+one coordinator connection at a time: handshake (fingerprint + store
+digest validation), then a stream of ``chunks`` assignments, each
+answered with one ``result`` frame per chunk.
+
+Chunks are executed through
+:func:`repro.core.parallel.run_chunks_local`, i.e. the host's own
+shared-memory :class:`~repro.core.parallel.SharedGraphRuntime` when it
+has cores to spare — so a cluster multiplies cores × hosts while every
+chunk remains the pure ``(chunk_id, seed)`` function the determinism
+contract needs.  The local pool stays warm across coordinator sessions.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+from ..core.parallel import (
+    _resolve_workers,
+    fork_available,
+    run_chunks_local,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    graph_fingerprint,
+    publishable_store,
+    recv_msg,
+    send_msg,
+    store_digest,
+)
+
+__all__ = ["serve_worker"]
+
+
+def _resolve_local_workers(workers: Optional[int]) -> int:
+    """The chunk parallelism this host contributes: the explicit value,
+    else one worker per core (capped like the local runtime), serial on
+    fork-less platforms."""
+    if not fork_available():
+        return 1
+    if workers is not None:
+        return max(1, int(workers))
+    return _resolve_workers(None)
+
+
+def _decode_params(kind: str, params) -> tuple:
+    """Rebuild the chunk-task params tuple from its JSON form."""
+    if kind == "prr":
+        seed_set, k = params
+        return (tuple(int(s) for s in seed_set), int(k))
+    if kind == "critical":
+        (seed_set,) = params
+        return (tuple(int(s) for s in seed_set),)
+    if kind == "rr":
+        return ()
+    raise ProtocolError(f"unknown task kind: {kind!r}")
+
+
+def _serve_connection(conn, graph, identity, workers: int, stats,
+                      stop: Optional[threading.Event] = None) -> None:
+    """One coordinator session: handshake, then chunk batches until EOF.
+
+    ``stop`` (when given) is polled between frames; setting it drops the
+    connection mid-session — the coordinator sees EOF and re-assigns any
+    outstanding chunks, which is exactly how the fault-injection tests
+    simulate a worker-host kill.
+    """
+
+    def _next_msg():
+        import select
+
+        while True:
+            if stop is not None and stop.is_set():
+                return None
+            readable, _w, _x = select.select([conn], [], [], 0.25)
+            if readable:
+                return recv_msg(conn)
+
+    msg = _next_msg()
+    if msg is None:
+        return
+    header, _arrays = msg
+    if header.get("type") != "hello":
+        send_msg(conn, {"type": "error", "detail": "expected hello"})
+        return
+    if header.get("protocol") != PROTOCOL_VERSION:
+        send_msg(conn, {
+            "type": "error",
+            "detail": f"protocol {header.get('protocol')} != "
+                      f"{PROTOCOL_VERSION}",
+        })
+        return
+    for key in ("fingerprint", "store_digest"):
+        theirs, ours = header.get(key), identity.get(key)
+        if theirs is not None and ours is not None and theirs != ours:
+            send_msg(conn, {
+                "type": "error",
+                "detail": f"{key} mismatch: coordinator {theirs!r} != "
+                          f"worker {ours!r}",
+            })
+            stats["rejected"] += 1
+            return
+    send_msg(conn, {
+        "type": "welcome",
+        "protocol": PROTOCOL_VERSION,
+        "pid": os.getpid(),
+        "workers": workers,
+        "cores": os.cpu_count() or 1,
+        "fingerprint": identity.get("fingerprint"),
+    })
+    stats["sessions"] += 1
+    while True:
+        msg = _next_msg()
+        if msg is None:
+            return
+        header, _arrays = msg
+        mtype = header.get("type")
+        if mtype == "bye":
+            return
+        if mtype != "chunks":
+            raise ProtocolError(f"unexpected message type {mtype!r}")
+        tag = header["tag"]
+        kind = header["kind"]
+        params = _decode_params(kind, header.get("params", []))
+        jobs = [
+            (int(cid), int(seed), int(size))
+            for cid, seed, size in header["jobs"]
+        ]
+        try:
+            parts = run_chunks_local(graph, kind, jobs, params, workers)
+        except Exception as exc:  # deterministic failures fail fast
+            send_msg(conn, {
+                "type": "chunk_error",
+                "tag": tag,
+                "cid": jobs[0][0] if jobs else -1,
+                "detail": f"{type(exc).__name__}: {exc}",
+            })
+            stats["errors"] += 1
+            continue
+        for (cid, _seed, _size), arrays in zip(jobs, parts):
+            send_msg(
+                conn, {"type": "result", "tag": tag, "cid": cid}, arrays
+            )
+            stats["chunks"] += 1
+
+
+def serve_worker(
+    graph,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+    *,
+    max_sessions: Optional[int] = None,
+    ready=None,
+    stop: Optional[threading.Event] = None,
+) -> Dict[str, Any]:
+    """Serve ``graph`` as one distributed-sampling worker host.
+
+    Blocks until ``max_sessions`` coordinator sessions have been served
+    (``None`` = forever), ``stop`` is set, or the thread is interrupted;
+    returns the session/chunk counters.  ``ready`` (when given) is
+    called once with ``{"host", "port", "workers"}`` as soon as the
+    socket listens — with ``port=0`` that is how callers learn the
+    ephemeral port.
+    """
+    workers = _resolve_local_workers(workers)
+    store = publishable_store(graph)
+    identity = {
+        "fingerprint": graph_fingerprint(graph),
+        "store_digest": store_digest(store) if store else None,
+    }
+    stats: Dict[str, Any] = {
+        "sessions": 0, "chunks": 0, "errors": 0, "rejected": 0,
+        "workers": workers,
+    }
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen(4)
+        server.settimeout(0.2)
+        bound = server.getsockname()
+        if ready is not None:
+            ready({"host": bound[0], "port": bound[1], "workers": workers})
+        served = 0
+        while max_sessions is None or served < max_sessions:
+            if stop is not None and stop.is_set():
+                break
+            try:
+                conn, _addr = server.accept()
+            except socket.timeout:
+                continue
+            served += 1
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                _serve_connection(conn, graph, identity, workers, stats,
+                                  stop=stop)
+            except (ProtocolError, OSError):
+                # A torn connection (coordinator died mid-stream) ends
+                # the session; the worker stays up for the next one.
+                stats["errors"] += 1
+            finally:
+                conn.close()
+    finally:
+        server.close()
+    return stats

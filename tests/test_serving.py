@@ -621,3 +621,162 @@ class TestServeHTTPStatusCodes:
         del session.runtime_health
         with urllib.request.urlopen(url + "/healthz", timeout=30) as resp:
             assert json.loads(resp.read())["ok"] is True
+
+
+class TestAdmissionDrain:
+    """Queued-but-admitted work drains through the overlap lanes.
+
+    ``run_many(overlap=True)`` no longer parks every queued query behind
+    the whole admitted batch: seeded deferred queries are submitted to
+    the lane pool as it drains, and only unseeded ones (which must
+    consume the ambient RNG in batch order) stay at the serial tail.
+    Either way the envelopes must match the serial reference run.
+    """
+
+    MIXED = [
+        BoostQuery(seeds=[1, 2, 3], k=4, rng_seed=s) for s in range(3)
+    ] + [SeedQuery(algorithm="imm", k=3, rng_seed=9)]
+
+    def test_queued_seeded_envelopes_match_serial(self, graph):
+        policy = AdmissionPolicy(queue_units=1.0)  # everything queues
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            serial = session.run_many(self.MIXED, overlap=False)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            drained = session.run_many(self.MIXED)
+        for a, b in zip(serial, drained):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_mixed_admit_and_queue_keeps_positions(self, graph):
+        # Half the batch admits, half queues; positions and envelopes
+        # are preserved regardless of which lane ran each query.
+        light = SeedQuery(algorithm="degree", k=3, rng_seed=4)
+        heavy = BoostQuery(
+            seeds=[1, 2], k=3, rng_seed=5,
+            budget=SamplingBudget(max_samples=600, mc_runs=100),
+        )
+        with Session(graph, budget=BUDGET) as session:
+            cost = estimate_cost(session, heavy).units
+        policy = AdmissionPolicy(queue_units=cost * 0.5)
+        batch = [heavy, light, heavy, light]
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            serial = session.run_many(batch, overlap=False)
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            drained = session.run_many(batch)
+        for a, b in zip(serial, drained):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_unseeded_queued_queries_stay_in_ambient_order(self, graph):
+        policy = AdmissionPolicy(queue_units=1.0)
+        mixed = [
+            SeedQuery(algorithm="degree", k=3),
+            BoostQuery(seeds=[1, 2], k=3, rng_seed=1),
+            SeedQuery(algorithm="degree", k=4),
+        ]
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            serial = session.run_many(
+                mixed, rng=np.random.default_rng(3), overlap=False
+            )
+        with Session(graph, budget=BUDGET, admission=policy) as session:
+            drained = session.run_many(mixed, rng=np.random.default_rng(3))
+        for a, b in zip(serial, drained):
+            assert envelope_sans_timings(a) == envelope_sans_timings(b)
+
+    def test_queued_duplicates_share_computation(self, graph):
+        policy = AdmissionPolicy(queue_units=1.0)
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache,
+                     admission=policy) as session:
+            results = session.run_many([QUERY, QUERY])
+        assert results[0] is results[1]
+        assert cache.misses == 1
+
+
+class TestCachePersistence:
+    """NDJSON snapshots of the result cache across server restarts."""
+
+    def fill(self, session, cache, seeds=(1, 2, 3)):
+        queries = [
+            BoostQuery(seeds=[1, 2], k=3, rng_seed=s) for s in seeds
+        ]
+        return [session.run(q) for q in queries]
+
+    def test_save_load_round_trip(self, graph, tmp_path):
+        path = tmp_path / "cache.ndjson"
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            originals = self.fill(session, cache)
+            assert cache.save(path) == 3
+        restored = ResultCache()
+        report = restored.load(path, graph_version=graph.version)
+        assert report == {"loaded": 3, "dropped": 0}
+        with Session(graph, budget=BUDGET, cache=restored) as session:
+            hits_before = restored.hits
+            replays = self.fill(session, restored)
+            assert restored.hits == hits_before + 3
+        for a, b in zip(originals, replays):
+            assert a.to_dict() == b.to_dict()  # timings included: cached
+
+    def test_stale_graph_version_dropped(self, graph, tmp_path):
+        path = tmp_path / "cache.ndjson"
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            self.fill(session, cache)
+            cache.save(path)
+        restored = ResultCache()
+        report = restored.load(path, graph_version=graph.version + 1)
+        assert report == {"loaded": 0, "dropped": 3}
+        assert len(restored) == 0
+
+    def test_load_respects_capacity(self, graph, tmp_path):
+        path = tmp_path / "cache.ndjson"
+        cache = ResultCache()
+        with Session(graph, budget=BUDGET, cache=cache) as session:
+            self.fill(session, cache, seeds=(1, 2, 3, 4, 5))
+            cache.save(path)
+        small = ResultCache(capacity=2)
+        report = small.load(path, graph_version=graph.version)
+        assert report["loaded"] == 5
+        assert len(small) == 2
+        assert small.evictions == 3
+
+    def test_missing_and_malformed_entries(self, tmp_path):
+        cache = ResultCache()
+        assert cache.load(tmp_path / "absent.ndjson") == {
+            "loaded": 0, "dropped": 0,
+        }
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text('{"key": [1, 2], "result": {}}\n')
+        assert cache.load(bad) == {"loaded": 0, "dropped": 1}
+
+    def test_serve_cli_round_trips_snapshot(self, tmp_path):
+        # End to end: one `repro serve` process snapshots on exit, the
+        # next warm-starts from the file and answers from cache.
+        import subprocess
+        import sys
+
+        snapshot = tmp_path / "serve-cache.ndjson"
+        request = json.dumps({
+            "type": "seed", "algorithm": "degree", "k": 3, "rng_seed": 1,
+        }) + "\n"
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dataset", "digg-like", "--max-samples", "400",
+            "--mc-runs", "50", "--cache-file", str(snapshot),
+        ]
+        first = subprocess.run(
+            cmd, input=request, capture_output=True, text=True, timeout=120,
+        )
+        assert first.returncode == 0, first.stderr
+        assert json.loads(first.stdout.splitlines()[0])["selected"]
+        assert "saved 1 entries" in first.stderr
+        assert snapshot.exists()
+        second = subprocess.run(
+            cmd, input=request, capture_output=True, text=True, timeout=120,
+        )
+        assert second.returncode == 0, second.stderr
+        assert "loaded 1, dropped 0 stale" in second.stderr
+        first_answer = json.loads(first.stdout.splitlines()[0])
+        second_answer = json.loads(second.stdout.splitlines()[0])
+        assert first_answer == second_answer  # served from the snapshot
+        summary = json.loads(second.stderr.splitlines()[-1])
+        assert summary["cache"]["hits"] == 1
